@@ -1,0 +1,337 @@
+//! The AutoCE advisor: Stage-2 training and Stage-4 recommendation.
+
+use crate::incremental::{run_incremental_learning, IncrementalConfig};
+use ce_features::{extract_features, FeatureConfig, FeatureGraph};
+use ce_gnn::{train_encoder, DmlConfig, GinEncoder};
+use ce_models::ModelKind;
+use ce_nn::matrix::euclidean;
+use ce_storage::Dataset;
+use ce_testbed::{DatasetLabel, MetricWeights};
+use serde::{Deserialize, Serialize};
+
+/// Advisor configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoCeConfig {
+    /// Featurization parameters (must match between training and serving).
+    pub feature: FeatureConfig,
+    /// Deep-metric-learning parameters (Algorithm 1).
+    pub dml: DmlConfig,
+    /// Number of KNN neighbors (the paper finds `k = 2` best — Table IV).
+    pub k: usize,
+    /// Incremental-learning stage (Algorithm 2); `None` disables it (the
+    /// "Without IL" ablation of Fig. 11).
+    pub incremental: Option<IncrementalConfig>,
+}
+
+impl Default for AutoCeConfig {
+    fn default() -> Self {
+        AutoCeConfig {
+            feature: FeatureConfig::default(),
+            dml: DmlConfig::default(),
+            k: 2,
+            incremental: Some(IncrementalConfig::default()),
+        }
+    }
+}
+
+/// One entry of the recommendation candidate set (Def. 5).
+#[derive(Debug, Clone)]
+pub struct RcsEntry {
+    /// Dataset name (bookkeeping).
+    pub name: String,
+    /// Feature graph.
+    pub graph: FeatureGraph,
+    /// Embedding under the current encoder.
+    pub embedding: Vec<f32>,
+    /// Labeled model kinds, aligned with `sa`/`se`.
+    pub kinds: Vec<ModelKind>,
+    /// Normalized accuracy scores `S_a` (Eq. 3).
+    pub sa: Vec<f64>,
+    /// Normalized efficiency scores `S_e` (Eq. 4).
+    pub se: Vec<f64>,
+}
+
+impl RcsEntry {
+    /// Score vector at a metric weighting (Eq. 2).
+    pub fn scores(&self, w: MetricWeights) -> Vec<f64> {
+        self.sa
+            .iter()
+            .zip(&self.se)
+            .map(|(&a, &e)| w.accuracy * a + w.efficiency() * e)
+            .collect()
+    }
+
+    /// The DML similarity label: `S_a ⊕ S_e`, which determines the score
+    /// vector for *every* weighting at once.
+    pub fn dml_label(&self) -> Vec<f64> {
+        let mut v = self.sa.clone();
+        v.extend_from_slice(&self.se);
+        v
+    }
+}
+
+/// The trained advisor.
+pub struct AutoCe {
+    /// Configuration it was trained with.
+    pub config: AutoCeConfig,
+    encoder: GinEncoder,
+    rcs: Vec<RcsEntry>,
+}
+
+impl AutoCe {
+    /// Trains the advisor from labeled datasets (Stages 2-3).
+    pub fn train(
+        datasets: &[Dataset],
+        labels: &[DatasetLabel],
+        config: AutoCeConfig,
+        seed: u64,
+    ) -> Self {
+        let graphs: Vec<FeatureGraph> = datasets
+            .iter()
+            .map(|ds| extract_features(ds, &config.feature))
+            .collect();
+        Self::train_from_graphs(graphs, labels, config, seed)
+    }
+
+    /// Trains from already-extracted feature graphs (used by ablations and
+    /// the incremental stage itself).
+    pub fn train_from_graphs(
+        graphs: Vec<FeatureGraph>,
+        labels: &[DatasetLabel],
+        config: AutoCeConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
+        let mut entries: Vec<RcsEntry> = graphs
+            .into_iter()
+            .zip(labels)
+            .map(|(graph, label)| {
+                let (sa, se) = label.normalized_components();
+                RcsEntry {
+                    name: label.dataset.clone(),
+                    graph,
+                    embedding: Vec::new(),
+                    kinds: label.performances.iter().map(|p| p.kind).collect(),
+                    sa,
+                    se,
+                }
+            })
+            .collect();
+
+        // Stage 2: deep metric learning.
+        let dml_labels: Vec<Vec<f64>> = entries.iter().map(RcsEntry::dml_label).collect();
+        let graph_refs: Vec<FeatureGraph> = entries.iter().map(|e| e.graph.clone()).collect();
+        let mut encoder = train_encoder(&graph_refs, &dml_labels, &config.dml, seed);
+
+        // Stage 3: incremental learning with Mixup (Algorithm 2).
+        if let Some(il) = &config.incremental {
+            run_incremental_learning(&mut encoder, &entries, il, &config, seed);
+        }
+
+        // Final embeddings for the RCS.
+        for e in &mut entries {
+            e.embedding = encoder.encode(&e.graph);
+        }
+        AutoCe {
+            config,
+            encoder,
+            rcs: entries,
+        }
+    }
+
+    /// The recommendation candidate set.
+    pub fn rcs(&self) -> &[RcsEntry] {
+        &self.rcs
+    }
+
+    /// Changes the KNN `k` used at prediction time (Table IV sweeps this
+    /// without retraining the encoder).
+    pub fn set_k(&mut self, k: usize) {
+        self.config.k = k.max(1);
+    }
+
+    /// Encodes a dataset into its embedding (Stage 4, steps 1-3).
+    pub fn embed(&self, ds: &Dataset) -> Vec<f32> {
+        let g = extract_features(ds, &self.config.feature);
+        self.encoder.encode(&g)
+    }
+
+    /// Encodes a feature graph.
+    pub fn embed_graph(&self, g: &FeatureGraph) -> Vec<f32> {
+        self.encoder.encode(g)
+    }
+
+    /// KNN prediction from an embedding (Eq. 13): averaged neighbor score
+    /// vector at the requested weighting; returns `(model, score_vector)`.
+    pub fn predict_from_embedding(
+        &self,
+        embedding: &[f32],
+        w: MetricWeights,
+    ) -> (ModelKind, Vec<f64>) {
+        self.predict_excluding(embedding, w, usize::MAX)
+    }
+
+    /// KNN prediction that can exclude one RCS index — used by the
+    /// leave-one-out cross-validation of Algorithm 2.
+    pub fn predict_excluding(
+        &self,
+        embedding: &[f32],
+        w: MetricWeights,
+        exclude: usize,
+    ) -> (ModelKind, Vec<f64>) {
+        assert!(!self.rcs.is_empty(), "empty RCS");
+        let mut dists: Vec<(usize, f32)> = self
+            .rcs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != exclude)
+            .map(|(i, e)| (i, euclidean(embedding, &e.embedding)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        let k = self.config.k.clamp(1, dists.len());
+        let neighbors = &dists[..k];
+        let arity = self.rcs[neighbors[0].0].kinds.len();
+        let mut avg = vec![0.0f64; arity];
+        for &(i, _) in neighbors {
+            for (s, v) in avg.iter_mut().zip(self.rcs[i].scores(w)) {
+                *s += v / k as f64;
+            }
+        }
+        let best = avg
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("non-empty score vector");
+        (self.rcs[neighbors[0].0].kinds[best], avg)
+    }
+
+    /// Full Stage-4 recommendation for a dataset.
+    pub fn recommend(&self, ds: &Dataset, w: MetricWeights) -> ModelKind {
+        let x = self.embed(ds);
+        self.predict_from_embedding(&x, w).0
+    }
+
+    /// Recommendation from a pre-extracted feature graph.
+    pub fn recommend_graph(&self, g: &FeatureGraph, w: MetricWeights) -> ModelKind {
+        let x = self.encoder.encode(g);
+        self.predict_from_embedding(&x, w).0
+    }
+
+    /// Mutable encoder access (online adapting re-trains it in place).
+    pub(crate) fn encoder_mut(&mut self) -> &mut GinEncoder {
+        &mut self.encoder
+    }
+
+    /// Shared encoder access.
+    pub fn encoder(&self) -> &GinEncoder {
+        &self.encoder
+    }
+
+    /// Adds a freshly labeled dataset to the RCS (online adapting, §V-E).
+    pub fn push_rcs_entry(&mut self, graph: FeatureGraph, label: &DatasetLabel) {
+        let (sa, se) = label.normalized_components();
+        let embedding = self.encoder.encode(&graph);
+        self.rcs.push(RcsEntry {
+            name: label.dataset.clone(),
+            graph,
+            embedding,
+            kinds: label.performances.iter().map(|p| p.kind).collect(),
+            sa,
+            se,
+        });
+    }
+
+    /// Recomputes all RCS embeddings (after incremental encoder updates).
+    pub fn refresh_embeddings(&mut self) {
+        for e in &mut self.rcs {
+            e.embedding = self.encoder.encode(&e.graph);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::{generate_batch, DatasetSpec};
+    use ce_models::ModelKind;
+    use ce_testbed::{label_datasets, TestbedConfig};
+    use ce_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_training_run(k: usize, il: bool) -> (Vec<ce_storage::Dataset>, AutoCe) {
+        let mut rng = StdRng::seed_from_u64(231);
+        let datasets = generate_batch("adv", 12, &DatasetSpec::small(), &mut rng);
+        let cfg = TestbedConfig {
+            models: vec![ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn],
+            train_queries: 60,
+            test_queries: 30,
+            workload: WorkloadSpec::default(),
+        };
+        let labels = label_datasets(&datasets, &cfg, 7, 0);
+        let config = AutoCeConfig {
+            dml: DmlConfig {
+                epochs: 8,
+                batch_size: 12,
+                hidden: vec![16],
+                embed_dim: 8,
+                ..DmlConfig::default()
+            },
+            k,
+            incremental: if il {
+                Some(IncrementalConfig {
+                    folds: 3,
+                    ..IncrementalConfig::default()
+                })
+            } else {
+                None
+            },
+            ..AutoCeConfig::default()
+        };
+        let advisor = AutoCe::train(&datasets, &labels, config, 99);
+        (datasets, advisor)
+    }
+
+    #[test]
+    fn recommends_a_labeled_model_kind() {
+        let (datasets, advisor) = tiny_training_run(2, false);
+        for ds in datasets.iter().take(4) {
+            let m = advisor.recommend(ds, MetricWeights::new(0.9));
+            assert!(
+                [ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn].contains(&m),
+                "recommended unlabeled model {m}"
+            );
+        }
+        assert_eq!(advisor.rcs().len(), 12);
+        assert!(advisor.rcs().iter().all(|e| !e.embedding.is_empty()));
+    }
+
+    #[test]
+    fn knn_k_is_respected_and_clamped() {
+        let (datasets, advisor) = tiny_training_run(100, false);
+        // k clamps to the RCS size; recommendation still works.
+        let m = advisor.recommend(&datasets[0], MetricWeights::new(1.0));
+        let _ = m;
+    }
+
+    #[test]
+    fn incremental_training_path_runs() {
+        let (datasets, advisor) = tiny_training_run(2, true);
+        let m = advisor.recommend(&datasets[0], MetricWeights::new(0.5));
+        let _ = m;
+        assert_eq!(advisor.rcs().len(), 12, "RCS keeps original entries");
+    }
+
+    #[test]
+    fn dml_label_concatenates_components() {
+        let (_, advisor) = tiny_training_run(2, false);
+        let e = &advisor.rcs()[0];
+        assert_eq!(e.dml_label().len(), e.sa.len() + e.se.len());
+        // Scores at wa = 1 equal sa.
+        let s = e.scores(MetricWeights::new(1.0));
+        for (a, b) in s.iter().zip(&e.sa) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Beta-distribution sampling (Mixup draws `λ ~ Beta(α, β)`, Eq. 14).
+//!
+//! Uses Jöhnk's algorithm, which needs only uniform draws and is exact for
+//! every `α, β > 0` — no extra dependency required.
+
+use rand::Rng;
+
+/// Draws one sample from `Beta(alpha, beta)`.
+pub fn sample_beta<R: Rng>(alpha: f64, beta: f64, rng: &mut R) -> f64 {
+    assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+    // Jöhnk: accept (u^(1/α), v^(1/β)) when their sum is ≤ 1.
+    for _ in 0..10_000 {
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        let v: f64 = rng.gen::<f64>().max(1e-300);
+        let x = u.powf(1.0 / alpha);
+        let y = v.powf(1.0 / beta);
+        if x + y <= 1.0 {
+            if x + y > 0.0 {
+                return x / (x + y);
+            }
+            // Underflow: decide by log-scale comparison.
+            let lx = u.ln() / alpha;
+            let ly = v.ln() / beta;
+            return if lx > ly { 1.0 } else { 0.0 };
+        }
+    }
+    // Pathological parameters: fall back to the mean.
+    alpha / (alpha + beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(221);
+        for &(a, b) in &[(0.5, 0.5), (1.0, 1.0), (2.0, 5.0)] {
+            for _ in 0..200 {
+                let x = sample_beta(a, b, &mut rng);
+                assert!((0.0..=1.0).contains(&x), "Beta({a},{b}) sample {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        let mut rng = StdRng::seed_from_u64(222);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_beta(2.0, 5.0, &mut rng)).sum::<f64>() / n as f64;
+        // E[Beta(2,5)] = 2/7 ≈ 0.2857.
+        assert!((mean - 2.0 / 7.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        let mut rng = StdRng::seed_from_u64(223);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_beta(1.0, 1.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_invalid_parameters() {
+        let mut rng = StdRng::seed_from_u64(224);
+        sample_beta(0.0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,29 @@
+//! # autoce — the model advisor (the paper's primary contribution)
+//!
+//! AutoCE selects the most suitable learned CE model for an arbitrary
+//! dataset and metric weighting, without training any CE model online:
+//!
+//! * [`advisor`]: the four-stage pipeline — feature graphs, DML-trained GIN
+//!   encoder, the recommendation candidate set (RCS), and the KNN predictor
+//!   of Eq. 13;
+//! * [`incremental`]: Algorithm 2 — cross-validated feedback collection and
+//!   Mixup-based data augmentation, then incremental encoder training;
+//! * [`online`]: the online adaptive method of §V-E — drift detection by
+//!   embedding distance (90th-percentile threshold) and RCS/encoder updates
+//!   from online-labeled datasets;
+//! * [`baselines`]: the four selection baselines of §VII (MLP-based,
+//!   Rule-based, Knn-based, Sampling-based) plus Learning-All;
+//! * [`beta`]: Beta-distribution sampling for Mixup's λ.
+
+pub mod advisor;
+pub mod baselines;
+pub mod beta;
+pub mod incremental;
+pub mod online;
+
+pub use advisor::{AutoCe, AutoCeConfig, RcsEntry};
+pub use baselines::{
+    KnnFeatureSelector, LearningAllSelector, MlpSelector, RegressionSelector, RuleSelector,
+    SamplingSelector, Selector,
+};
+pub use incremental::IncrementalConfig;

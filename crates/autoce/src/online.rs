@@ -1,0 +1,186 @@
+//! Online adapting for unexpected data distributions (§V-E).
+//!
+//! Three steps: (1) **drift detection** — a dataset whose embedding's
+//! nearest-RCS distance exceeds the 90th percentile of the RCS's own
+//! nearest-neighbor distances is out-of-distribution; (2) **online
+//! learning** — the drifted dataset is labeled by the testbed to obtain
+//! ground truth; (3) **model update** — the new sample joins the RCS and
+//! the encoder receives an incremental DML update.
+
+use crate::advisor::AutoCe;
+use ce_features::extract_features;
+use ce_gnn::train::train_encoder_incremental;
+use ce_nn::matrix::euclidean;
+use ce_storage::Dataset;
+use ce_testbed::{label_dataset, TestbedConfig};
+
+/// Drift detector built over the advisor's RCS.
+pub struct DriftDetector {
+    threshold: f32,
+}
+
+impl DriftDetector {
+    /// Percentile of within-RCS nearest-neighbor distances used as the
+    /// drift threshold (the paper takes the 90th).
+    pub const PERCENTILE: f64 = 90.0;
+
+    /// Builds the detector from the current RCS.
+    pub fn fit(advisor: &AutoCe) -> Self {
+        let rcs = advisor.rcs();
+        let mut nn_dists: Vec<f32> = Vec::with_capacity(rcs.len());
+        for (i, e) in rcs.iter().enumerate() {
+            let d = rcs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, o)| euclidean(&e.embedding, &o.embedding))
+                .fold(f32::INFINITY, f32::min);
+            if d.is_finite() {
+                nn_dists.push(d);
+            }
+        }
+        if nn_dists.is_empty() {
+            return DriftDetector { threshold: f32::MAX };
+        }
+        nn_dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let rank = ((Self::PERCENTILE / 100.0) * (nn_dists.len() - 1) as f64).round() as usize;
+        DriftDetector {
+            threshold: nn_dists[rank.min(nn_dists.len() - 1)],
+        }
+    }
+
+    /// Distance threshold in embedding space.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Distance from a dataset to the RCS (closest embedding).
+    pub fn distance_to_rcs(&self, advisor: &AutoCe, ds: &Dataset) -> f32 {
+        let x = advisor.embed(ds);
+        advisor
+            .rcs()
+            .iter()
+            .map(|e| euclidean(&x, &e.embedding))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// True if the dataset's distribution is unexpected.
+    pub fn is_drifted(&self, advisor: &AutoCe, ds: &Dataset) -> bool {
+        self.distance_to_rcs(advisor, ds) > self.threshold
+    }
+}
+
+/// Runs the full online-adapting loop on one dataset: if drifted, labels it
+/// online, extends the RCS, and incrementally updates the encoder. Returns
+/// `true` if an adaptation happened.
+pub fn adapt_online(
+    advisor: &mut AutoCe,
+    detector: &DriftDetector,
+    ds: &Dataset,
+    testbed: &TestbedConfig,
+    seed: u64,
+) -> bool {
+    if !detector.is_drifted(advisor, ds) {
+        return false;
+    }
+    // Step 2: online learning for ground truth.
+    let label = label_dataset(ds, testbed, seed);
+    let graph = extract_features(ds, &advisor.config.feature);
+    advisor.push_rcs_entry(graph, &label);
+
+    // Step 3: incremental DML update over the extended RCS.
+    let graphs: Vec<_> = advisor.rcs().iter().map(|e| e.graph.clone()).collect();
+    let labels: Vec<_> = advisor.rcs().iter().map(|e| e.dml_label()).collect();
+    let mut cfg = advisor.config.dml.clone();
+    cfg.epochs = cfg.epochs.min(5);
+    train_encoder_incremental(advisor.encoder_mut(), &graphs, &labels, &cfg, seed ^ 0x0ada);
+    advisor.refresh_embeddings();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::AutoCeConfig;
+    use ce_datagen::{generate_batch, generate_dataset, DatasetSpec, SpecRange};
+    use ce_gnn::DmlConfig;
+    use ce_models::ModelKind;
+    use ce_testbed::label_datasets;
+    use ce_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn testbed() -> TestbedConfig {
+        TestbedConfig {
+            models: vec![ModelKind::Postgres, ModelKind::LwXgb],
+            train_queries: 50,
+            test_queries: 25,
+            workload: WorkloadSpec::default(),
+        }
+    }
+
+    fn trained_advisor(seed: u64) -> AutoCe {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = DatasetSpec::small().single_table();
+        let datasets = generate_batch("o", 10, &spec, &mut rng);
+        let labels = label_datasets(&datasets, &testbed(), 3, 0);
+        AutoCe::train(
+            &datasets,
+            &labels,
+            AutoCeConfig {
+                dml: DmlConfig {
+                    epochs: 6,
+                    hidden: vec![16],
+                    embed_dim: 8,
+                    ..DmlConfig::default()
+                },
+                incremental: None,
+                ..AutoCeConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn in_distribution_dataset_is_not_drifted() {
+        let advisor = trained_advisor(251);
+        let detector = DriftDetector::fit(&advisor);
+        let mut rng = StdRng::seed_from_u64(252);
+        // Same generator: most draws should be within the threshold.
+        let spec = DatasetSpec::small().single_table();
+        let fresh: Vec<_> = (0..6)
+            .map(|i| generate_dataset(format!("f{i}"), &spec, &mut rng))
+            .collect();
+        let drifted = fresh
+            .iter()
+            .filter(|ds| detector.is_drifted(&advisor, ds))
+            .count();
+        assert!(drifted <= 2, "{drifted}/6 flagged as drifted");
+    }
+
+    #[test]
+    fn out_of_distribution_dataset_is_flagged_and_adapted() {
+        let mut advisor = trained_advisor(253);
+        let detector = DriftDetector::fit(&advisor);
+        // A wildly different dataset: 5 tables instead of 1.
+        let mut rng = StdRng::seed_from_u64(254);
+        let mut spec = DatasetSpec::small().multi_table();
+        spec.tables = SpecRange { lo: 5, hi: 5 };
+        let odd = generate_dataset("odd", &spec, &mut rng);
+        assert!(detector.is_drifted(&advisor, &odd), "multi-table should drift");
+        let before = advisor.rcs().len();
+        let adapted = adapt_online(&mut advisor, &detector, &odd, &testbed(), 9);
+        assert!(adapted);
+        assert_eq!(advisor.rcs().len(), before + 1);
+        // After adapting, the same dataset is close to the RCS.
+        let d_after = DriftDetector::fit(&advisor).distance_to_rcs(&advisor, &odd);
+        assert!(d_after < 1e-3, "adapted dataset distance {d_after}");
+    }
+
+    #[test]
+    fn detector_handles_tiny_rcs() {
+        let advisor = trained_advisor(255);
+        let detector = DriftDetector::fit(&advisor);
+        assert!(detector.threshold() > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks over the hot paths: feature extraction, GIN
+//! encoding, KNN recommendation, per-model inference and plan optimization.
+//! These back the §VII-A timing claims (training 107 s offline, 0.79 s
+//! inference per dataset at paper scale; proportionally smaller here).
+
+use ce_bench::harness::{build_corpus, train_default_advisor, Scale};
+use ce_datagen::{generate_dataset, DatasetSpec};
+use ce_features::{extract_features, FeatureConfig};
+use ce_models::{build_model, ModelKind, TrainContext};
+use ce_optsim::{optimize_query, DatasetIndexes, TrueCardEstimator};
+use ce_testbed::MetricWeights;
+use ce_workload::{generate_workload, label_workload, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ds = generate_dataset("bench", &DatasetSpec::small().multi_table(), &mut rng);
+    let cfg = FeatureConfig::default();
+    c.bench_function("feature_extraction", |b| {
+        b.iter(|| black_box(extract_features(&ds, &cfg)))
+    });
+}
+
+fn bench_advisor_paths(c: &mut Criterion) {
+    let scale = Scale(0.25);
+    let corpus = build_corpus(scale, vec![ModelKind::Postgres, ModelKind::LwXgb], 0xbe9c);
+    let advisor = train_default_advisor(&corpus, scale, 7);
+    let ds = &corpus.test_datasets[0];
+    let g = extract_features(ds, &advisor.config.feature);
+    c.bench_function("gin_encode", |b| b.iter(|| black_box(advisor.embed_graph(&g))));
+    let emb = advisor.embed_graph(&g);
+    c.bench_function("knn_predict", |b| {
+        b.iter(|| black_box(advisor.predict_from_embedding(&emb, MetricWeights::new(0.9))))
+    });
+    c.bench_function("recommend_end_to_end", |b| {
+        b.iter(|| black_box(advisor.recommend(ds, MetricWeights::new(0.9))))
+    });
+}
+
+fn bench_model_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ds = generate_dataset("inf", &DatasetSpec::small().single_table(), &mut rng);
+    let queries = generate_workload(
+        &ds,
+        &WorkloadSpec {
+            num_queries: 120,
+            ..WorkloadSpec::default()
+        },
+        &mut rng,
+    );
+    let labeled = label_workload(&ds, &queries).unwrap();
+    let ctx = TrainContext {
+        dataset: &ds,
+        train_queries: &labeled,
+        seed: 4,
+    };
+    let mut group = c.benchmark_group("model_inference");
+    for kind in [
+        ModelKind::Postgres,
+        ModelKind::LwNn,
+        ModelKind::LwXgb,
+        ModelKind::Mscn,
+        ModelKind::DeepDb,
+        ModelKind::BayesCard,
+        ModelKind::NeuroCard,
+    ] {
+        let model = build_model(kind, &ctx);
+        let q = &labeled[0].query;
+        group.bench_function(kind.name(), |b| b.iter(|| black_box(model.estimate(q))));
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = generate_dataset("opt", &DatasetSpec::small().multi_table(), &mut rng);
+    let indexes = DatasetIndexes::build(&ds);
+    let oracle = TrueCardEstimator::new(&ds);
+    let queries = generate_workload(
+        &ds,
+        &WorkloadSpec {
+            num_queries: 10,
+            ..WorkloadSpec::default()
+        },
+        &mut rng,
+    );
+    c.bench_function("optimize_query_dp", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(optimize_query(&ds, q, &oracle, &indexes));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_feature_extraction,
+        bench_advisor_paths,
+        bench_model_inference,
+        bench_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Runs every table/figure reproduction in sequence (the full evaluation).
+fn main() {
+    let scale = ce_bench::Scale::from_env();
+    eprintln!("[all_experiments] AUTOCE_SCALE={}", scale.0);
+    ce_bench::experiments::table1::run(scale);
+    ce_bench::experiments::fig1::run(scale);
+    ce_bench::experiments::fig7::run(scale);
+    ce_bench::experiments::fig8::run(scale);
+    ce_bench::experiments::fig9::run(scale);
+    ce_bench::experiments::fig10::run(scale);
+    ce_bench::experiments::fig11::run(scale);
+    ce_bench::experiments::fig12::run(scale);
+    ce_bench::experiments::fig13::run(scale);
+    ce_bench::experiments::table2::run(scale);
+    ce_bench::experiments::table3::run(scale);
+    ce_bench::experiments::table4::run(scale);
+    ce_bench::experiments::table5::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 (see DESIGN.md experiment index).
+fn main() {
+    let scale = ce_bench::Scale::from_env();
+    eprintln!("[fig10_realworld] running at AUTOCE_SCALE={}", scale.0);
+    ce_bench::experiments::fig10::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig1 (see DESIGN.md experiment index).
+fn main() {
+    let scale = ce_bench::Scale::from_env();
+    eprintln!("[fig1_motivation] running at AUTOCE_SCALE={}", scale.0);
+    ce_bench::experiments::fig1::run(scale);
+}

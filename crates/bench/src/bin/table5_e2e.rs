@@ -1,0 +1,6 @@
+//! Regenerates the paper's table5 (see DESIGN.md experiment index).
+fn main() {
+    let scale = ce_bench::Scale::from_env();
+    eprintln!("[table5_e2e] running at AUTOCE_SCALE={}", scale.0);
+    ce_bench::experiments::table5::run(scale);
+}

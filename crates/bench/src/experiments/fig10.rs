@@ -1,0 +1,86 @@
+//! Figure 10 — efficacy on real-world datasets (IMDB-20 / STATS-20).
+//!
+//! The advisor trains on synthetic data only and is tested on the 20-split
+//! samples of the real-world simulators — the generalization claim of the
+//! paper ("AutoCE works on the real-world datasets by using the
+//! feature-driven learning method").
+
+use crate::harness::{
+    build_corpus, cached_labels, default_dml, eval_selector, mean, train_default_advisor, Scale,
+};
+use crate::report::{f3, Report};
+use autoce::{KnnFeatureSelector, MlpSelector, RuleSelector, SamplingSelector, Selector};
+use ce_datagen::realworld::{imdb_like, split_samples, stats_like};
+use ce_features::FeatureConfig;
+use ce_models::SELECTABLE_MODELS;
+use ce_storage::Dataset;
+use ce_testbed::{DatasetLabel, MetricWeights, TestbedConfig};
+use ce_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds IMDB-20 / STATS-20 style testing samples with labels.
+pub fn realworld_testsets(
+    scale: Scale,
+    testbed: &TestbedConfig,
+) -> (Vec<Dataset>, Vec<DatasetLabel>, Vec<Dataset>, Vec<DatasetLabel>) {
+    let mut rng = StdRng::seed_from_u64(0xf10);
+    let n = scale.count(20, 10);
+    let imdb = imdb_like(0.02 * scale.0, &mut rng);
+    let stats = stats_like(0.02 * scale.0, &mut rng);
+    let imdb20 = split_samples(&imdb, n, &mut rng);
+    let stats20 = split_samples(&stats, n, &mut rng);
+    let imdb_labels = cached_labels("imdb20", &imdb20, testbed, 0x1111);
+    let stats_labels = cached_labels("stats20", &stats20, testbed, 0x2222);
+    (imdb20, imdb_labels, stats20, stats_labels)
+}
+
+/// Runs the experiment and writes `results/fig10.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0xf10);
+    let advisor = train_default_advisor(&corpus, scale, 101);
+    let feature = FeatureConfig::default();
+    let knn = KnnFeatureSelector::build(&corpus.train_datasets, &corpus.train_labels, feature, 2);
+    let rule = RuleSelector::new(SELECTABLE_MODELS.to_vec(), 102);
+    let sampling = SamplingSelector::new(
+        0.2,
+        TestbedConfig {
+            models: SELECTABLE_MODELS.to_vec(),
+            train_queries: 60,
+            test_queries: 30,
+            workload: WorkloadSpec::default(),
+        },
+        103,
+    );
+    let (imdb20, imdb_labels, stats20, stats_labels) =
+        realworld_testsets(scale, &corpus.testbed);
+
+    let w = MetricWeights::new(0.9);
+    let mlp = MlpSelector::train(
+        &corpus.train_datasets,
+        &corpus.train_labels,
+        w,
+        feature,
+        &default_dml(scale),
+        104,
+    );
+
+    let mut r = Report::new("fig10", "efficacy on real-world datasets (mean D-error, w_a = 0.9)");
+    r.header(&["selector", "IMDB-20", "STATS-20"]);
+    let selectors: Vec<(&str, &dyn Selector)> = vec![
+        ("AutoCE", &advisor),
+        ("MLP", &mlp),
+        ("Rule", &rule),
+        ("Sampling", &sampling),
+        ("Knn", &knn),
+    ];
+    let mut series = Vec::new();
+    for (name, sel) in selectors {
+        let di = mean(&eval_selector(sel, &imdb20, &imdb_labels, w));
+        let ds = mean(&eval_selector(sel, &stats20, &stats_labels, w));
+        r.row(vec![name.to_string(), f3(di), f3(ds)]);
+        series.push(serde_json::json!({"selector": name, "imdb20": di, "stats20": ds}));
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

@@ -1,0 +1,112 @@
+//! Figure 11 — ablations of the two core components.
+//!
+//! (a) Deep metric learning: AutoCE vs. the MSE-regression head
+//!     ("Without DML") at `w_a ∈ {0.9, 0.7, 0.5}`.
+//! (b) Incremental learning: AutoCE vs. "No Augmentation" (incremental
+//!     retraining without Mixup) vs. "Without IL", across training-data
+//!     fractions 70-100%.
+
+use crate::harness::{
+    build_corpus, default_dml, eval_selector, mean, train_advisor, Corpus, Scale,
+};
+use crate::report::{f3, Report};
+use autoce::{AutoCe, IncrementalConfig, RegressionSelector};
+use ce_features::FeatureConfig;
+use ce_gnn::LossKind;
+use ce_models::SELECTABLE_MODELS;
+use ce_testbed::MetricWeights;
+
+fn truncated(corpus: &Corpus, fraction: f64) -> Corpus {
+    let n = ((corpus.train_datasets.len() as f64) * fraction).round() as usize;
+    Corpus {
+        train_datasets: corpus.train_datasets[..n].to_vec(),
+        train_labels: corpus.train_labels[..n].to_vec(),
+        test_datasets: corpus.test_datasets.clone(),
+        test_labels: corpus.test_labels.clone(),
+        testbed: corpus.testbed.clone(),
+    }
+}
+
+fn train_variant(corpus: &Corpus, scale: Scale, il: Option<IncrementalConfig>, seed: u64) -> AutoCe {
+    train_advisor(corpus, scale, LossKind::Weighted, il, &SELECTABLE_MODELS, seed)
+}
+
+/// Runs both ablations and writes `results/fig11.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0xf11);
+
+    // (a) DML ablation.
+    let advisor = train_variant(&corpus, scale, Some(IncrementalConfig::default()), 111);
+    let mut r = Report::new("fig11", "ablations of DML and incremental learning");
+    r.header(&["part", "setting", "config", "mean D-error"]);
+    let mut series = Vec::new();
+    for wa in [0.9, 0.7, 0.5] {
+        let w = MetricWeights::new(wa);
+        let without_dml = RegressionSelector::train(
+            &corpus.train_datasets,
+            &corpus.train_labels,
+            w,
+            FeatureConfig::default(),
+            &default_dml(scale),
+            112,
+        );
+        let d_auto = mean(&eval_selector(
+            &advisor,
+            &corpus.test_datasets,
+            &corpus.test_labels,
+            w,
+        ));
+        let d_reg = mean(&eval_selector(
+            &without_dml,
+            &corpus.test_datasets,
+            &corpus.test_labels,
+            w,
+        ));
+        r.row(vec!["a".into(), format!("wa={wa}"), "AutoCE".into(), f3(d_auto)]);
+        r.row(vec![
+            "a".into(),
+            format!("wa={wa}"),
+            "Without DML".into(),
+            f3(d_reg),
+        ]);
+        series.push(serde_json::json!({
+            "part": "dml", "wa": wa, "autoce": d_auto, "without_dml": d_reg
+        }));
+    }
+
+    // (b) IL ablation across training fractions.
+    let w = MetricWeights::new(0.9);
+    for fraction in [0.7, 0.8, 0.9, 1.0] {
+        let sub = truncated(&corpus, fraction);
+        let full = train_variant(&sub, scale, Some(IncrementalConfig::default()), 113);
+        let no_aug = train_variant(
+            &sub,
+            scale,
+            Some(IncrementalConfig {
+                augment: false,
+                ..IncrementalConfig::default()
+            }),
+            113,
+        );
+        let without_il = train_variant(&sub, scale, None, 113);
+        let variants: [(&str, &AutoCe); 3] = [
+            ("AutoCE", &full),
+            ("No Augmentation", &no_aug),
+            ("Without IL", &without_il),
+        ];
+        for (name, sel) in variants {
+            let d = mean(&eval_selector(sel, &sub.test_datasets, &sub.test_labels, w));
+            r.row(vec![
+                "b".into(),
+                format!("{:.0}% data", fraction * 100.0),
+                name.to_string(),
+                f3(d),
+            ]);
+            series.push(serde_json::json!({
+                "part": "il", "fraction": fraction, "config": name, "d_error": d
+            }));
+        }
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

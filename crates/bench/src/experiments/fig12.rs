@@ -1,0 +1,81 @@
+//! Figure 12 — AutoCE vs. online learning methods (Sampling,
+//! Learning-All): selection overhead, Q-error and D-error.
+//!
+//! The paper's point: online learning must train models per dataset
+//! (minutes to hours), while AutoCE only extracts features and runs one
+//! KNN lookup (sub-second) at near-Learning-All quality.
+
+use crate::harness::{build_corpus, mean, train_default_advisor, Scale};
+use crate::report::{f3, Report};
+use autoce::{LearningAllSelector, SamplingSelector, Selector};
+use ce_models::SELECTABLE_MODELS;
+use ce_testbed::{MetricWeights, TestbedConfig};
+use ce_workload::WorkloadSpec;
+use std::time::Instant;
+
+/// Runs the experiment and writes `results/fig12.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0xf12);
+    let advisor = train_default_advisor(&corpus, scale, 121);
+    let sample_budget = TestbedConfig {
+        models: SELECTABLE_MODELS.to_vec(),
+        train_queries: 60,
+        test_queries: 30,
+        workload: WorkloadSpec::default(),
+    };
+    let sampling = SamplingSelector::new(0.2, sample_budget.clone(), 122);
+    let learning_all = LearningAllSelector::new(sample_budget, 123);
+    let w = MetricWeights::new(0.9);
+
+    let mut r = Report::new("fig12", "AutoCE vs online learning (efficiency / Q-error / D-error)");
+    r.header(&[
+        "#datasets",
+        "method",
+        "selection time (s)",
+        "mean Q-error of choice",
+        "mean D-error",
+    ]);
+    let sizes = [
+        scale.count(4, 2),
+        scale.count(10, 4),
+        corpus.test_datasets.len(),
+    ];
+    let mut series = Vec::new();
+    for &n in &sizes {
+        let datasets = &corpus.test_datasets[..n.min(corpus.test_datasets.len())];
+        let labels = &corpus.test_labels[..datasets.len()];
+        let methods: Vec<(&str, &dyn Selector)> = vec![
+            ("AutoCE", &advisor),
+            ("Sampling", &sampling),
+            ("Learning-All", &learning_all),
+        ];
+        for (name, sel) in methods {
+            let t0 = Instant::now();
+            let choices: Vec<_> = datasets.iter().map(|ds| sel.select(ds, w)).collect();
+            let secs = t0.elapsed().as_secs_f64();
+            let qerr: Vec<f64> = choices
+                .iter()
+                .zip(labels)
+                .map(|(kind, l)| l.qerror_of(*kind))
+                .collect();
+            let derr: Vec<f64> = choices
+                .iter()
+                .zip(labels)
+                .map(|(kind, l)| l.d_error_of(*kind, w))
+                .collect();
+            r.row(vec![
+                n.to_string(),
+                name.to_string(),
+                f3(secs),
+                f3(mean(&qerr)),
+                f3(mean(&derr)),
+            ]);
+            series.push(serde_json::json!({
+                "n": n, "method": name, "secs": secs,
+                "q_error": mean(&qerr), "d_error": mean(&derr)
+            }));
+        }
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

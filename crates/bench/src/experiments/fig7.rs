@@ -1,0 +1,40 @@
+//! Figure 7 — weighted contrastive loss vs. basic contrastive loss.
+//!
+//! Two advisors trained identically except for the loss; compared by mean
+//! D-error on held-out synthetic datasets at `w_q ∈ {0.9, 0.7, 0.5}`.
+
+use crate::harness::{build_corpus, eval_selector, mean, train_advisor, Scale};
+use crate::report::{f3, Report};
+use ce_gnn::LossKind;
+use ce_models::SELECTABLE_MODELS;
+use ce_testbed::MetricWeights;
+
+/// Runs the experiment and writes `results/fig7.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0xf7);
+    let weighted = train_advisor(&corpus, scale, LossKind::Weighted, None, &SELECTABLE_MODELS, 71);
+    let basic = train_advisor(&corpus, scale, LossKind::Basic, None, &SELECTABLE_MODELS, 71);
+
+    let mut r = Report::new("fig7", "weighted vs basic contrastive loss (mean D-error)");
+    r.header(&["w_q", "weighted", "basic"]);
+    let mut series = Vec::new();
+    for wq in [0.9, 0.7, 0.5] {
+        let w = MetricWeights::new(wq);
+        let dw = mean(&eval_selector(
+            &weighted,
+            &corpus.test_datasets,
+            &corpus.test_labels,
+            w,
+        ));
+        let db = mean(&eval_selector(
+            &basic,
+            &corpus.test_datasets,
+            &corpus.test_labels,
+            w,
+        ));
+        r.row(vec![format!("{wq}"), f3(dw), f3(db)]);
+        series.push(serde_json::json!({"wq": wq, "weighted": dw, "basic": db}));
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

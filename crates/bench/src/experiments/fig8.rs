@@ -1,0 +1,80 @@
+//! Figure 8 — AutoCE vs. the four selection strategies (MLP, Rule,
+//! Sampling, Knn) across accuracy weights.
+//!
+//! Reports the D-error overall plus the Q-error / latency breakdown of the
+//! chosen models, per accuracy weight from 1.0 down to 0.1.
+
+use crate::harness::{
+    build_corpus, default_dml, eval_selector_breakdown, train_default_advisor, Scale,
+};
+use crate::report::{f3, Report};
+use autoce::{KnnFeatureSelector, MlpSelector, RuleSelector, SamplingSelector, Selector};
+use ce_features::FeatureConfig;
+use ce_models::SELECTABLE_MODELS;
+use ce_testbed::{MetricWeights, TestbedConfig};
+use ce_workload::WorkloadSpec;
+
+/// Runs the experiment and writes `results/fig8.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0xf8);
+    let advisor = train_default_advisor(&corpus, scale, 81);
+    let feature = FeatureConfig::default();
+    let knn = KnnFeatureSelector::build(&corpus.train_datasets, &corpus.train_labels, feature, 2);
+    let rule = RuleSelector::new(SELECTABLE_MODELS.to_vec(), 82);
+    let sampling = SamplingSelector::new(
+        0.2,
+        TestbedConfig {
+            models: SELECTABLE_MODELS.to_vec(),
+            train_queries: 60,
+            test_queries: 30,
+            workload: WorkloadSpec::default(),
+        },
+        83,
+    );
+
+    let mut r = Report::new(
+        "fig8",
+        "AutoCE vs selection strategies (D-error / Q-error / latency)",
+    );
+    r.header(&[
+        "w_a", "selector", "mean D-error", "mean Q-error", "mean latency µs",
+    ]);
+    let weights = [1.0, 0.9, 0.7, 0.5, 0.3, 0.1];
+    let mut series = Vec::new();
+    for &wa in &weights {
+        let w = MetricWeights::new(wa);
+        // The MLP classifier is trained per weighting (it classifies the
+        // best model at that weighting).
+        let mlp = MlpSelector::train(
+            &corpus.train_datasets,
+            &corpus.train_labels,
+            w,
+            feature,
+            &default_dml(scale),
+            84,
+        );
+        let selectors: Vec<(&str, &dyn Selector)> = vec![
+            ("AutoCE", &advisor),
+            ("MLP", &mlp),
+            ("Rule", &rule),
+            ("Sampling", &sampling),
+            ("Knn", &knn),
+        ];
+        for (name, sel) in selectors {
+            let (d, q, l) =
+                eval_selector_breakdown(sel, &corpus.test_datasets, &corpus.test_labels, w);
+            r.row(vec![
+                format!("{wa}"),
+                name.to_string(),
+                f3(d),
+                f3(q),
+                f3(l),
+            ]);
+            series.push(serde_json::json!({
+                "wa": wa, "selector": name, "d_error": d, "q_error": q, "latency_us": l
+            }));
+        }
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

@@ -1,0 +1,85 @@
+//! Table II — recommendation accuracy of the five advisors over synthetic
+//! and real-world datasets, at `ε ∈ {0.1, 0.15, 0.2}` and
+//! `w_a ∈ {1.0, 0.9, 0.7}`.
+
+use crate::experiments::fig10::realworld_testsets;
+use crate::harness::{
+    accuracy, build_corpus, default_dml, eval_selector, train_default_advisor, Scale,
+};
+use crate::report::{pct, Report};
+use autoce::{KnnFeatureSelector, MlpSelector, RuleSelector, SamplingSelector, Selector};
+use ce_features::FeatureConfig;
+use ce_models::SELECTABLE_MODELS;
+use ce_testbed::{MetricWeights, TestbedConfig};
+use ce_workload::WorkloadSpec;
+
+/// Runs the experiment and writes `results/table2.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0x7ab2);
+    let advisor = train_default_advisor(&corpus, scale, 201);
+    let feature = FeatureConfig::default();
+    let knn = KnnFeatureSelector::build(&corpus.train_datasets, &corpus.train_labels, feature, 2);
+    let rule = RuleSelector::new(SELECTABLE_MODELS.to_vec(), 202);
+    let sampling = SamplingSelector::new(
+        0.2,
+        TestbedConfig {
+            models: SELECTABLE_MODELS.to_vec(),
+            train_queries: 60,
+            test_queries: 30,
+            workload: WorkloadSpec::default(),
+        },
+        203,
+    );
+    let (imdb20, imdb_labels, stats20, stats_labels) =
+        realworld_testsets(scale, &corpus.testbed);
+
+    let mut r = Report::new("table2", "recommendation accuracy (fraction with D-error <= eps)");
+    r.header(&["datasets", "w_a", "advisor", "eps=0.1", "eps=0.15", "eps=0.2"]);
+    let mut series = Vec::new();
+    let suites: [(&str, &[ce_storage::Dataset], &[ce_testbed::DatasetLabel]); 3] = [
+        ("Synthetic", &corpus.test_datasets, &corpus.test_labels),
+        ("IMDB-20", &imdb20, &imdb_labels),
+        ("STATS-20", &stats20, &stats_labels),
+    ];
+    for wa in [1.0, 0.9, 0.7] {
+        let w = MetricWeights::new(wa);
+        let mlp = MlpSelector::train(
+            &corpus.train_datasets,
+            &corpus.train_labels,
+            w,
+            feature,
+            &default_dml(scale),
+            204,
+        );
+        for (suite, datasets, labels) in suites.iter() {
+            let selectors: Vec<(&str, &dyn Selector)> = vec![
+                ("MLP-based", &mlp),
+                ("Rule-based", &rule),
+                ("Knn-based", &knn),
+                ("Sampling", &sampling),
+                ("AutoCE", &advisor),
+            ];
+            for (name, sel) in selectors {
+                let derrs = eval_selector(sel, datasets, labels, w);
+                let accs: Vec<f64> = [0.1, 0.15, 0.2]
+                    .iter()
+                    .map(|&e| accuracy(&derrs, e))
+                    .collect();
+                r.row(vec![
+                    suite.to_string(),
+                    format!("{wa}"),
+                    name.to_string(),
+                    pct(accs[0]),
+                    pct(accs[1]),
+                    pct(accs[2]),
+                ]);
+                series.push(serde_json::json!({
+                    "suite": suite, "wa": wa, "advisor": name,
+                    "acc_0.10": accs[0], "acc_0.15": accs[1], "acc_0.20": accs[2]
+                }));
+            }
+        }
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

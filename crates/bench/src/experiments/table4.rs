@@ -1,0 +1,39 @@
+//! Table IV — AutoCE's D-error under different KNN `k`.
+//!
+//! The paper finds `k = 2` best: `k = 1` is hostage to a single neighbor,
+//! `k ≥ 3` pulls in far-away embeddings.
+
+use crate::harness::{build_corpus, eval_selector, mean, train_default_advisor, Scale};
+use crate::report::{pct, Report};
+use ce_models::SELECTABLE_MODELS;
+use ce_testbed::MetricWeights;
+
+/// Runs the experiment and writes `results/table4.json`.
+pub fn run(scale: Scale) {
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0x7ab4);
+    let mut advisor = train_default_advisor(&corpus, scale, 401);
+
+    let mut r = Report::new("table4", "AutoCE D-error under different k");
+    r.header(&["w_a", "k=1", "k=2", "k=3", "k=4", "k=5"]);
+    let mut series = Vec::new();
+    for wa in [1.0, 0.9, 0.7, 0.5] {
+        let w = MetricWeights::new(wa);
+        let mut row = vec![format!("{wa}")];
+        let mut entry = serde_json::json!({"wa": wa});
+        for k in 1..=5usize {
+            advisor.set_k(k);
+            let d = mean(&eval_selector(
+                &advisor,
+                &corpus.test_datasets,
+                &corpus.test_labels,
+                w,
+            ));
+            row.push(pct(d));
+            entry[format!("k{k}")] = serde_json::json!(d);
+        }
+        r.row(row);
+        series.push(entry);
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

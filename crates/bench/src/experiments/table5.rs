@@ -1,0 +1,161 @@
+//! Table V — end-to-end latency with injected cardinalities (the
+//! PostgreSQL experiment, run against the `ce-optsim` substitute).
+//!
+//! Per dataset every estimator is trained once; each then drives the
+//! cost-based optimizer over the same workload and the chosen plans are
+//! physically executed. AutoCE rows reuse the per-dataset models, picking
+//! per dataset whichever model the advisor recommends at the given
+//! weighting. Reported per group (single-table / multi-table): total
+//! running time, total inference time, and improvement over PostgreSQL.
+
+use crate::harness::{build_corpus, train_default_advisor, Scale};
+use crate::report::{f3, pct, Report};
+use autoce::Selector;
+use ce_datagen::{generate_batch, DatasetSpec};
+use ce_models::{build_model, CardEstimator, ModelKind, TrainContext, SELECTABLE_MODELS};
+use ce_optsim::{run_workload, DatasetIndexes, TrueCardEstimator};
+use ce_testbed::MetricWeights;
+use ce_workload::{generate_workload, label_workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Accumulated E2E numbers for one estimator row.
+#[derive(Default, Clone)]
+struct Row {
+    execution: f64,
+    inference: f64,
+}
+
+/// Runs the experiment and writes `results/table5.json`.
+pub fn run(scale: Scale) {
+    // Advisor trained on the standard synthetic corpus.
+    let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0x7ab5);
+    let advisor = train_default_advisor(&corpus, scale, 501);
+
+    let mut rng = StdRng::seed_from_u64(0x7ab5);
+    let n_each = scale.count(5, 3);
+    // E2E datasets are larger than the labeling corpus: plan quality only
+    // costs real wall-clock time when joins are big enough that a wrong
+    // operator or order hurts (the paper's multi-table runs take hours).
+    let mut spec = DatasetSpec::small();
+    spec.rows = ce_datagen::SpecRange { lo: 4_000, hi: 9_000 };
+    let singles = generate_batch("e2e-s", n_each, &spec.clone().single_table(), &mut rng);
+    let multis = generate_batch("e2e-m", n_each, &spec.multi_table(), &mut rng);
+    let queries_per_ds = scale.count(40, 20);
+
+    let mut rows: HashMap<(&'static str, String), Row> = HashMap::new();
+    let mut add = |group: &'static str, name: String, exec: f64, inf: f64| {
+        let e = rows.entry((group, name)).or_default();
+        e.execution += exec;
+        e.inference += inf;
+    };
+
+    for (group, datasets) in [("single", &singles), ("multi", &multis)] {
+        for ds in datasets.iter() {
+            let indexes = DatasetIndexes::build(ds);
+            let mut wrng = StdRng::seed_from_u64(0x515 ^ ds.total_rows() as u64);
+            let all = generate_workload(
+                ds,
+                &WorkloadSpec {
+                    num_queries: queries_per_ds + 120,
+                    ..WorkloadSpec::default()
+                },
+                &mut wrng,
+            );
+            let labeled = label_workload(ds, &all).expect("workload validates");
+            let (train, test) = ce_workload::label::train_test_split(labeled, 0.75);
+            let test_queries: Vec<_> = test
+                .into_iter()
+                .take(queries_per_ds)
+                .map(|lq| lq.query)
+                .collect();
+
+            // Train every estimator once for this dataset.
+            let ctx = TrainContext {
+                dataset: ds,
+                train_queries: &train,
+                seed: 0x7ab5,
+            };
+            let mut models: HashMap<ModelKind, Box<dyn CardEstimator>> = HashMap::new();
+            for kind in [
+                ModelKind::Postgres,
+                ModelKind::BayesCard,
+                ModelKind::DeepDb,
+                ModelKind::Mscn,
+                ModelKind::NeuroCard,
+                ModelKind::Uae,
+                ModelKind::LwNn,
+                ModelKind::LwXgb,
+            ] {
+                models.insert(kind, build_model(kind, &ctx));
+            }
+            let oracle = TrueCardEstimator::new(ds);
+
+            // Fixed-estimator rows.
+            let rep = run_workload(ds, &test_queries, &oracle, &indexes);
+            add(group, "TrueCard".into(), rep.execution_secs, rep.inference_secs);
+            for (kind, model) in &models {
+                let rep = run_workload(ds, &test_queries, model.as_ref(), &indexes);
+                add(group, kind.name().into(), rep.execution_secs, rep.inference_secs);
+            }
+            // AutoCE rows: recommendation decides which trained model runs.
+            for wa in [0.5, 1.0] {
+                let choice = advisor.select(ds, MetricWeights::new(wa));
+                let model = models
+                    .get(&choice)
+                    .expect("advisor recommends a trained model");
+                let rep = run_workload(ds, &test_queries, model.as_ref(), &indexes);
+                add(
+                    group,
+                    format!("AutoCE(wa={wa})"),
+                    rep.execution_secs,
+                    rep.inference_secs,
+                );
+            }
+        }
+    }
+
+    let baseline: HashMap<&'static str, f64> = [("single", 0.0f64), ("multi", 0.0)]
+        .iter()
+        .map(|&(g, _)| {
+            let b = rows
+                .get(&(g, "Postgres".to_string()))
+                .map(|r| r.execution + r.inference)
+                .unwrap_or(0.0);
+            (g, b)
+        })
+        .collect();
+
+    let mut r = Report::new("table5", "end-to-end latency with injected cardinalities");
+    r.header(&[
+        "group",
+        "estimator",
+        "running (s)",
+        "inference (s)",
+        "improvement vs Postgres",
+    ]);
+    let mut keys: Vec<_> = rows.keys().cloned().collect();
+    keys.sort();
+    let mut series = Vec::new();
+    for (group, name) in keys {
+        let row = &rows[&(group, name.clone())];
+        let total = row.execution + row.inference;
+        let base = baseline[group];
+        let imp = if base > 0.0 { (base - total) / base } else { 0.0 };
+        r.row(vec![
+            group.to_string(),
+            name.clone(),
+            f3(row.execution),
+            f3(row.inference),
+            pct(imp),
+        ]);
+        series.push(serde_json::json!({
+            "group": group, "estimator": name,
+            "execution_secs": row.execution, "inference_secs": row.inference,
+            "improvement": imp
+        }));
+    }
+    r.set("series", serde_json::Value::Array(series));
+    r.finish();
+}

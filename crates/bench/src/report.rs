@@ -1,0 +1,136 @@
+//! Experiment output: aligned text tables + JSON records under `results/`.
+
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// Accumulates one experiment's output.
+pub struct Report {
+    id: String,
+    title: String,
+    rows: Vec<Vec<String>>,
+    header: Vec<String>,
+    json: serde_json::Map<String, Value>,
+}
+
+impl Report {
+    /// Starts a report for experiment `id` (e.g. `"fig9"`).
+    pub fn new(id: &str, title: &str) -> Self {
+        println!("== {id}: {title} ==");
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            rows: Vec::new(),
+            header: Vec::new(),
+            json: serde_json::Map::new(),
+        }
+    }
+
+    /// Sets the table header.
+    pub fn header(&mut self, cols: &[&str]) -> &mut Self {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Adds one table row.
+    pub fn row(&mut self, cols: Vec<String>) -> &mut Self {
+        self.rows.push(cols);
+        self
+    }
+
+    /// Attaches a JSON field to the record.
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Self {
+        self.json.insert(key.to_string(), value);
+        self
+    }
+
+    /// Prints the table and writes `results/<id>.json`.
+    pub fn finish(&mut self) {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+        };
+        if !self.header.is_empty() {
+            println!("{}", fmt_row(&self.header, &widths));
+            println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum()));
+        }
+        for r in &self.rows {
+            println!("{}", fmt_row(r, &widths));
+        }
+        println!();
+
+        self.json
+            .insert("experiment".into(), Value::String(self.id.clone()));
+        self.json
+            .insert("title".into(), Value::String(self.title.clone()));
+        if !self.header.is_empty() {
+            self.json.insert(
+                "table".into(),
+                Value::Array(
+                    std::iter::once(&self.header)
+                        .chain(self.rows.iter())
+                        .map(|r| Value::Array(r.iter().cloned().map(Value::String).collect()))
+                        .collect(),
+                ),
+            );
+        }
+        let _ = std::fs::create_dir_all("results");
+        let path = PathBuf::from("results").join(format!("{}.json", self.id));
+        if let Ok(bytes) = serde_json::to_vec_pretty(&Value::Object(self.json.clone())) {
+            let _ = std::fs::write(&path, bytes);
+            println!("[report] wrote {}", path.display());
+        }
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.275), "27.5%");
+    }
+
+    #[test]
+    fn report_roundtrip_writes_json() {
+        let dir = std::env::temp_dir().join("autoce-report-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let cwd = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let mut r = Report::new("unit", "unit test");
+        r.header(&["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.set("extra", serde_json::json!(42));
+        r.finish();
+        let written = std::fs::read_to_string(dir.join("results/unit.json")).unwrap();
+        assert!(written.contains("\"experiment\": \"unit\""));
+        std::env::set_current_dir(cwd).unwrap();
+    }
+}

@@ -1,0 +1,235 @@
+//! From-scratch gradient-boosted regression trees (the XGBoost substitute
+//! behind LW-XGB — no tree-boosting crate is in the allowed dependency set).
+//!
+//! Squared-error boosting: each round fits an exact-greedy regression tree
+//! to the current residuals and the ensemble advances by `learning_rate`
+//! times the tree's prediction. Split gain is variance reduction; leaves
+//! predict the residual mean.
+
+use serde::{Deserialize, Serialize};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds (trees).
+    pub rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage applied to every tree.
+    pub learning_rate: f32,
+    /// Minimum samples in a node to consider splitting.
+    pub min_samples_split: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            rounds: 60,
+            max_depth: 4,
+            learning_rate: 0.2,
+            min_samples_split: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f32]) -> f32 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+/// A trained boosted-tree regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    base: f32,
+    trees: Vec<Node>,
+    lr: f32,
+}
+
+impl Gbdt {
+    /// Fits on feature rows `xs` and targets `ys`.
+    pub fn fit(xs: &[Vec<f32>], ys: &[f32], params: &GbdtParams) -> Self {
+        assert_eq!(xs.len(), ys.len(), "feature/target count mismatch");
+        if xs.is_empty() {
+            return Gbdt {
+                base: 0.0,
+                trees: Vec::new(),
+                lr: params.learning_rate,
+            };
+        }
+        let base = ys.iter().sum::<f32>() / ys.len() as f32;
+        let mut residuals: Vec<f32> = ys.iter().map(|&y| y - base).collect();
+        let mut trees = Vec::with_capacity(params.rounds);
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..params.rounds {
+            let tree = build_tree(xs, &residuals, &idx, params.max_depth, params);
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= params.learning_rate * tree.predict(&xs[i]);
+            }
+            trees.push(tree);
+        }
+        Gbdt {
+            base,
+            trees,
+            lr: params.learning_rate,
+        }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut y = self.base;
+        for t in &self.trees {
+            y += self.lr * t.predict(x);
+        }
+        y
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+fn mean(residuals: &[f32], idx: &[usize]) -> f32 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| residuals[i]).sum::<f32>() / idx.len() as f32
+}
+
+fn build_tree(
+    xs: &[Vec<f32>],
+    residuals: &[f32],
+    idx: &[usize],
+    depth: usize,
+    params: &GbdtParams,
+) -> Node {
+    if depth == 0 || idx.len() < params.min_samples_split {
+        return Node::Leaf {
+            value: mean(residuals, idx),
+        };
+    }
+    let dims = xs[0].len();
+    // Best split = max variance reduction, exact greedy over sorted values.
+    let total_sum: f32 = idx.iter().map(|&i| residuals[i]).sum();
+    let total_cnt = idx.len() as f32;
+    let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
+    for f in 0..dims {
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            xs[a][f]
+                .partial_cmp(&xs[b][f])
+                .expect("features are finite")
+        });
+        let mut left_sum = 0.0f32;
+        let mut left_cnt = 0.0f32;
+        for w in 0..order.len() - 1 {
+            left_sum += residuals[order[w]];
+            left_cnt += 1.0;
+            let (xa, xb) = (xs[order[w]][f], xs[order[w + 1]][f]);
+            if xa == xb {
+                continue; // cannot split between equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_cnt = total_cnt - left_cnt;
+            // Variance-reduction gain ∝ n_l·mean_l² + n_r·mean_r².
+            let gain =
+                left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt
+                    - total_sum * total_sum / total_cnt;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((f, (xa + xb) * 0.5, gain));
+            }
+        }
+    }
+    let Some((feature, threshold, gain)) = best else {
+        return Node::Leaf {
+            value: mean(residuals, idx),
+        };
+    };
+    if gain <= 1e-9 {
+        return Node::Leaf {
+            value: mean(residuals, idx),
+        };
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build_tree(xs, residuals, &left_idx, depth - 1, params)),
+        right: Box::new(build_tree(xs, residuals, &right_idx, depth - 1, params)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_piecewise_function() {
+        // y = 1 if x < 0.5 else 5.
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let g = Gbdt::fit(&xs, &ys, &GbdtParams::default());
+        assert!((g.predict(&[0.2]) - 1.0).abs() < 0.2);
+        assert!((g.predict(&[0.8]) - 5.0).abs() < 0.2);
+        assert_eq!(g.num_trees(), 60);
+    }
+
+    #[test]
+    fn fits_additive_two_features() {
+        let xs: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 20) as f32 / 20.0, (i / 20) as f32 / 10.0])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0] + 3.0 * x[1]).collect();
+        let g = Gbdt::fit(&xs, &ys, &GbdtParams::default());
+        let mut mse = 0.0;
+        for (x, &y) in xs.iter().zip(&ys) {
+            let d = g.predict(x) - y;
+            mse += d * d;
+        }
+        mse /= xs.len() as f32;
+        assert!(mse < 0.05, "mse = {mse}");
+    }
+
+    #[test]
+    fn constant_target_yields_constant_prediction() {
+        let xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let ys = vec![7.0f32; 50];
+        let g = Gbdt::fit(&xs, &ys, &GbdtParams::default());
+        assert!((g.predict(&[25.0]) - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let g = Gbdt::fit(&[], &[], &GbdtParams::default());
+        assert_eq!(g.predict(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ce-models — the learned cardinality-estimation model zoo
+//!
+//! The paper's testbed implements "seven state-of-the-art CE models,
+//! including three query-driven methods, three data-driven methods, and one
+//! hybrid approach" (§IV-B1), plus a PostgreSQL estimator and an ensemble as
+//! comparison baselines (§VII-A). This crate implements all nine behind one
+//! [`CardEstimator`] trait, from scratch on the `ce-nn` substrate:
+//!
+//! | Model | Type | Reproduction |
+//! |---|---|---|
+//! | [`mscn`] MSCN | query-driven | multi-set convolutional network: per-set MLPs with average pooling over table/join/predicate sets |
+//! | [`lwnn`] LW-NN | query-driven | lightweight fully connected net on flat range encodings |
+//! | [`lwxgb`] LW-XGB | query-driven | gradient-boosted regression trees ([`gbdt`], from scratch) |
+//! | [`spn`] DeepDB | data-driven | sum-product network: k-means sum splits, correlation-driven product splits, histogram leaves |
+//! | [`bayescard`] BayesCard | data-driven | Chow-Liu tree Bayesian network with CPT message passing |
+//! | [`neurocard`] NeuroCard | data-driven | autoregressive model ([`ar`]) over full-join samples + progressive sampling |
+//! | [`uae`] UAE | hybrid | the autoregressive model additionally calibrated from training queries |
+//! | [`postgres`] PostgreSQL | baseline | equi-depth histograms + independence + System-R join formula |
+//! | [`ensemble`] Ensemble | baseline | performance-weighted log-space average of all models |
+//!
+//! Multi-table estimation for the per-table data-driven models goes through
+//! [`joinglue`] (precomputed full-join sizes of every connected join
+//! subtree), mirroring DeepDB's fanout method.
+
+pub mod ar;
+pub mod bayescard;
+pub mod encoding;
+pub mod ensemble;
+pub mod gbdt;
+pub mod joinglue;
+pub mod lwnn;
+pub mod lwxgb;
+pub mod mscn;
+pub mod neurocard;
+pub mod postgres;
+pub mod spn;
+pub mod traits;
+pub mod uae;
+
+pub use traits::{build_model, CardEstimator, ModelKind, TrainContext, ALL_MODELS, SELECTABLE_MODELS};

@@ -1,0 +1,254 @@
+//! MSCN — multi-set convolutional network (Kipf et al., CIDR 2019).
+//!
+//! Three per-element MLPs embed the table set, the join set and the
+//! predicate set; each set is average-pooled; the pooled embeddings are
+//! concatenated and fed through an output MLP with sigmoid head regressing
+//! the normalized log-cardinality. Gradients flow through the pooling back
+//! into the set MLPs (the pooled mean distributes the incoming gradient
+//! equally over set elements).
+
+use crate::encoding::SchemaEncoder;
+use crate::traits::{CardEstimator, ModelKind, TrainContext};
+use ce_nn::loss::mse_loss;
+use ce_nn::{Activation, Matrix, Mlp};
+use ce_storage::{Query, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hidden width of every sub-network.
+const HID: usize = 32;
+
+/// Materialized-sample size per table (the bitmap feature of the original
+/// MSCN: each query encodes which sample rows satisfy its per-table
+/// predicates; selective queries underflow to an all-zero bitmap, which is
+/// MSCN's characteristic failure mode).
+const SAMPLE_BITS: usize = 96;
+
+/// Trained MSCN model.
+pub struct Mscn {
+    encoder: SchemaEncoder,
+    table_net: Mlp,
+    join_net: Mlp,
+    pred_net: Mlp,
+    out_net: Mlp,
+    /// Per table: `SAMPLE_BITS` sampled rows × all columns (by column idx).
+    samples: Vec<Vec<Vec<Value>>>,
+}
+
+impl Mscn {
+    /// Bitmap of sample rows of `table` satisfying the query's predicates.
+    fn bitmap(&self, query: &Query, table: usize) -> Vec<f32> {
+        let preds = query.predicates_on(table);
+        self.samples[table]
+            .iter()
+            .map(|row| {
+                let ok = preds.iter().all(|p| p.matches(row[p.column]));
+                if ok {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .chain(std::iter::repeat(0.0))
+            .take(SAMPLE_BITS)
+            .collect()
+    }
+
+    /// Table-set features with the sample bitmap appended.
+    fn table_features(&self, query: &Query) -> Vec<Vec<f32>> {
+        let sets = self.encoder.encode_sets(query);
+        sets.tables
+            .iter()
+            .zip(&query.tables)
+            .map(|(base, &t)| {
+                let mut f = base.clone();
+                f.extend(self.bitmap(query, t));
+                f
+            })
+            .collect()
+    }
+}
+
+impl Mscn {
+    const EPOCHS: usize = 30;
+    const LR: f32 = 2e-3;
+
+    /// Trains from the labeled query workload.
+    pub fn train(ctx: &TrainContext<'_>) -> Self {
+        let encoder = SchemaEncoder::capture(ctx.dataset);
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x35c2);
+        // Materialize per-table samples for the bitmap feature.
+        let samples: Vec<Vec<Vec<Value>>> = ctx
+            .dataset
+            .tables
+            .iter()
+            .map(|t| {
+                let n = t.num_rows();
+                (0..SAMPLE_BITS.min(n))
+                    .map(|_| {
+                        let r = rand::Rng::gen_range(&mut rng, 0..n);
+                        t.columns.iter().map(|c| c.data[r]).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut model = Mscn {
+            samples,
+            table_net: Mlp::new(
+                &[encoder.table_feat_dim() + SAMPLE_BITS, HID, HID],
+                Activation::Relu,
+                Activation::Relu,
+                &mut rng,
+            ),
+            join_net: Mlp::new(
+                &[encoder.join_feat_dim(), HID, HID],
+                Activation::Relu,
+                Activation::Relu,
+                &mut rng,
+            ),
+            pred_net: Mlp::new(
+                &[encoder.pred_feat_dim(), HID, HID],
+                Activation::Relu,
+                Activation::Relu,
+                &mut rng,
+            ),
+            out_net: Mlp::new(
+                &[3 * HID, HID, 1],
+                Activation::Relu,
+                Activation::Sigmoid,
+                &mut rng,
+            ),
+            encoder,
+        };
+        let labels: Vec<f32> = ctx
+            .train_queries
+            .iter()
+            .map(|lq| model.encoder.normalize_card(lq.true_card as f64))
+            .collect();
+        let mut order: Vec<usize> = (0..ctx.train_queries.len()).collect();
+        for _ in 0..Self::EPOCHS {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                model.train_one(&ctx.train_queries[i].query, labels[i]);
+            }
+        }
+        model
+    }
+
+    /// Pools a set through `net` (training mode); empty sets pool to zeros.
+    fn pool(net: &mut Mlp, set: &[Vec<f32>]) -> (Matrix, usize) {
+        if set.is_empty() {
+            return (Matrix::zeros(1, HID), 0);
+        }
+        let x = Matrix::from_rows(set.to_vec());
+        let h = net.forward(&x);
+        (h.mean_rows(), set.len())
+    }
+
+    /// One SGD step on a single query.
+    fn train_one(&mut self, query: &Query, label: f32) {
+        let table_feats = self.table_features(query);
+        let sets = self.encoder.encode_sets(query);
+        let (pt, nt) = Self::pool(&mut self.table_net, &table_feats);
+        let (pj, nj) = Self::pool(&mut self.join_net, &sets.joins);
+        let (pp, np) = Self::pool(&mut self.pred_net, &sets.predicates);
+        let concat = pt.hconcat(&pj).hconcat(&pp);
+        let pred = self.out_net.forward(&concat);
+        let (_, grad) = mse_loss(&pred, &Matrix::row_vector(&[label]));
+        let gin = self.out_net.backward(&grad);
+        // Split the concat gradient back to the three pooled embeddings and
+        // distribute over set elements (mean pooling → grad / n each).
+        let g = gin.row(0);
+        if nt > 0 {
+            let mut ge = Matrix::zeros(nt, HID);
+            for r in 0..nt {
+                for c in 0..HID {
+                    *ge.get_mut(r, c) = g[c] / nt as f32;
+                }
+            }
+            self.table_net.backward(&ge);
+        }
+        if nj > 0 {
+            let mut ge = Matrix::zeros(nj, HID);
+            for r in 0..nj {
+                for c in 0..HID {
+                    *ge.get_mut(r, c) = g[HID + c] / nj as f32;
+                }
+            }
+            self.join_net.backward(&ge);
+        }
+        if np > 0 {
+            let mut ge = Matrix::zeros(np, HID);
+            for r in 0..np {
+                for c in 0..HID {
+                    *ge.get_mut(r, c) = g[2 * HID + c] / np as f32;
+                }
+            }
+            self.pred_net.backward(&ge);
+        }
+        self.out_net.step(Self::LR);
+        self.table_net.step(Self::LR);
+        self.join_net.step(Self::LR);
+        self.pred_net.step(Self::LR);
+    }
+
+    fn pool_infer(net: &Mlp, set: &[Vec<f32>]) -> Matrix {
+        if set.is_empty() {
+            return Matrix::zeros(1, HID);
+        }
+        net.infer(&Matrix::from_rows(set.to_vec())).mean_rows()
+    }
+}
+
+impl CardEstimator for Mscn {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Mscn
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        let table_feats = self.table_features(query);
+        let sets = self.encoder.encode_sets(query);
+        let pt = Self::pool_infer(&self.table_net, &table_feats);
+        let pj = Self::pool_infer(&self.join_net, &sets.joins);
+        let pp = Self::pool_infer(&self.pred_net, &sets.predicates);
+        let concat = pt.hconcat(&pj).hconcat(&pp);
+        let y = self.out_net.infer(&concat);
+        self.encoder.denormalize_card(y.data[0]).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::{generate_dataset, DatasetSpec};
+    use ce_workload::{generate_workload, label_workload, metrics::mean_qerror, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_multi_table_workload() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let ds = generate_dataset("m", &DatasetSpec::small().multi_table(), &mut rng);
+        let queries = generate_workload(
+            &ds,
+            &WorkloadSpec {
+                num_queries: 400,
+                ..WorkloadSpec::default()
+            },
+            &mut rng,
+        );
+        let labeled = label_workload(&ds, &queries).unwrap();
+        let (train, test) = ce_workload::label::train_test_split(labeled, 0.8);
+        let model = Mscn::train(&TrainContext {
+            dataset: &ds,
+            train_queries: &train,
+            seed: 2,
+        });
+        let est: Vec<f64> = test.iter().map(|lq| model.estimate(&lq.query)).collect();
+        let tru: Vec<f64> = test.iter().map(|lq| lq.true_card as f64).collect();
+        let q = mean_qerror(&est, &tru);
+        assert!(q < 50.0, "mean q-error {q}");
+        assert!(est.iter().all(|&e| e.is_finite() && e >= 1.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! The estimator trait and the model registry.
+
+use ce_storage::{Dataset, Query};
+use ce_workload::LabeledQuery;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything a model may consume at training time. Query-driven models use
+/// `train_queries`; data-driven models read `dataset`; UAE uses both.
+pub struct TrainContext<'a> {
+    /// The dataset the model will serve estimates for.
+    pub dataset: &'a Dataset,
+    /// Labeled training workload (the paper's 9,000-query training split).
+    pub train_queries: &'a [LabeledQuery],
+    /// Seed for all stochastic components of training.
+    pub seed: u64,
+}
+
+/// A trained cardinality estimator.
+///
+/// Estimation is immutable and must not touch base data: everything a model
+/// needs is captured during construction — the property that makes CE-model
+/// inference cheap compared to executing the query.
+pub trait CardEstimator: Send + Sync {
+    /// Model kind.
+    fn kind(&self) -> ModelKind;
+    /// Estimated result cardinality (rows) of `query`.
+    fn estimate(&self, query: &Query) -> f64;
+    /// Human-readable name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+/// The candidate models of the advisor plus the two comparison baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Multi-set convolutional network (query-driven).
+    Mscn,
+    /// Lightweight neural network (query-driven).
+    LwNn,
+    /// Lightweight gradient-boosted trees (query-driven).
+    LwXgb,
+    /// DeepDB-style sum-product network (data-driven).
+    DeepDb,
+    /// BayesCard-style Bayesian network (data-driven).
+    BayesCard,
+    /// NeuroCard-style autoregressive model (data-driven).
+    NeuroCard,
+    /// UAE-style hybrid (data + queries).
+    Uae,
+    /// PostgreSQL-style histogram estimator (baseline).
+    Postgres,
+    /// Performance-weighted ensemble of all learned models (baseline).
+    Ensemble,
+}
+
+impl ModelKind {
+    /// Stable display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Mscn => "MSCN",
+            ModelKind::LwNn => "LW-NN",
+            ModelKind::LwXgb => "LW-XGB",
+            ModelKind::DeepDb => "DeepDB",
+            ModelKind::BayesCard => "BayesCard",
+            ModelKind::NeuroCard => "NeuroCard",
+            ModelKind::Uae => "UAE",
+            ModelKind::Postgres => "Postgres",
+            ModelKind::Ensemble => "Ensemble",
+        }
+    }
+
+    /// True for query-driven models (trained from labeled queries only).
+    pub fn is_query_driven(&self) -> bool {
+        matches!(self, ModelKind::Mscn | ModelKind::LwNn | ModelKind::LwXgb)
+    }
+
+    /// True for data-driven models (trained from base data only).
+    pub fn is_data_driven(&self) -> bool {
+        matches!(
+            self,
+            ModelKind::DeepDb | ModelKind::BayesCard | ModelKind::NeuroCard
+        )
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The seven models the advisor selects among (paper §IV-B1).
+pub const SELECTABLE_MODELS: [ModelKind; 7] = [
+    ModelKind::Mscn,
+    ModelKind::LwNn,
+    ModelKind::LwXgb,
+    ModelKind::DeepDb,
+    ModelKind::BayesCard,
+    ModelKind::NeuroCard,
+    ModelKind::Uae,
+];
+
+/// All nine estimators, including the Fig. 9 comparison baselines.
+pub const ALL_MODELS: [ModelKind; 9] = [
+    ModelKind::Mscn,
+    ModelKind::LwNn,
+    ModelKind::LwXgb,
+    ModelKind::DeepDb,
+    ModelKind::BayesCard,
+    ModelKind::NeuroCard,
+    ModelKind::Uae,
+    ModelKind::Postgres,
+    ModelKind::Ensemble,
+];
+
+/// Trains one model of the requested kind.
+pub fn build_model(kind: ModelKind, ctx: &TrainContext<'_>) -> Box<dyn CardEstimator> {
+    match kind {
+        ModelKind::Mscn => Box::new(crate::mscn::Mscn::train(ctx)),
+        ModelKind::LwNn => Box::new(crate::lwnn::LwNn::train(ctx)),
+        ModelKind::LwXgb => Box::new(crate::lwxgb::LwXgb::train(ctx)),
+        ModelKind::DeepDb => Box::new(crate::spn::DeepDb::train(ctx)),
+        ModelKind::BayesCard => Box::new(crate::bayescard::BayesCardModel::train(ctx)),
+        ModelKind::NeuroCard => Box::new(crate::neurocard::NeuroCard::train(ctx)),
+        ModelKind::Uae => Box::new(crate::uae::Uae::train(ctx)),
+        ModelKind::Postgres => Box::new(crate::postgres::PostgresEstimator::train(ctx)),
+        ModelKind::Ensemble => Box::new(crate::ensemble::Ensemble::train(ctx)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_partitions() {
+        assert_eq!(SELECTABLE_MODELS.len(), 7);
+        assert_eq!(ALL_MODELS.len(), 9);
+        let qd = SELECTABLE_MODELS.iter().filter(|m| m.is_query_driven()).count();
+        let dd = SELECTABLE_MODELS.iter().filter(|m| m.is_data_driven()).count();
+        assert_eq!(qd, 3, "three query-driven models");
+        assert_eq!(dd, 3, "three data-driven models");
+        // The remaining one is the hybrid.
+        assert!(SELECTABLE_MODELS.contains(&ModelKind::Uae));
+        assert!(!ModelKind::Uae.is_query_driven() && !ModelKind::Uae.is_data_driven());
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(ModelKind::Mscn.name(), "MSCN");
+        assert_eq!(ModelKind::DeepDb.to_string(), "DeepDB");
+        assert_eq!(ModelKind::LwXgb.name(), "LW-XGB");
+    }
+}

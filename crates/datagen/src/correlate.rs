@@ -1,0 +1,62 @@
+//! F2 — column-to-column correlation.
+//!
+//! The paper correlates two columns by making them hold the *same value at
+//! the same position* with probability `r` (§IV-A F2): "take two values
+//! (v1, v2) at the same position in the two columns, and make them equal
+//! with the probability of r".
+
+use ce_storage::Value;
+use rand::Rng;
+
+/// Correlates `target` against `source` in place: each position is
+/// overwritten with the source value with probability `r ∈ [0, 1]`.
+pub fn correlate_columns<R: Rng>(source: &[Value], target: &mut [Value], r: f64, rng: &mut R) {
+    let r = r.clamp(0.0, 1.0);
+    let n = source.len().min(target.len());
+    for i in 0..n {
+        if rng.gen::<f64>() < r {
+            target[i] = source[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::stats::equality_rate;
+    use ce_storage::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn correlation_matches_requested_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let source: Vec<Value> = (0..20_000).map(|_| rng.gen_range(1..=1000)).collect();
+        let mut target: Vec<Value> = (0..20_000).map(|_| rng.gen_range(2000..=3000)).collect();
+        correlate_columns(&source, &mut target, 0.7, &mut rng);
+        let rate = equality_rate(
+            &Column::data("s", source),
+            &Column::data("t", target),
+        );
+        assert!((rate - 0.7).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn zero_correlation_leaves_target_untouched() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let source = vec![1; 100];
+        let mut target: Vec<Value> = (101..201).collect();
+        let before = target.clone();
+        correlate_columns(&source, &mut target, 0.0, &mut rng);
+        assert_eq!(target, before);
+    }
+
+    #[test]
+    fn full_correlation_copies_source() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let source: Vec<Value> = (1..=50).collect();
+        let mut target = vec![0; 50];
+        correlate_columns(&source, &mut target, 1.0, &mut rng);
+        assert_eq!(target, source);
+    }
+}

@@ -1,0 +1,236 @@
+//! Multi-table generation (paper §IV-A2).
+//!
+//! Three steps, mirroring the paper: (1) generate each table independently
+//! with [`generate_table`](crate::single::generate_table); (2) select main
+//! tables and assign each a primary key; (3) correlate tables with the main
+//! tables through PK-FK joins whose join correlation `p` is drawn from
+//! `[jmin, jmax]` (F3): a fraction `p` of the PK values is taken without
+//! replacement and the FK column is sampled from that portion.
+//!
+//! The construction always yields a *connected acyclic* join graph: the
+//! first generated table is a main table, and every further table references
+//! one of the already-placed main tables.
+
+use crate::single::generate_table;
+use crate::spec::DatasetSpec;
+use ce_storage::{Column, Dataset, JoinEdge, Table, Value};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates one dataset according to `spec`, deterministically from `rng`.
+pub fn generate_dataset<R: Rng>(name: impl Into<String>, spec: &DatasetSpec, rng: &mut R) -> Dataset {
+    let num_tables = spec.tables.sample(rng).max(1);
+    let name = name.into();
+
+    if num_tables == 1 {
+        let rows = spec.rows.sample(rng);
+        let cols = spec.columns.sample(rng).max(1);
+        let t = generate_table(
+            "table0", cols, rows, spec.domain, spec.skew, spec.correlation, rng,
+        );
+        return Dataset::new(name, vec![t], Vec::new()).expect("single table is valid");
+    }
+
+    // Step 1: independent tables of data columns.
+    let mut tables: Vec<Table> = (0..num_tables)
+        .map(|i| {
+            let rows = spec.rows.sample(rng);
+            let cols = spec.columns.sample(rng).max(1);
+            generate_table(
+                format!("table{i}"),
+                cols,
+                rows,
+                spec.domain,
+                spec.skew,
+                spec.correlation,
+                rng,
+            )
+        })
+        .collect();
+
+    // Step 2: choose main tables (at least one, table 0 always included so
+    // the join tree has a root) and give each a shuffled primary key.
+    let num_main = rng.gen_range(1..=num_tables.max(2) - 1).max(1);
+    let mut main_flags = vec![false; num_tables];
+    main_flags[0] = true;
+    let mut others: Vec<usize> = (1..num_tables).collect();
+    others.shuffle(rng);
+    for &t in others.iter().take(num_main.saturating_sub(1)) {
+        main_flags[t] = true;
+    }
+    for (t, flag) in main_flags.iter().enumerate() {
+        if *flag {
+            let rows = tables[t].num_rows();
+            let mut pk: Vec<Value> = (1..=rows as Value).collect();
+            pk.shuffle(rng);
+            tables[t]
+                .push_column(Column::primary_key("pk", pk))
+                .expect("pk length matches");
+        }
+    }
+
+    // Step 3: connect every non-root table to an earlier main table.
+    let mut joins = Vec::new();
+    for t in 1..num_tables {
+        let candidates: Vec<usize> = (0..t).filter(|&m| main_flags[m]).collect();
+        let Some(&target) = candidates.as_slice().choose(rng) else {
+            continue; // no earlier main table (cannot happen: table 0 is main)
+        };
+        let p = spec.join_correlation.sample(rng).clamp(0.01, 1.0);
+        let pk_col = tables[target]
+            .primary_key_index()
+            .expect("main tables have a pk");
+        let pk_values: Vec<Value> = tables[target].columns[pk_col].data.clone();
+        let portion_len = ((pk_values.len() as f64 * p).round() as usize)
+            .clamp(1, pk_values.len());
+        let mut portion = pk_values;
+        portion.shuffle(rng);
+        portion.truncate(portion_len);
+        // Fanout skew: order the referenced keys by the parent's first
+        // attribute and draw them with a Pareto law so child rows
+        // concentrate on "popular" parents.
+        let parent_attr = tables[target].data_column_indices().first().copied();
+        if let Some(pd) = parent_attr {
+            let attr_of: std::collections::HashMap<Value, Value> = tables[target].columns
+                [pk_col]
+                .data
+                .iter()
+                .copied()
+                .zip(tables[target].columns[pd].data.iter().copied())
+                .collect();
+            portion.sort_by_key(|k| attr_of.get(k).copied().unwrap_or(0));
+        }
+        let fanout_skew = spec.fanout_skew.sample(rng);
+        let sampler = crate::pareto::ParetoColumn::new(fanout_skew, 0, portion.len() as Value - 1);
+        let rows = tables[t].num_rows();
+        let fk_data: Vec<Value> = (0..rows)
+            .map(|_| portion[sampler.sample(rng) as usize])
+            .collect();
+        // Cross-table correlation: the child's first data column copies the
+        // referenced parent row's first data column with sampled probability.
+        let cross = spec.cross_correlation.sample(rng);
+        if cross > 0.0 {
+            if let Some(pd) = parent_attr {
+                let attr_of: std::collections::HashMap<Value, Value> = tables[target].columns
+                    [pk_col]
+                    .data
+                    .iter()
+                    .copied()
+                    .zip(tables[target].columns[pd].data.iter().copied())
+                    .collect();
+                let parent_vals: Vec<Value> = fk_data
+                    .iter()
+                    .map(|k| attr_of.get(k).copied().unwrap_or(0))
+                    .collect();
+                // Every child data column inherits the joined parent's
+                // attribute with decaying probability.
+                let child_cols = tables[t].data_column_indices();
+                for (rank, c) in child_cols.into_iter().enumerate() {
+                    let strength = cross / (1.0 + rank as f64);
+                    let child_col = &mut tables[t].columns[c].data;
+                    crate::correlate::correlate_columns(&parent_vals, child_col, strength, rng);
+                }
+            }
+        }
+        tables[t]
+            .push_column(Column::foreign_key(format!("fk_table{target}"), fk_data))
+            .expect("fk length matches");
+        let fk_col = tables[t].num_columns() - 1;
+        joins.push(JoinEdge {
+            fk_table: t,
+            fk_col,
+            pk_table: target,
+            pk_col,
+        });
+    }
+
+    Dataset::new(name, tables, joins).expect("constructed join graph is a tree")
+}
+
+/// Generates a batch of datasets with consecutive seeds derived from `rng`.
+pub fn generate_batch<R: Rng>(
+    prefix: &str,
+    count: usize,
+    spec: &DatasetSpec,
+    rng: &mut R,
+) -> Vec<Dataset> {
+    (0..count)
+        .map(|i| generate_dataset(format!("{prefix}{i}"), spec, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecRange;
+    use ce_storage::stats::join_correlation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec {
+            rows: SpecRange { lo: 200, hi: 400 },
+            domain: SpecRange { lo: 20, hi: 60 },
+            ..DatasetSpec::paper()
+        }
+    }
+
+    #[test]
+    fn multi_table_dataset_is_valid_and_connected() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let ds = generate_dataset("d", &spec().multi_table(), &mut rng);
+            ds.validate().unwrap();
+            assert!(ds.num_tables() >= 2);
+            // Tree: exactly tables-1 joins, and a full-tables query validates.
+            assert_eq!(ds.joins.len(), ds.num_tables() - 1);
+            let q = ce_storage::Query {
+                tables: (0..ds.num_tables()).collect(),
+                joins: ds.joins.iter().map(|j| (j.fk_table, j.pk_table)).collect(),
+                predicates: vec![],
+            };
+            q.validate(&ds).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_table_dataset_has_no_joins() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let ds = generate_dataset("s", &spec().single_table(), &mut rng);
+        assert_eq!(ds.num_tables(), 1);
+        assert!(ds.joins.is_empty());
+        assert!(ds.tables[0].primary_key_index().is_none());
+    }
+
+    #[test]
+    fn join_correlation_tracks_requested_range() {
+        let mut spec = spec().multi_table();
+        spec.join_correlation = SpecRange { lo: 0.3, hi: 0.3 };
+        spec.rows = SpecRange { lo: 2_000, hi: 2_000 };
+        let mut rng = StdRng::seed_from_u64(33);
+        let ds = generate_dataset("jc", &spec, &mut rng);
+        for edge in &ds.joins {
+            let jc = join_correlation(&ds, edge);
+            // The FK samples the 30% portion; with 2000 rows essentially all
+            // of the portion is hit.
+            assert!((jc - 0.3).abs() < 0.05, "jc = {jc}");
+        }
+    }
+
+    #[test]
+    fn batch_generation_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(34);
+        let mut b = StdRng::seed_from_u64(34);
+        let da = generate_batch("x", 3, &spec(), &mut a);
+        let db = generate_batch("x", 3, &spec(), &mut b);
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.num_tables(), y.num_tables());
+            assert_eq!(x.total_rows(), y.total_rows());
+            for (tx, ty) in x.tables.iter().zip(&y.tables) {
+                for (cx, cy) in tx.columns.iter().zip(&ty.columns) {
+                    assert_eq!(cx.data, cy.data);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! F1 — skewed column generation from the paper's Eq. 1.
+//!
+//! The paper defines the column PDF as
+//!
+//! ```text
+//! f(x) = (1 + x·(skew − 1))^(−1 − 1/(skew − 1)) / (vmax − vmin)
+//! ```
+//!
+//! over the unit interval, with `skew = 0` giving the uniform distribution
+//! and larger `skew` concentrating mass near `vmin`. We sample it exactly by
+//! inverting the CDF: with `a = skew − 1`,
+//!
+//! ```text
+//! F(x)   = (1 − (1 + a·x)^(−1/a)) / (1 − (1 + a)^(−1/a))
+//! F⁻¹(u) = ((1 − u·(1 − (1+a)^(−1/a)))^(−a) − 1) / a
+//! ```
+//!
+//! which degenerates gracefully to `F⁻¹(u) = u` as `skew → 0`.
+
+use ce_storage::Value;
+use rand::Rng;
+
+/// Sampler for one skewed column over the integer domain `[vmin, vmax]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoColumn {
+    /// Skewness parameter in `[0, 1]`; 0 = uniform.
+    pub skew: f64,
+    /// Minimum value (inclusive).
+    pub vmin: Value,
+    /// Maximum value (inclusive).
+    pub vmax: Value,
+}
+
+impl ParetoColumn {
+    /// Creates a sampler; `skew` is clamped to `[0, 0.999]` to avoid the
+    /// singularity at `skew = 1` (the paper varies skew in `[0, 1]`).
+    pub fn new(skew: f64, vmin: Value, vmax: Value) -> Self {
+        assert!(vmax >= vmin, "vmax must be >= vmin");
+        ParetoColumn {
+            skew: skew.clamp(0.0, 0.999),
+            vmin,
+            vmax,
+        }
+    }
+
+    /// Inverse CDF on the unit interval.
+    #[inline]
+    fn unit_inverse_cdf(&self, u: f64) -> f64 {
+        let a = self.skew - 1.0; // in [-1, -0.001]
+        if (a + 1.0).abs() < 1e-9 {
+            // skew = 0: uniform.
+            return u;
+        }
+        let tail = (1.0 + a).powf(-1.0 / a); // (1+a)^(-1/a) in (0, 1)
+        let inner = 1.0 - u * (1.0 - tail);
+        ((inner.powf(-a) - 1.0) / a).clamp(0.0, 1.0)
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Value {
+        let u: f64 = rng.gen();
+        let x = self.unit_inverse_cdf(u);
+        let span = (self.vmax - self.vmin) as f64 + 1.0;
+        let v = self.vmin + (x * span) as Value;
+        v.min(self.vmax)
+    }
+
+    /// Draws a whole column of `n` values.
+    pub fn sample_column<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Value> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(v: &[Value]) -> f64 {
+        v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let p = ParetoColumn::new(0.0, 1, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let col = p.sample_column(50_000, &mut rng);
+        let m = mean(&col);
+        assert!((m - 50.5).abs() < 1.0, "mean = {m}");
+        assert!(col.iter().all(|&v| (1..=100).contains(&v)));
+        // Tail decile should hold roughly 10% of the mass.
+        let tail = col.iter().filter(|&&v| v > 90).count() as f64 / 50_000.0;
+        assert!((tail - 0.10).abs() < 0.02, "tail = {tail}");
+    }
+
+    #[test]
+    fn higher_skew_concentrates_near_min() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lo = ParetoColumn::new(0.2, 1, 1000).sample_column(20_000, &mut rng);
+        let hi = ParetoColumn::new(0.9, 1, 1000).sample_column(20_000, &mut rng);
+        assert!(
+            mean(&hi) < mean(&lo),
+            "more skew must pull the mean down: {} vs {}",
+            mean(&hi),
+            mean(&lo)
+        );
+        // Analytically F(0.1) = 0.1468 at skew = 0.9 (vs 0.10 for uniform).
+        let head = hi.iter().filter(|&&v| v <= 100).count() as f64 / 20_000.0;
+        assert!((head - 0.1468).abs() < 0.015, "head mass = {head}");
+    }
+
+    #[test]
+    fn bounds_respected_at_extremes() {
+        let p = ParetoColumn::new(0.999, 5, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(p.sample_column(100, &mut rng).iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "vmax must be >= vmin")]
+    fn invalid_bounds_panic() {
+        ParetoColumn::new(0.5, 10, 1);
+    }
+}

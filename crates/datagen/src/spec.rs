@@ -1,0 +1,146 @@
+//! Generation parameters (the paper's Stage-1 inputs: "#tables, #columns,
+//! domain size, skewness, correlation…").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive parameter range sampled uniformly per dataset/table/column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecRange<T> {
+    /// Inclusive lower bound.
+    pub lo: T,
+    /// Inclusive upper bound.
+    pub hi: T,
+}
+
+impl SpecRange<usize> {
+    /// Uniform draw from the range.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if self.lo >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+impl SpecRange<f64> {
+    /// Uniform draw from the range.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.lo >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+/// Full parameterization of one generated dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of tables (paper: 1-5).
+    pub tables: SpecRange<usize>,
+    /// Rows per table (paper: 10K-50K; scale down for fast runs).
+    pub rows: SpecRange<usize>,
+    /// Non-key columns per table (paper: 2-25 total columns per dataset).
+    pub columns: SpecRange<usize>,
+    /// Domain size per column.
+    pub domain: SpecRange<usize>,
+    /// Skewness range (F1).
+    pub skew: SpecRange<f64>,
+    /// Column-correlation range (F2); applied to adjacent column pairs.
+    pub correlation: SpecRange<f64>,
+    /// Join-correlation range (F3): `[jmin, jmax]`.
+    pub join_correlation: SpecRange<f64>,
+    /// Cross-table correlation: probability that a child row's first data
+    /// column copies the referenced parent row's first data column. This is
+    /// the joint-distribution-across-tables effect that separates query-
+    /// driven from data-driven models (Example 1 of the paper).
+    pub cross_correlation: SpecRange<f64>,
+    /// Fanout skew: how unevenly child rows concentrate on parents, ordered
+    /// by the parent's first attribute (0 = uniform fanout).
+    pub fanout_skew: SpecRange<f64>,
+}
+
+impl DatasetSpec {
+    /// The paper's synthetic-dataset configuration (Table I row "Synthetic"):
+    /// 1-5 tables, 10K-50K rows, 2-25 columns, total domain ≈ 1.6 × 10⁴.
+    pub fn paper() -> Self {
+        DatasetSpec {
+            tables: SpecRange { lo: 1, hi: 5 },
+            rows: SpecRange {
+                lo: 10_000,
+                hi: 50_000,
+            },
+            columns: SpecRange { lo: 2, hi: 8 },
+            domain: SpecRange { lo: 100, hi: 3_200 },
+            skew: SpecRange { lo: 0.0, hi: 1.0 },
+            correlation: SpecRange { lo: 0.0, hi: 1.0 },
+            join_correlation: SpecRange { lo: 0.2, hi: 1.0 },
+            cross_correlation: SpecRange { lo: 0.0, hi: 0.9 },
+            fanout_skew: SpecRange { lo: 0.0, hi: 0.9 },
+        }
+    }
+
+    /// A scaled-down configuration for tests and quick benchmark runs; the
+    /// same feature space, two orders of magnitude fewer rows.
+    pub fn small() -> Self {
+        DatasetSpec {
+            rows: SpecRange { lo: 600, hi: 2_000 },
+            domain: SpecRange { lo: 200, hi: 3_000 },
+            ..DatasetSpec::paper()
+        }
+    }
+
+    /// Restricts the spec to single-table datasets.
+    pub fn single_table(mut self) -> Self {
+        self.tables = SpecRange { lo: 1, hi: 1 };
+        self
+    }
+
+    /// Restricts the spec to multi-table datasets (2..=5 tables).
+    pub fn multi_table(mut self) -> Self {
+        self.tables = SpecRange { lo: 2, hi: 5 };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_sample_inclusively() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = SpecRange { lo: 3usize, hi: 5 };
+        for _ in 0..100 {
+            let v = r.sample(&mut rng);
+            assert!((3..=5).contains(&v));
+        }
+        let f = SpecRange { lo: 0.25f64, hi: 0.75 };
+        for _ in 0..100 {
+            let v = f.sample(&mut rng);
+            assert!((0.25..=0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = SpecRange { lo: 7usize, hi: 7 };
+        assert_eq!(r.sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn presets() {
+        let p = DatasetSpec::paper();
+        assert_eq!(p.tables.hi, 5);
+        let s = DatasetSpec::small().single_table();
+        assert_eq!(s.tables.lo, 1);
+        assert_eq!(s.tables.hi, 1);
+        let m = DatasetSpec::small().multi_table();
+        assert!(m.tables.lo >= 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ce-features — feature engineering and feature-graph modeling (§V-A)
+//!
+//! A training sample for AutoCE is a *dataset*, not a tuple. This crate
+//! extracts the CE-relevant data features and models them as a **feature
+//! graph**: vertices are tables (carrying per-column statistics and
+//! column-pair correlations), edges are PK-FK joins weighted by join
+//! correlation.
+//!
+//! Vertex layout follows the paper exactly (§V-A2, Example 3): with `m` the
+//! global maximum column count and `k` per-column features, each vertex is a
+//! flattened vector of `(k + m)·m + 2` entries — `k` statistics plus `m`
+//! correlation slots per column, padded with zeros, plus the table's row and
+//! column counts. The per-column features are the paper's list: skewness,
+//! kurtosis, standard deviation, mean deviation, range and domain size; the
+//! correlation feature is the same-position equality rate (the reverse of
+//! the generator's F2 process), and edge weights reverse F3 (FK-over-PK set
+//! coverage).
+
+pub mod graph;
+pub mod mixup;
+
+pub use graph::{extract_features, FeatureConfig, FeatureGraph, COLUMN_FEATURES};
+pub use mixup::{mixup_graphs, mixup_labels};

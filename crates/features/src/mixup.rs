@@ -1,0 +1,111 @@
+//! Mixup over feature graphs (Eq. 14): the data-augmentation primitive of
+//! the incremental-learning stage.
+//!
+//! `G′ = λ·G_i + (1−λ)·G_j` is computed elementwise over the vertex and
+//! edge matrices; graphs of different sizes are zero-padded to the larger
+//! vertex count first (a missing table is exactly an all-zero vertex with no
+//! incident edges, so padding is semantically neutral).
+
+use crate::graph::FeatureGraph;
+
+/// Linearly interpolates two feature graphs with coefficient `lambda`.
+pub fn mixup_graphs(a: &FeatureGraph, b: &FeatureGraph, lambda: f32) -> FeatureGraph {
+    let lambda = lambda.clamp(0.0, 1.0);
+    let n = a.num_vertices().max(b.num_vertices());
+    let dim = a.vertex_dim().max(b.vertex_dim());
+    let vertex_at = |g: &FeatureGraph, i: usize, d: usize| -> f32 {
+        g.vertices
+            .get(i)
+            .and_then(|v| v.get(d))
+            .copied()
+            .unwrap_or(0.0)
+    };
+    let edge_at = |g: &FeatureGraph, i: usize, j: usize| -> f32 {
+        g.edges
+            .get(i)
+            .and_then(|r| r.get(j))
+            .copied()
+            .unwrap_or(0.0)
+    };
+    let vertices = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| lambda * vertex_at(a, i, d) + (1.0 - lambda) * vertex_at(b, i, d))
+                .collect()
+        })
+        .collect();
+    let edges = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| lambda * edge_at(a, i, j) + (1.0 - lambda) * edge_at(b, i, j))
+                .collect()
+        })
+        .collect();
+    FeatureGraph { vertices, edges }
+}
+
+/// Mixup of label vectors (the paper mixes features *and* labels with the
+/// same λ).
+pub fn mixup_labels(a: &[f64], b: &[f64], lambda: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "label arity mismatch");
+    let lambda = lambda.clamp(0.0, 1.0);
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| lambda * x + (1.0 - lambda) * y)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, fill: f32) -> FeatureGraph {
+        FeatureGraph {
+            vertices: vec![vec![fill; 4]; n],
+            edges: vec![vec![fill / 2.0; n]; n],
+        }
+    }
+
+    #[test]
+    fn endpoints_reproduce_inputs() {
+        let a = graph(2, 1.0);
+        let b = graph(2, 3.0);
+        assert_eq!(mixup_graphs(&a, &b, 1.0), a);
+        assert_eq!(mixup_graphs(&a, &b, 0.0), b);
+    }
+
+    #[test]
+    fn midpoint_averages() {
+        let a = graph(2, 1.0);
+        let b = graph(2, 3.0);
+        let m = mixup_graphs(&a, &b, 0.5);
+        assert!(m.vertices.iter().flatten().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(m.edges.iter().flatten().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn different_sizes_pad_with_zeros() {
+        let a = graph(1, 2.0);
+        let b = graph(3, 2.0);
+        let m = mixup_graphs(&a, &b, 0.5);
+        assert_eq!(m.num_vertices(), 3);
+        // Vertex 2 exists only in b: mixed value = 0.5·0 + 0.5·2 = 1.
+        assert!((m.vertices[2][0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn label_mixup() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let m = mixup_labels(&a, &b, 0.25);
+        assert!((m[0] - 0.25).abs() < 1e-12);
+        assert!((m[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_clamped() {
+        let a = graph(1, 1.0);
+        let b = graph(1, 3.0);
+        assert_eq!(mixup_graphs(&a, &b, 7.0), a);
+    }
+}

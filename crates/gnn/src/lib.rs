@@ -1,0 +1,21 @@
+//! # ce-gnn — GIN graph encoder + deep metric learning (paper §V-B/C)
+//!
+//! * [`gin`]: a Graph Isomorphism Network (Xu et al.) over feature graphs —
+//!   `L` GINConv layers (Eq. 5, learnable `ε`, edge-weighted neighbor
+//!   aggregation) followed by sum pooling, with full manual backprop built
+//!   on the `ce-nn` dense layers.
+//! * [`loss`]: the paper's **weighted contrastive loss** (Eq. 9; pair
+//!   weights Eq. 11/12 arise as the softmax factors of its gradient) and the
+//!   basic contrastive loss it is ablated against (Eq. 10 / [Hadsell et
+//!   al.]), plus performance similarity (Def. 2) and positive/negative pair
+//!   assignment (Def. 3).
+//! * [`train`]: Algorithm 1 — batched DML training of the encoder from
+//!   labeled feature graphs.
+
+pub mod gin;
+pub mod loss;
+pub mod train;
+
+pub use gin::GinEncoder;
+pub use loss::{basic_contrastive, performance_similarity, weighted_contrastive, PairSets};
+pub use train::{train_encoder, DmlConfig, LossKind};

@@ -1,0 +1,261 @@
+//! Algorithm 1 — DML-based graph-encoder learning.
+//!
+//! Per epoch the labeled feature graphs are shuffled into batches; for each
+//! batch the positive/negative pair sets are derived from score-vector
+//! similarities (Def. 2/3), embeddings are produced by the GIN, the chosen
+//! contrastive loss yields per-embedding gradients, and a second
+//! (cache-building) forward pass per graph routes those gradients back
+//! through the encoder before a single Adam step.
+
+use crate::gin::GinEncoder;
+use crate::loss::{basic_contrastive, pair_sets, weighted_contrastive};
+use ce_features::FeatureGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which contrastive loss drives training (Fig. 7 ablates these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// The paper's weighted contrastive loss (Eq. 9).
+    Weighted,
+    /// Basic contrastive loss (Eq. 10 / Hadsell et al.).
+    Basic,
+}
+
+/// DML training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmlConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Batch size `m` of Algorithm 1.
+    pub batch_size: usize,
+    /// Adam learning rate `η`.
+    pub lr: f32,
+    /// Similarity threshold `τ` (Def. 3).
+    pub tau: f64,
+    /// Fixed margin `γ` of the loss.
+    pub gamma: f64,
+    /// Hidden GINConv widths.
+    pub hidden: Vec<usize>,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Loss selection.
+    pub loss: LossKind,
+}
+
+impl Default for DmlConfig {
+    fn default() -> Self {
+        DmlConfig {
+            epochs: 30,
+            batch_size: 32,
+            lr: 1e-3,
+            tau: 0.97,
+            gamma: 1.0,
+            hidden: vec![64],
+            embed_dim: 32,
+            loss: LossKind::Weighted,
+        }
+    }
+}
+
+/// Trains a GIN encoder from labeled feature graphs (Algorithm 1).
+///
+/// `labels[i]` is the score vector `y⃗_i` of graph `i` for the metric-weight
+/// combination being trained.
+pub fn train_encoder(
+    graphs: &[FeatureGraph],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+    seed: u64,
+) -> GinEncoder {
+    assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
+    let input_dim = graphs.first().map_or(1, FeatureGraph::vertex_dim);
+    let mut encoder = GinEncoder::new(input_dim, &cfg.hidden, cfg.embed_dim, seed);
+    if graphs.is_empty() {
+        return encoder;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd31);
+    let mut order: Vec<usize> = (0..graphs.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size) {
+            train_batch(&mut encoder, graphs, labels, chunk, cfg);
+        }
+    }
+    encoder
+}
+
+/// Continues training an existing encoder on (possibly augmented) data —
+/// the incremental-learning entry point (Algorithm 2, step 3).
+pub fn train_encoder_incremental(
+    encoder: &mut GinEncoder,
+    graphs: &[FeatureGraph],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+    seed: u64,
+) {
+    if graphs.is_empty() {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1c2);
+    let mut order: Vec<usize> = (0..graphs.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size) {
+            train_batch(encoder, graphs, labels, chunk, cfg);
+        }
+    }
+}
+
+fn train_batch(
+    encoder: &mut GinEncoder,
+    graphs: &[FeatureGraph],
+    labels: &[Vec<f64>],
+    chunk: &[usize],
+    cfg: &DmlConfig,
+) {
+    // Pass 1: embeddings (inference mode).
+    let embeddings: Vec<Vec<f32>> = chunk.iter().map(|&i| encoder.encode(&graphs[i])).collect();
+    let batch_labels: Vec<Vec<f64>> = chunk.iter().map(|&i| labels[i].clone()).collect();
+    let pairs = pair_sets(&batch_labels, cfg.tau);
+    let lg = match cfg.loss {
+        LossKind::Weighted => {
+            weighted_contrastive(&embeddings, &batch_labels, &pairs, cfg.gamma)
+        }
+        LossKind::Basic => basic_contrastive(&embeddings, &pairs, cfg.gamma),
+    };
+    // Pass 2: per-graph cached forward + backward, then one step.
+    for (b, &i) in chunk.iter().enumerate() {
+        if lg.grads[b].iter().all(|&g| g == 0.0) {
+            continue;
+        }
+        let _ = encoder.forward_train(&graphs[i]);
+        encoder.backward(&lg.grads[b], graphs[i].num_vertices());
+    }
+    encoder.step(cfg.lr);
+}
+
+/// Evaluates the mean batch loss over the whole set (for tests/monitoring).
+pub fn evaluate_loss(
+    encoder: &GinEncoder,
+    graphs: &[FeatureGraph],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+) -> f64 {
+    let embeddings: Vec<Vec<f32>> = graphs.iter().map(|g| encoder.encode(g)).collect();
+    let pairs = pair_sets(labels, cfg.tau);
+    match cfg.loss {
+        LossKind::Weighted => weighted_contrastive(&embeddings, labels, &pairs, cfg.gamma).loss,
+        LossKind::Basic => basic_contrastive(&embeddings, &pairs, cfg.gamma).loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_nn::matrix::euclidean;
+
+    /// Two synthetic "classes" of graphs with distinct labels: after DML,
+    /// within-class embedding distances should be smaller than
+    /// between-class distances.
+    fn toy_data() -> (Vec<FeatureGraph>, Vec<Vec<f64>>) {
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let class = i % 2;
+            let jitter = (i / 2) as f32 * 0.01;
+            let base = if class == 0 { 0.2 } else { 0.8 };
+            graphs.push(FeatureGraph {
+                vertices: vec![vec![base + jitter, base - jitter, 0.5, base]],
+                edges: vec![vec![0.0]],
+            });
+            labels.push(if class == 0 {
+                vec![1.0, 0.1, 0.0]
+            } else {
+                vec![0.0, 0.1, 1.0]
+            });
+        }
+        (graphs, labels)
+    }
+
+    fn class_separation(encoder: &GinEncoder, graphs: &[FeatureGraph]) -> (f32, f32) {
+        let embs: Vec<Vec<f32>> = graphs.iter().map(|g| encoder.encode(g)).collect();
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for i in 0..embs.len() {
+            for j in i + 1..embs.len() {
+                let d = euclidean(&embs[i], &embs[j]);
+                if i % 2 == j % 2 {
+                    within.push(d);
+                } else {
+                    between.push(d);
+                }
+            }
+        }
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        (avg(&within), avg(&between))
+    }
+
+    #[test]
+    fn dml_separates_classes() {
+        let (graphs, labels) = toy_data();
+        let cfg = DmlConfig {
+            epochs: 60,
+            batch_size: 16,
+            lr: 5e-3,
+            hidden: vec![16],
+            embed_dim: 8,
+            ..DmlConfig::default()
+        };
+        let encoder = train_encoder(&graphs, &labels, &cfg, 3);
+        let (within, between) = class_separation(&encoder, &graphs);
+        assert!(
+            between > 2.0 * within,
+            "between {between} should exceed within {within}"
+        );
+    }
+
+    #[test]
+    fn incremental_training_continues_to_improve_or_hold() {
+        let (graphs, labels) = toy_data();
+        let cfg = DmlConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 5e-3,
+            hidden: vec![16],
+            embed_dim: 8,
+            ..DmlConfig::default()
+        };
+        let mut encoder = train_encoder(&graphs, &labels, &cfg, 4);
+        let before = evaluate_loss(&encoder, &graphs, &labels, &cfg);
+        train_encoder_incremental(&mut encoder, &graphs, &labels, &cfg, 5);
+        let after = evaluate_loss(&encoder, &graphs, &labels, &cfg);
+        assert!(after <= before + 0.5, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn basic_loss_also_trains() {
+        let (graphs, labels) = toy_data();
+        let cfg = DmlConfig {
+            epochs: 40,
+            batch_size: 16,
+            lr: 5e-3,
+            hidden: vec![16],
+            embed_dim: 8,
+            loss: LossKind::Basic,
+            ..DmlConfig::default()
+        };
+        let encoder = train_encoder(&graphs, &labels, &cfg, 6);
+        let (within, between) = class_separation(&encoder, &graphs);
+        assert!(between > within, "between {between} vs within {within}");
+    }
+
+    #[test]
+    fn empty_training_set_returns_fresh_encoder() {
+        let cfg = DmlConfig::default();
+        let enc = train_encoder(&[], &[], &cfg, 7);
+        assert_eq!(enc.embed_dim(), cfg.embed_dim);
+    }
+}

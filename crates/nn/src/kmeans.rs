@@ -1,0 +1,185 @@
+//! Plain k-means clustering (Lloyd's algorithm).
+//!
+//! Used by the DeepDB reproduction for the SPN sum-node split (row
+//! clustering) and available to any other component that needs it.
+
+use crate::matrix::euclidean;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k × dim`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+}
+
+/// Runs Lloyd's algorithm with k-means++-style seeding (first centroid
+/// uniform, the rest weighted by squared distance).
+///
+/// Degenerate inputs are handled: `k` is clamped to the number of points,
+/// and empty clusters are reseeded from the farthest point.
+pub fn kmeans<R: Rng>(
+    points: &[Vec<f32>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    let n = points.len();
+    let k = k.min(n).max(1);
+    if n == 0 {
+        return KMeansResult {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+        };
+    }
+    let dim = points[0].len();
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points.choose(rng).expect("n > 0").clone());
+    while centroids.len() < k {
+        let d2: Vec<f32> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| {
+                        let d = euclidean(p, c);
+                        d * d
+                    })
+                    .fold(f32::MAX, f32::min)
+            })
+            .collect();
+        let total: f32 = d2.iter().sum();
+        if total <= 1e-12 {
+            // All points coincide with centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..n)].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f32>() * total;
+        let mut pick = 0;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push(points[pick].clone());
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f32::MAX;
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        let mut new_inertia = 0.0f32;
+        for (i, p) in points.iter().enumerate() {
+            let (best, dist) = centroids
+                .iter()
+                .enumerate()
+                .map(|(j, c)| (j, euclidean(p, c)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_inertia += dist * dist;
+        }
+        inertia = new_inertia;
+        // Update.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for j in 0..k {
+            if counts[j] == 0 {
+                // Reseed empty cluster from the farthest point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = euclidean(a, &centroids[assignments[0]]);
+                        let db = euclidean(b, &centroids[assignments[0]]);
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[j] = points[far].clone();
+            } else {
+                for (c, &s) in centroids[j].iter_mut().zip(&sums[j]) {
+                    *c = s / counts[j] as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut points = Vec::new();
+        for _ in 0..50 {
+            points.push(vec![rng.gen::<f32>() * 0.1, rng.gen::<f32>() * 0.1]);
+        }
+        for _ in 0..50 {
+            points.push(vec![5.0 + rng.gen::<f32>() * 0.1, 5.0 + rng.gen::<f32>() * 0.1]);
+        }
+        let r = kmeans(&points, 2, 50, &mut rng);
+        let first = r.assignments[0];
+        assert!(r.assignments[..50].iter().all(|&a| a == first));
+        assert!(r.assignments[50..].iter().all(|&a| a != first));
+        assert!(r.inertia < 10.0);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let points = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&points, 10, 10, &mut rng);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let r = kmeans(&[], 3, 10, &mut rng);
+        assert!(r.assignments.is_empty());
+        assert!(r.centroids.is_empty());
+    }
+
+    #[test]
+    fn identical_points_single_cluster_semantics() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let points = vec![vec![3.0, 3.0]; 20];
+        let r = kmeans(&points, 3, 10, &mut rng);
+        assert_eq!(r.assignments.len(), 20);
+        assert!(r.inertia < 1e-6);
+    }
+}

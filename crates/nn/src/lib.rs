@@ -1,0 +1,31 @@
+//! # ce-nn — minimal neural-network substrate
+//!
+//! The reproduction hint for this paper is a "thin DL ecosystem": none of the
+//! allowed dependencies provide tensors or autograd, so this crate implements
+//! the minimum needed, from scratch:
+//!
+//! * [`matrix`]: a row-major `f32` matrix with the handful of BLAS-like ops
+//!   the models use;
+//! * [`layers`]: dense layers and activations with explicit forward/backward
+//!   and built-in Adam state;
+//! * [`mlp`]: a sequential multi-layer perceptron exposing `forward` /
+//!   `backward` / `step` so composite architectures (MSCN's set convolutions,
+//!   the GIN encoder in `ce-gnn`, autoregressive heads in `ce-models`) can be
+//!   wired together manually;
+//! * [`loss`]: MSE and softmax cross-entropy with gradients;
+//! * [`kmeans`]: plain k-means (the row-clustering step of DeepDB's SPN
+//!   learner).
+//!
+//! Everything is deterministic given a seeded `StdRng`.
+
+pub mod kmeans;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+
+pub use kmeans::kmeans;
+pub use layers::{Activation, Dense};
+pub use loss::{mse_loss, softmax_cross_entropy};
+pub use matrix::Matrix;
+pub use mlp::Mlp;

@@ -1,0 +1,139 @@
+//! End-to-end latency measurement (the Table V harness).
+//!
+//! For every query: (1) the injected estimator prices all sub-plans —
+//! measured as *inference latency*; (2) the optimizer builds the plan;
+//! (3) the plan executes on the engine — measured as *running time*. The
+//! paper reports both components separately, as does [`E2eReport`].
+
+use crate::execute::execute_plan;
+use crate::index::DatasetIndexes;
+use crate::optimize::optimize_query;
+use ce_models::{CardEstimator, ModelKind};
+use ce_storage::exec::query_cardinality;
+use ce_storage::{Dataset, Query};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Oracle estimator: exact cardinalities (the "TrueCard" row of Table V).
+pub struct TrueCardEstimator {
+    ds: Dataset,
+}
+
+impl TrueCardEstimator {
+    /// Snapshot the dataset for exact counting.
+    pub fn new(ds: &Dataset) -> Self {
+        TrueCardEstimator { ds: ds.clone() }
+    }
+}
+
+impl CardEstimator for TrueCardEstimator {
+    fn kind(&self) -> ModelKind {
+        // Reported under its own name by the harness; kind is unused.
+        ModelKind::Postgres
+    }
+
+    fn name(&self) -> &'static str {
+        "TrueCard"
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        query_cardinality(&self.ds, query).unwrap_or(0) as f64
+    }
+}
+
+/// Aggregate end-to-end measurements for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E2eReport {
+    /// Estimator name.
+    pub estimator: String,
+    /// Total plan-execution time (seconds).
+    pub execution_secs: f64,
+    /// Total cardinality-inference time (seconds).
+    pub inference_secs: f64,
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Total result rows (sanity check: identical across estimators).
+    pub total_rows: u64,
+}
+
+impl E2eReport {
+    /// Total end-to-end time: execution + inference.
+    pub fn total_secs(&self) -> f64 {
+        self.execution_secs + self.inference_secs
+    }
+
+    /// Improvement of `self` relative to a baseline total, as a fraction
+    /// (positive = faster), matching Table V's "Improvement" column.
+    pub fn improvement_over(&self, baseline: &E2eReport) -> f64 {
+        if baseline.total_secs() <= 0.0 {
+            return 0.0;
+        }
+        (baseline.total_secs() - self.total_secs()) / baseline.total_secs()
+    }
+}
+
+/// Runs a workload end-to-end with the injected estimator.
+pub fn run_workload(
+    ds: &Dataset,
+    queries: &[Query],
+    estimator: &dyn CardEstimator,
+    indexes: &DatasetIndexes,
+) -> E2eReport {
+    let mut execution_secs = 0.0f64;
+    let mut inference_secs = 0.0f64;
+    let mut total_rows = 0u64;
+    for q in queries {
+        let t0 = Instant::now();
+        let plan = optimize_query(ds, q, estimator, indexes);
+        inference_secs += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let out = execute_plan(ds, q, &plan, indexes);
+        execution_secs += t1.elapsed().as_secs_f64();
+        total_rows += out.len() as u64;
+    }
+    E2eReport {
+        estimator: estimator.name().to_string(),
+        execution_secs,
+        inference_secs,
+        queries: queries.len(),
+        total_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datagen::{generate_dataset, DatasetSpec};
+    use ce_models::postgres::PostgresEstimator;
+    use ce_workload::{generate_workload, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reports_are_consistent_across_estimators() {
+        let mut rng = StdRng::seed_from_u64(281);
+        let ds = generate_dataset("e2e", &DatasetSpec::small().multi_table(), &mut rng);
+        let indexes = DatasetIndexes::build(&ds);
+        let queries = generate_workload(
+            &ds,
+            &WorkloadSpec {
+                num_queries: 15,
+                ..WorkloadSpec::default()
+            },
+            &mut rng,
+        );
+        let oracle = TrueCardEstimator::new(&ds);
+        let pg = PostgresEstimator::analyze(&ds);
+        let r1 = run_workload(&ds, &queries, &oracle, &indexes);
+        let r2 = run_workload(&ds, &queries, &pg, &indexes);
+        // Same answers regardless of planning quality.
+        assert_eq!(r1.total_rows, r2.total_rows);
+        assert_eq!(r1.queries, 15);
+        assert!(r1.execution_secs > 0.0 && r1.inference_secs > 0.0);
+        assert_eq!(r1.estimator, "TrueCard");
+        assert_eq!(r2.estimator, "Postgres");
+        // Improvement is antisymmetric-ish around zero.
+        let imp = r2.improvement_over(&r1);
+        assert!(imp.abs() < 10.0);
+    }
+}

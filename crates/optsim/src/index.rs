@@ -1,0 +1,91 @@
+//! Per-column sorted indexes (built once per dataset, like `CREATE INDEX`).
+
+use ce_storage::{Dataset, Predicate, Value};
+use std::collections::HashMap;
+
+/// Sorted `(value, row)` indexes for every data column of a dataset.
+pub struct DatasetIndexes {
+    /// Keyed by `(table, column)`.
+    indexes: HashMap<(usize, usize), Vec<(Value, u32)>>,
+}
+
+impl DatasetIndexes {
+    /// Builds indexes over all data columns.
+    pub fn build(ds: &Dataset) -> Self {
+        let mut indexes = HashMap::new();
+        for (t, table) in ds.tables.iter().enumerate() {
+            for c in table.data_column_indices() {
+                let mut idx: Vec<(Value, u32)> = table.columns[c]
+                    .data
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &v)| (v, r as u32))
+                    .collect();
+                idx.sort_unstable();
+                indexes.insert((t, c), idx);
+            }
+        }
+        DatasetIndexes { indexes }
+    }
+
+    /// True if an index exists for the column.
+    pub fn has(&self, table: usize, column: usize) -> bool {
+        self.indexes.contains_key(&(table, column))
+    }
+
+    /// Row ids matching `predicate` via binary search over the sorted index
+    /// (rows come back unsorted relative to the table).
+    pub fn lookup(&self, predicate: &Predicate) -> Option<Vec<u32>> {
+        let idx = self.indexes.get(&(predicate.table, predicate.column))?;
+        let start = idx.partition_point(|&(v, _)| v < predicate.lo);
+        let end = idx.partition_point(|&(v, _)| v <= predicate.hi);
+        Some(idx[start..end].iter().map(|&(_, r)| r).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::{Column, Table};
+
+    #[test]
+    fn lookup_matches_scan() {
+        let t = Table::with_columns(
+            "t",
+            vec![Column::data("a", vec![5, 3, 9, 3, 7, 1])],
+        )
+        .unwrap();
+        let ds = Dataset::new("d", vec![t], vec![]).unwrap();
+        let idx = DatasetIndexes::build(&ds);
+        assert!(idx.has(0, 0));
+        let p = Predicate {
+            table: 0,
+            column: 0,
+            lo: 3,
+            hi: 7,
+        };
+        let mut rows = idx.lookup(&p).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 1, 3, 4]);
+        // Out-of-range predicate returns empty.
+        let p2 = Predicate {
+            table: 0,
+            column: 0,
+            lo: 100,
+            hi: 200,
+        };
+        assert!(idx.lookup(&p2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_columns_are_not_indexed() {
+        let t = Table::with_columns(
+            "t",
+            vec![Column::primary_key("id", vec![1, 2, 3])],
+        )
+        .unwrap();
+        let ds = Dataset::new("d", vec![t], vec![]).unwrap();
+        let idx = DatasetIndexes::build(&ds);
+        assert!(!idx.has(0, 0));
+    }
+}

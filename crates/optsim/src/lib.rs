@@ -1,0 +1,29 @@
+//! # ce-optsim — a cost-based query optimizer + executor (the PostgreSQL
+//! substitute for Table V)
+//!
+//! The paper injects estimated cardinalities of **all sub-plan queries**
+//! into PostgreSQL's optimizer and measures end-to-end latency. This crate
+//! reproduces that mechanism against the in-memory engine:
+//!
+//! * [`index`]: per-column sorted indexes (the "database load" step);
+//! * [`cost`]: a System-R-flavored cost model over estimated cardinalities;
+//! * [`optimize`]: dynamic programming over connected join subsets, choosing
+//!   join order, join operators (hash vs. nested-loop) and scan methods
+//!   (sequential vs. index) from the *estimates* an injected
+//!   [`CardEstimator`](ce_models::CardEstimator) provides;
+//! * [`execute`]: physically runs the chosen plan (real hash/NL joins, real
+//!   scans) so bad estimates genuinely cost wall-clock time;
+//! * [`e2e`]: the end-to-end harness — inference latency + execution
+//!   latency per workload, plus the `TrueCard` oracle baseline.
+
+pub mod cost;
+pub mod e2e;
+pub mod execute;
+pub mod index;
+pub mod optimize;
+pub mod plan;
+
+pub use e2e::{run_workload, E2eReport, TrueCardEstimator};
+pub use index::DatasetIndexes;
+pub use optimize::optimize_query;
+pub use plan::{JoinMethod, PlanNode, ScanMethod};

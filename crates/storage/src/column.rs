@@ -1,0 +1,113 @@
+//! Dictionary-encoded columns.
+//!
+//! Every value in the system is an `i64` in `1..=domain_size`, matching the
+//! paper's data generator (§IV-A). Real-world data is dictionary-encoded into
+//! the same representation before ingestion, so the whole pipeline (feature
+//! extraction, estimators, execution) operates on one value type.
+
+use serde::{Deserialize, Serialize};
+
+/// The single value type of the engine.
+pub type Value = i64;
+
+/// What role a column plays in the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnRole {
+    /// Plain data column — predicates may reference it.
+    Data,
+    /// Primary key of its table (unique values).
+    PrimaryKey,
+    /// Foreign key referencing another table's primary key.
+    ForeignKey,
+}
+
+/// A named, dictionary-encoded column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Row values.
+    pub data: Vec<Value>,
+    /// Schema role of the column.
+    pub role: ColumnRole,
+}
+
+impl Column {
+    /// Creates a plain data column.
+    pub fn data(name: impl Into<String>, data: Vec<Value>) -> Self {
+        Column {
+            name: name.into(),
+            data,
+            role: ColumnRole::Data,
+        }
+    }
+
+    /// Creates a primary-key column. Uniqueness is the caller's contract and
+    /// is checked by [`Table::validate`](crate::table::Table::validate).
+    pub fn primary_key(name: impl Into<String>, data: Vec<Value>) -> Self {
+        Column {
+            name: name.into(),
+            data,
+            role: ColumnRole::PrimaryKey,
+        }
+    }
+
+    /// Creates a foreign-key column.
+    pub fn foreign_key(name: impl Into<String>, data: Vec<Value>) -> Self {
+        Column {
+            name: name.into(),
+            data,
+            role: ColumnRole::ForeignKey,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True for key columns (primary or foreign). Predicates in generated
+    /// workloads only reference non-key columns, as in the paper's split
+    /// procedure ("1-2 *non-key* columns for each chosen table").
+    pub fn is_key(&self) -> bool {
+        self.role != ColumnRole::Data
+    }
+
+    /// Minimum value, or `None` for an empty column.
+    pub fn min(&self) -> Option<Value> {
+        self.data.iter().copied().min()
+    }
+
+    /// Maximum value, or `None` for an empty column.
+    pub fn max(&self) -> Option<Value> {
+        self.data.iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_and_key_flag() {
+        assert!(!Column::data("a", vec![1]).is_key());
+        assert!(Column::primary_key("pk", vec![1]).is_key());
+        assert!(Column::foreign_key("fk", vec![1]).is_key());
+    }
+
+    #[test]
+    fn min_max() {
+        let c = Column::data("a", vec![5, 1, 9, 3]);
+        assert_eq!(c.min(), Some(1));
+        assert_eq!(c.max(), Some(9));
+        assert_eq!(c.len(), 4);
+        let empty = Column::data("e", vec![]);
+        assert_eq!(empty.min(), None);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared by the storage engine.
+
+use std::fmt;
+
+/// Errors raised by table / dataset construction and query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column was added whose length differs from the table's row count.
+    ColumnLengthMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A table, column or join index referenced an out-of-range entity.
+    IndexOutOfRange { what: &'static str, index: usize },
+    /// The joined portion of a query is not a connected acyclic subgraph of
+    /// the dataset's join graph, so exact counting is not defined.
+    NonTreeJoin(String),
+    /// A predicate referenced a table that the query does not include.
+    PredicateOutsideQuery { table: usize },
+    /// A join edge referenced by a query does not exist in the dataset.
+    UnknownJoin { fk_table: usize, pk_table: usize },
+    /// The query references no tables.
+    EmptyQuery,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnLengthMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "column length mismatch in table `{table}`: expected {expected} rows, got {got}"
+            ),
+            StorageError::IndexOutOfRange { what, index } => {
+                write!(f, "{what} index {index} out of range")
+            }
+            StorageError::NonTreeJoin(msg) => write!(f, "query join graph is not a tree: {msg}"),
+            StorageError::PredicateOutsideQuery { table } => {
+                write!(f, "predicate references table {table} not joined by the query")
+            }
+            StorageError::UnknownJoin { fk_table, pk_table } => {
+                write!(f, "no PK-FK join edge from table {fk_table} to table {pk_table}")
+            }
+            StorageError::EmptyQuery => write!(f, "query references no tables"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

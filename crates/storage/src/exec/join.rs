@@ -1,0 +1,181 @@
+//! Materializing binary join operators.
+//!
+//! These are the physical operators the plan simulator (`ce-optsim`) chooses
+//! between when replaying a query plan with injected cardinality estimates:
+//! a build/probe hash join and a nested-loop join. Both operate on *row-id
+//! selections* so they compose with predicate filtering and with each other.
+
+use crate::column::Value;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// An intermediate relation: for each surviving output row, the originating
+/// row id in every base table joined so far.
+#[derive(Debug, Clone)]
+pub struct JoinedRows {
+    /// The base tables (dataset table indices) covered, in column order of
+    /// `rows` entries.
+    pub tables: Vec<usize>,
+    /// One entry per output row; entry `i` holds the row ids aligned with
+    /// `tables`.
+    pub rows: Vec<Vec<u32>>,
+}
+
+impl JoinedRows {
+    /// Lifts a filtered base-table selection into a unary intermediate.
+    pub fn from_selection(table: usize, row_ids: Vec<u32>) -> Self {
+        JoinedRows {
+            tables: vec![table],
+            rows: row_ids.into_iter().map(|r| vec![r]).collect(),
+        }
+    }
+
+    /// Output cardinality.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the intermediate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of `table` inside `tables`, if joined already.
+    pub fn position(&self, table: usize) -> Option<usize> {
+        self.tables.iter().position(|&t| t == table)
+    }
+}
+
+/// Key extraction: the join key of output row `row` of `side`, taken from
+/// base table `table_pos` column `col` of table `table`.
+fn key_of(side: &JoinedRows, table_pos: usize, table: &Table, col: usize, row: usize) -> Value {
+    let base_row = side.rows[row][table_pos] as usize;
+    table.columns[col].data[base_row]
+}
+
+/// Build/probe hash join of `left` and `right` on
+/// `left.key_table.key_col == right.key_table.key_col`.
+///
+/// `left_key = (position-in-left, &Table, column)` etc. The smaller side
+/// should be passed as `left` (the build side) by the caller's cost model.
+pub fn hash_join(
+    left: &JoinedRows,
+    left_key: (usize, &Table, usize),
+    right: &JoinedRows,
+    right_key: (usize, &Table, usize),
+) -> JoinedRows {
+    let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+    for row in 0..left.len() {
+        let k = key_of(left, left_key.0, left_key.1, left_key.2, row);
+        index.entry(k).or_default().push(row);
+    }
+    let mut out_tables = left.tables.clone();
+    out_tables.extend_from_slice(&right.tables);
+    let mut out_rows = Vec::new();
+    for rrow in 0..right.len() {
+        let k = key_of(right, right_key.0, right_key.1, right_key.2, rrow);
+        if let Some(matches) = index.get(&k) {
+            for &lrow in matches {
+                let mut combined = left.rows[lrow].clone();
+                combined.extend_from_slice(&right.rows[rrow]);
+                out_rows.push(combined);
+            }
+        }
+    }
+    JoinedRows {
+        tables: out_tables,
+        rows: out_rows,
+    }
+}
+
+/// Nested-loop join with the same semantics as [`hash_join`]. Quadratic —
+/// exactly why a bad cardinality estimate that picks it on a large input
+/// hurts end-to-end latency (the effect Table V measures).
+pub fn nested_loop_join(
+    left: &JoinedRows,
+    left_key: (usize, &Table, usize),
+    right: &JoinedRows,
+    right_key: (usize, &Table, usize),
+) -> JoinedRows {
+    let mut out_tables = left.tables.clone();
+    out_tables.extend_from_slice(&right.tables);
+    let mut out_rows = Vec::new();
+    for lrow in 0..left.len() {
+        let lk = key_of(left, left_key.0, left_key.1, left_key.2, lrow);
+        for rrow in 0..right.len() {
+            let rk = key_of(right, right_key.0, right_key.1, right_key.2, rrow);
+            if lk == rk {
+                let mut combined = left.rows[lrow].clone();
+                combined.extend_from_slice(&right.rows[rrow]);
+                out_rows.push(combined);
+            }
+        }
+    }
+    JoinedRows {
+        tables: out_tables,
+        rows: out_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn tables() -> (Table, Table) {
+        let a = Table::with_columns(
+            "a",
+            vec![
+                Column::primary_key("id", vec![1, 2, 3]),
+                Column::data("x", vec![10, 20, 30]),
+            ],
+        )
+        .unwrap();
+        let b = Table::with_columns(
+            "b",
+            vec![
+                Column::foreign_key("a_id", vec![1, 1, 2, 9]),
+                Column::data("y", vec![5, 6, 7, 8]),
+            ],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn hash_and_nested_loop_agree() {
+        let (a, b) = tables();
+        let left = JoinedRows::from_selection(0, vec![0, 1, 2]);
+        let right = JoinedRows::from_selection(1, vec![0, 1, 2, 3]);
+        let h = hash_join(&left, (0, &a, 0), &right, (0, &b, 0));
+        let n = nested_loop_join(&left, (0, &a, 0), &right, (0, &b, 0));
+        assert_eq!(h.len(), 3); // fk 9 dangles
+        assert_eq!(n.len(), 3);
+        let mut hs: Vec<_> = h.rows.clone();
+        let mut ns: Vec<_> = n.rows.clone();
+        hs.sort();
+        ns.sort();
+        assert_eq!(hs, ns);
+        assert_eq!(h.tables, vec![0, 1]);
+    }
+
+    #[test]
+    fn join_respects_selections() {
+        let (a, b) = tables();
+        // Only a.id = 2 survives filtering.
+        let left = JoinedRows::from_selection(0, vec![1]);
+        let right = JoinedRows::from_selection(1, vec![0, 1, 2, 3]);
+        let h = hash_join(&left, (0, &a, 0), &right, (0, &b, 0));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.rows[0], vec![1, 2]); // a row 1 joined with b row 2
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (a, b) = tables();
+        let left = JoinedRows::from_selection(0, vec![]);
+        let right = JoinedRows::from_selection(1, vec![0]);
+        assert!(hash_join(&left, (0, &a, 0), &right, (0, &b, 0)).is_empty());
+        assert!(nested_loop_join(&left, (0, &a, 0), &right, (0, &b, 0)).is_empty());
+    }
+}

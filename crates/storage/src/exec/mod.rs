@@ -1,0 +1,19 @@
+//! Exact query evaluation.
+//!
+//! * [`filter`]: per-table predicate evaluation producing row-id selections.
+//! * [`count`]: exact cardinality of acyclic SPJ queries via a
+//!   Yannakakis-style bottom-up weighted count (linear in table sizes).
+//! * [`sample`]: weighted uniform sampling from the (never materialized)
+//!   full join result — the join-sample source of NeuroCard/UAE.
+//! * [`join`]: materializing binary hash / nested-loop joins used by the
+//!   plan simulator (`ce-optsim`) to measure real execution times.
+
+pub mod count;
+pub mod filter;
+pub mod join;
+pub mod sample;
+
+pub use count::query_cardinality;
+pub use filter::{filter_table, selection_bitmap};
+pub use join::{hash_join, nested_loop_join, JoinedRows};
+pub use sample::sample_join;

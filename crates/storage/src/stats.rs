@@ -1,0 +1,352 @@
+//! Per-column and cross-column statistics.
+//!
+//! These summaries feed two consumers:
+//!
+//! * the feature extractor (`ce-features`), which needs exactly the data
+//!   features the paper lists in §V-A1 — skewness, kurtosis, standard/mean
+//!   deviation, range, domain size, column-to-column correlation and join
+//!   correlation;
+//! * the histogram-based estimators (`ce-models::postgres`), which need
+//!   equi-depth histograms and distinct counts.
+
+use crate::column::{Column, Value};
+use crate::dataset::{Dataset, JoinEdge};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Moment-based summary of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of rows.
+    pub count: usize,
+    /// Minimum value (0 for empty columns).
+    pub min: Value,
+    /// Maximum value (0 for empty columns).
+    pub max: Value,
+    /// Number of distinct values.
+    pub ndv: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Mean absolute deviation from the mean.
+    pub mean_dev: f64,
+    /// Sample skewness (third standardized moment); 0 when degenerate.
+    pub skewness: f64,
+    /// Excess kurtosis (fourth standardized moment − 3); 0 when degenerate.
+    pub kurtosis: f64,
+}
+
+impl ColumnStats {
+    /// Computes all moments in one pass (plus one NDV pass).
+    pub fn compute(column: &Column) -> Self {
+        let n = column.len();
+        if n == 0 {
+            return ColumnStats {
+                count: 0,
+                min: 0,
+                max: 0,
+                ndv: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                mean_dev: 0.0,
+                skewness: 0.0,
+                kurtosis: 0.0,
+            };
+        }
+        let data = &column.data;
+        let (mut min, mut max) = (data[0], data[0]);
+        let mut sum = 0.0f64;
+        for &v in data {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+        }
+        let mean = sum / n as f64;
+        let (mut m2, mut m3, mut m4, mut adev) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for &v in data {
+            let d = v as f64 - mean;
+            let d2 = d * d;
+            m2 += d2;
+            m3 += d2 * d;
+            m4 += d2 * d2;
+            adev += d.abs();
+        }
+        m2 /= n as f64;
+        m3 /= n as f64;
+        m4 /= n as f64;
+        adev /= n as f64;
+        let std_dev = m2.sqrt();
+        let (skewness, kurtosis) = if std_dev > 1e-12 {
+            (m3 / (std_dev * std_dev * std_dev), m4 / (m2 * m2) - 3.0)
+        } else {
+            (0.0, 0.0)
+        };
+        let ndv = data.iter().copied().collect::<HashSet<_>>().len();
+        ColumnStats {
+            count: n,
+            min,
+            max,
+            ndv,
+            mean,
+            std_dev,
+            mean_dev: adev,
+            skewness,
+            kurtosis,
+        }
+    }
+
+    /// Value range (`max - min`), as used in the feature matrix.
+    pub fn range(&self) -> f64 {
+        (self.max - self.min) as f64
+    }
+}
+
+/// Equi-depth histogram over a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiDepthHistogram {
+    /// Bucket upper bounds (inclusive), ascending. `bounds.len()` buckets.
+    pub bounds: Vec<Value>,
+    /// Rows per bucket.
+    pub counts: Vec<usize>,
+    /// Total rows.
+    pub total: usize,
+    /// Column minimum (lower bound of the first bucket).
+    pub min: Value,
+}
+
+impl EquiDepthHistogram {
+    /// Builds a histogram with at most `buckets` buckets.
+    pub fn build(column: &Column, buckets: usize) -> Self {
+        let mut sorted = column.data.clone();
+        sorted.sort_unstable();
+        let total = sorted.len();
+        if total == 0 || buckets == 0 {
+            return EquiDepthHistogram {
+                bounds: Vec::new(),
+                counts: Vec::new(),
+                total: 0,
+                min: 0,
+            };
+        }
+        let min = sorted[0];
+        let per = total.div_ceil(buckets);
+        // Run-length encode, then pack runs greedily into buckets of target
+        // depth `per`. A run at least as large as `per` (a heavy hitter)
+        // always gets its own bucket, so point queries on skewed columns stay
+        // accurate — the behavior PostgreSQL gets from its MCV list.
+        let mut runs: Vec<(Value, usize)> = Vec::new();
+        for &v in &sorted {
+            match runs.last_mut() {
+                Some((rv, c)) if *rv == v => *c += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        let mut acc = 0usize;
+        for (i, &(v, c)) in runs.iter().enumerate() {
+            if c >= per && acc > 0 {
+                // Close the current bucket before the heavy run.
+                bounds.push(runs[i - 1].0);
+                counts.push(acc);
+                acc = 0;
+            }
+            acc += c;
+            if acc >= per || i + 1 == runs.len() {
+                bounds.push(v);
+                counts.push(acc);
+                acc = 0;
+            }
+        }
+        EquiDepthHistogram {
+            bounds,
+            counts,
+            total,
+            min,
+        }
+    }
+
+    /// Estimated selectivity of `lo <= x <= hi`, assuming uniformity inside
+    /// each bucket.
+    pub fn selectivity(&self, lo: Value, hi: Value) -> f64 {
+        if self.total == 0 || hi < lo {
+            return 0.0;
+        }
+        let mut selected = 0.0f64;
+        let mut lower = self.min;
+        for (i, &ub) in self.bounds.iter().enumerate() {
+            let bucket_lo = lower;
+            let bucket_hi = ub;
+            lower = ub + 1;
+            if bucket_hi < lo || bucket_lo > hi {
+                continue;
+            }
+            let width = (bucket_hi - bucket_lo + 1) as f64;
+            let olo = lo.max(bucket_lo);
+            let ohi = hi.min(bucket_hi);
+            let overlap = (ohi - olo + 1) as f64;
+            selected += self.counts[i] as f64 * (overlap / width).clamp(0.0, 1.0);
+        }
+        (selected / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Pearson correlation between two equal-length columns; 0 when degenerate.
+pub fn pearson(a: &Column, b: &Column) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_a = a.data[..n].iter().map(|&v| v as f64).sum::<f64>() / nf;
+    let mean_b = b.data[..n].iter().map(|&v| v as f64).sum::<f64>() / nf;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let da = a.data[i] as f64 - mean_a;
+        let db = b.data[i] as f64 - mean_b;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 1e-12 || vb <= 1e-12 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Fraction of positions where two columns hold the same value — the direct
+/// inverse of the generator's F2 correlation parameter (§IV-A).
+pub fn equality_rate(a: &Column, b: &Column) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let eq = (0..n).filter(|&i| a.data[i] == b.data[i]).count();
+    eq as f64 / n as f64
+}
+
+/// Join correlation of an edge: the fraction of the PK column's value set
+/// covered by the FK column's value set (§V-A1 — "taking the set of the FK
+/// column data, then calculating its ratio over the PK column data").
+pub fn join_correlation(ds: &Dataset, edge: &JoinEdge) -> f64 {
+    let fk: HashSet<Value> = ds.tables[edge.fk_table].columns[edge.fk_col]
+        .data
+        .iter()
+        .copied()
+        .collect();
+    let pk: HashSet<Value> = ds.tables[edge.pk_table].columns[edge.pk_col]
+        .data
+        .iter()
+        .copied()
+        .collect();
+    if pk.is_empty() {
+        return 0.0;
+    }
+    let inter = fk.intersection(&pk).count();
+    inter as f64 / pk.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    #[test]
+    fn moments_of_uniform() {
+        let c = Column::data("u", (1..=100).collect());
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.ndv, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(s.skewness.abs() < 1e-9, "uniform is symmetric");
+        assert!(s.kurtosis < 0.0, "uniform is platykurtic");
+        assert_eq!(s.range(), 99.0);
+    }
+
+    #[test]
+    fn skewed_column_has_positive_skew() {
+        let mut data = vec![1; 90];
+        data.extend(vec![100; 10]);
+        let s = ColumnStats::compute(&Column::data("s", data));
+        assert!(s.skewness > 1.0);
+    }
+
+    #[test]
+    fn degenerate_column() {
+        let s = ColumnStats::compute(&Column::data("k", vec![7, 7, 7]));
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.ndv, 1);
+        let e = ColumnStats::compute(&Column::data("e", vec![]));
+        assert_eq!(e.count, 0);
+    }
+
+    #[test]
+    fn histogram_selectivity() {
+        let c = Column::data("h", (1..=1000).collect());
+        let h = EquiDepthHistogram::build(&c, 10);
+        assert_eq!(h.total, 1000);
+        let s = h.selectivity(1, 1000);
+        assert!((s - 1.0).abs() < 1e-9);
+        let half = h.selectivity(1, 500);
+        assert!((half - 0.5).abs() < 0.01, "half = {half}");
+        assert_eq!(h.selectivity(2000, 3000), 0.0);
+        assert_eq!(h.selectivity(10, 5), 0.0);
+    }
+
+    #[test]
+    fn histogram_heavy_hitter_not_split() {
+        let mut data = vec![5; 500];
+        data.extend(1..=500);
+        let h = EquiDepthHistogram::build(&Column::data("hh", data), 4);
+        let s = h.selectivity(5, 5);
+        assert!(s > 0.3, "point query on heavy hitter, s = {s}");
+    }
+
+    #[test]
+    fn pearson_perfect_and_none() {
+        let a = Column::data("a", (1..=50).collect());
+        let b = Column::data("b", (1..=50).map(|v| v * 2).collect());
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+        let c = Column::data("c", (1..=50).rev().collect());
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-9);
+        let k = Column::data("k", vec![3; 50]);
+        assert_eq!(pearson(&a, &k), 0.0);
+    }
+
+    #[test]
+    fn equality_rate_counts_positions() {
+        let a = Column::data("a", vec![1, 2, 3, 4]);
+        let b = Column::data("b", vec![1, 9, 3, 9]);
+        assert!((equality_rate(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_correlation_ratio() {
+        let main = Table::with_columns(
+            "m",
+            vec![Column::primary_key("id", vec![1, 2, 3, 4])],
+        )
+        .unwrap();
+        let fact = Table::with_columns(
+            "f",
+            vec![Column::foreign_key("m_id", vec![1, 1, 2, 2])],
+        )
+        .unwrap();
+        let ds = Dataset::new(
+            "d",
+            vec![main, fact],
+            vec![JoinEdge {
+                fk_table: 1,
+                fk_col: 0,
+                pk_table: 0,
+                pk_col: 0,
+            }],
+        )
+        .unwrap();
+        // FK covers {1,2} of PK {1,2,3,4} -> 0.5.
+        assert!((join_correlation(&ds, &ds.joins[0]) - 0.5).abs() < 1e-12);
+    }
+}

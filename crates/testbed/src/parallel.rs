@@ -1,0 +1,86 @@
+//! Parallel batch labeling.
+//!
+//! Stage-1 labeling trains every model on every dataset — the paper reports
+//! ~2 hours for its corpus. Datasets are independent, so we fan the work out
+//! over a crossbeam scoped thread pool with a shared work queue.
+
+use crate::label::{label_dataset, DatasetLabel, TestbedConfig};
+use ce_storage::Dataset;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Labels all datasets, using up to `threads` worker threads (0 = all
+/// available cores). Output order matches input order; per-dataset seeds are
+/// derived from `seed` and the dataset index so results are independent of
+/// scheduling.
+pub fn label_datasets(
+    datasets: &[Dataset],
+    cfg: &TestbedConfig,
+    seed: u64,
+    threads: usize,
+) -> Vec<DatasetLabel> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, usize::from)
+    } else {
+        threads
+    };
+    let threads = threads.min(datasets.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<DatasetLabel>>> =
+        (0..datasets.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= datasets.len() {
+                    break;
+                }
+                let label = label_dataset(&datasets[i], cfg, seed.wrapping_add(i as u64));
+                *results[i].lock() = Some(label);
+            });
+        }
+    })
+    .expect("labeling workers do not panic");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_models::ModelKind;
+    use ce_workload::WorkloadSpec;
+    use ce_datagen::{generate_batch, DatasetSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(211);
+        let datasets = generate_batch("p", 4, &DatasetSpec::small(), &mut rng);
+        let cfg = TestbedConfig {
+            models: vec![ModelKind::Postgres, ModelKind::LwXgb],
+            train_queries: 60,
+            test_queries: 30,
+            workload: WorkloadSpec::default(),
+        };
+        let par = label_datasets(&datasets, &cfg, 99, 3);
+        let seq: Vec<_> = datasets
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| label_dataset(ds, &cfg, 99u64.wrapping_add(i as u64)))
+            .collect();
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.dataset, s.dataset);
+            for (a, b) in p.performances.iter().zip(&s.performances) {
+                assert_eq!(a.kind, b.kind);
+                assert!((a.qerror_mean - b.qerror_mean).abs() < 1e-9);
+            }
+        }
+    }
+}

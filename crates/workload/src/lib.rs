@@ -1,0 +1,21 @@
+//! # ce-workload — SPJ workload generation and ground-truth labeling
+//!
+//! The paper trains query-driven CE models on 9,000 labeled SPJ queries and
+//! tests every model on 1,000 more (§VII-A), plus the CEB-IMDB templates
+//! with `GROUP BY` / `LIKE` removed. This crate provides:
+//!
+//! * [`gen`]: randomized SPJ query generation over any dataset's join graph
+//!   (connected subtree + conjunctive range predicates on non-key columns);
+//! * [`label`]: exact labeling through the storage engine's Yannakakis
+//!   counter;
+//! * [`ceb`]: the CEB-like template workload used by Table III;
+//! * [`metrics`]: Q-error (§II, metric 1).
+
+pub mod ceb;
+pub mod gen;
+pub mod label;
+pub mod metrics;
+
+pub use gen::{generate_workload, WorkloadSpec};
+pub use label::{label_workload, LabeledQuery};
+pub use metrics::qerror;

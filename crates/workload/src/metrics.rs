@@ -1,0 +1,70 @@
+//! Accuracy metrics.
+
+/// Q-error (§II, metric 1): `max(est, true) / min(est, true)`, with both
+/// sides floored at 1 row (the standard convention, also used by the paper's
+/// baselines) so empty results do not blow the ratio up to infinity.
+pub fn qerror(estimated: f64, true_card: f64) -> f64 {
+    let e = estimated.max(1.0);
+    let t = true_card.max(1.0);
+    if e >= t {
+        e / t
+    } else {
+        t / e
+    }
+}
+
+/// Mean Q-error over paired estimates and ground truths.
+pub fn mean_qerror(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len());
+    if estimates.is_empty() {
+        return 1.0;
+    }
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(&e, &t)| qerror(e, t))
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// The given percentile (0-100) of the Q-error distribution.
+pub fn percentile_qerror(estimates: &[f64], truths: &[f64], pct: f64) -> f64 {
+    assert_eq!(estimates.len(), truths.len());
+    if estimates.is_empty() {
+        return 1.0;
+    }
+    let mut qs: Vec<f64> = estimates
+        .iter()
+        .zip(truths)
+        .map(|(&e, &t)| qerror(e, t))
+        .collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+    let rank = ((pct / 100.0) * (qs.len() - 1) as f64).round() as usize;
+    qs[rank.min(qs.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_floored() {
+        assert_eq!(qerror(10.0, 100.0), 10.0);
+        assert_eq!(qerror(100.0, 10.0), 10.0);
+        assert_eq!(qerror(1.0, 1.0), 1.0);
+        // Zero estimates / truths are floored at 1.
+        assert_eq!(qerror(0.0, 5.0), 5.0);
+        assert_eq!(qerror(5.0, 0.0), 5.0);
+        assert_eq!(qerror(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let est = vec![1.0, 10.0, 100.0];
+        let tru = vec![1.0, 1.0, 1.0];
+        assert!((mean_qerror(&est, &tru) - 37.0).abs() < 1e-9);
+        assert_eq!(percentile_qerror(&est, &tru, 50.0), 10.0);
+        assert_eq!(percentile_qerror(&est, &tru, 100.0), 100.0);
+        assert_eq!(mean_qerror(&[], &[]), 1.0);
+    }
+}

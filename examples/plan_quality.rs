@@ -1,0 +1,76 @@
+//! Query-optimization scenario (paper §VII-D / Table V): inject a CE
+//! model's estimates into the cost-based optimizer, execute the chosen
+//! plans, and compare end-to-end latency against the default PostgreSQL
+//! estimator and the TrueCard oracle.
+//!
+//! Run with `cargo run --release --example plan_quality`.
+
+use autoce_suite::datagen::{generate_dataset, DatasetSpec};
+use autoce_suite::models::{build_model, ModelKind, TrainContext};
+use autoce_suite::optsim::{run_workload, DatasetIndexes, TrueCardEstimator};
+use autoce_suite::workload::{generate_workload, label_workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let ds = generate_dataset("shop", &DatasetSpec::small().multi_table(), &mut rng);
+    println!(
+        "dataset `{}`: {} tables, {} rows total",
+        ds.name,
+        ds.num_tables(),
+        ds.total_rows()
+    );
+    let indexes = DatasetIndexes::build(&ds);
+
+    // Workload: train split feeds the query-driven models, the test split
+    // is executed end-to-end.
+    let all = generate_workload(
+        &ds,
+        &WorkloadSpec {
+            num_queries: 260,
+            ..WorkloadSpec::default()
+        },
+        &mut rng,
+    );
+    let labeled = label_workload(&ds, &all).expect("workload validates");
+    let (train, test) = autoce_suite::workload::label::train_test_split(labeled, 0.75);
+    let queries: Vec<_> = test.into_iter().map(|lq| lq.query).collect();
+
+    let ctx = TrainContext {
+        dataset: &ds,
+        train_queries: &train,
+        seed: 3,
+    };
+    let oracle = TrueCardEstimator::new(&ds);
+    let baseline = run_workload(&ds, &queries, &oracle, &indexes);
+    println!(
+        "{:<10} exec {:.3}s  inference {:.3}s  (result rows {})",
+        "TrueCard", baseline.execution_secs, baseline.inference_secs, baseline.total_rows
+    );
+    let mut pg_report = None;
+    for kind in [
+        ModelKind::Postgres,
+        ModelKind::Mscn,
+        ModelKind::DeepDb,
+        ModelKind::LwNn,
+    ] {
+        let model = build_model(kind, &ctx);
+        let report = run_workload(&ds, &queries, model.as_ref(), &indexes);
+        assert_eq!(report.total_rows, baseline.total_rows, "plans agree on answers");
+        let vs_pg = pg_report
+            .as_ref()
+            .map(|b| format!("{:+.1}% vs Postgres", report.improvement_over(b) * 100.0))
+            .unwrap_or_else(|| "baseline".to_string());
+        println!(
+            "{:<10} exec {:.3}s  inference {:.3}s  {}",
+            kind.name(),
+            report.execution_secs,
+            report.inference_secs,
+            vs_pg
+        );
+        if kind == ModelKind::Postgres {
+            pg_report = Some(report);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Benchmarking-query generation scenario (paper §I, Example 1): a user
+//! generating millions of queries with cardinality constraints needs the CE
+//! step to be *fast*, so she weights efficiency heavily; an accuracy-first
+//! user makes the opposite choice. The advisor adapts, and we verify the
+//! trade-off by actually running the two recommended models.
+//!
+//! Run with `cargo run --release --example query_generation`.
+
+use autoce_suite::autoce::{AutoCe, AutoCeConfig};
+use autoce_suite::datagen::realworld::power_like;
+use autoce_suite::datagen::{generate_batch, DatasetSpec};
+use autoce_suite::gnn::DmlConfig;
+use autoce_suite::models::{build_model, TrainContext, SELECTABLE_MODELS};
+use autoce_suite::testbed::{label_datasets, MetricWeights, TestbedConfig};
+use autoce_suite::workload::{
+    generate_workload, label_workload, metrics::mean_qerror, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Offline advisor training.
+    println!("training advisor on a synthetic corpus...");
+    let corpus = generate_batch("c", 14, &DatasetSpec::small(), &mut rng);
+    let testbed = TestbedConfig {
+        models: SELECTABLE_MODELS.to_vec(),
+        train_queries: 100,
+        test_queries: 40,
+        workload: WorkloadSpec::default(),
+    };
+    let labels = label_datasets(&corpus, &testbed, 11, 0);
+    let advisor = AutoCe::train(
+        &corpus,
+        &labels,
+        AutoCeConfig {
+            dml: DmlConfig {
+                epochs: 12,
+                ..DmlConfig::default()
+            },
+            ..AutoCeConfig::default()
+        },
+        13,
+    );
+
+    // The target dataset: a Power-style single wide table.
+    let power = power_like(0.02, &mut rng);
+    let fast_choice = advisor.recommend(&power, MetricWeights::new(0.1));
+    let accurate_choice = advisor.recommend(&power, MetricWeights::new(1.0));
+    println!("efficiency-first (w_a=0.1)  -> {fast_choice}");
+    println!("accuracy-first   (w_a=1.0)  -> {accurate_choice}");
+
+    // Train both and measure what the generator would experience.
+    let queries = generate_workload(
+        &power,
+        &WorkloadSpec {
+            num_queries: 400,
+            ..WorkloadSpec::default()
+        },
+        &mut rng,
+    );
+    let labeled = label_workload(&power, &queries).expect("queries validate");
+    let (train, test) = autoce_suite::workload::label::train_test_split(labeled, 0.75);
+    for (tag, kind) in [("fast", fast_choice), ("accurate", accurate_choice)] {
+        let model = build_model(
+            kind,
+            &TrainContext {
+                dataset: &power,
+                train_queries: &train,
+                seed: 17,
+            },
+        );
+        let t0 = Instant::now();
+        let est: Vec<f64> = test.iter().map(|lq| model.estimate(&lq.query)).collect();
+        let per_query_us = t0.elapsed().as_secs_f64() * 1e6 / test.len() as f64;
+        let truths: Vec<f64> = test.iter().map(|lq| lq.true_card as f64).collect();
+        println!(
+            "  {tag:>8} ({kind}): mean q-error {:.2}, {per_query_us:.1} µs/query",
+            mean_qerror(&est, &truths)
+        );
+    }
+}

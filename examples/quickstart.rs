@@ -1,0 +1,70 @@
+//! Quickstart: train the AutoCE advisor on a small synthetic corpus and ask
+//! it for model recommendations under different accuracy/efficiency
+//! trade-offs.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use autoce_suite::autoce::{AutoCe, AutoCeConfig};
+use autoce_suite::datagen::{generate_batch, generate_dataset, DatasetSpec};
+use autoce_suite::gnn::DmlConfig;
+use autoce_suite::models::{ModelKind, SELECTABLE_MODELS};
+use autoce_suite::testbed::{label_datasets, MetricWeights, TestbedConfig};
+use autoce_suite::workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Stage 1 — generate and label a corpus of datasets. Each label holds
+    // the measured mean Q-error and inference latency of all seven
+    // candidate CE models on that dataset.
+    println!("generating and labeling 16 training datasets (7 CE models each)...");
+    let spec = DatasetSpec::small();
+    let train = generate_batch("train", 16, &spec, &mut rng);
+    let testbed = TestbedConfig {
+        models: SELECTABLE_MODELS.to_vec(),
+        train_queries: 120,
+        test_queries: 50,
+        workload: WorkloadSpec::default(),
+    };
+    let labels = label_datasets(&train, &testbed, 7, 0);
+    for (ds, label) in train.iter().zip(&labels).take(3) {
+        println!(
+            "  {}: best(acc)={} best(balanced)={}",
+            ds.name,
+            label.best_model(MetricWeights::new(1.0)),
+            label.best_model(MetricWeights::new(0.5)),
+        );
+    }
+
+    // Stage 2-3 — train the advisor (GIN + deep metric learning + Mixup
+    // incremental learning).
+    println!("training the advisor...");
+    let advisor = AutoCe::train(
+        &train,
+        &labels,
+        AutoCeConfig {
+            dml: DmlConfig {
+                epochs: 15,
+                ..DmlConfig::default()
+            },
+            ..AutoCeConfig::default()
+        },
+        1,
+    );
+
+    // Stage 4 — recommend for a brand-new dataset, under different user
+    // requirements, without training a single CE model online.
+    let fresh = generate_dataset("fresh-tenant", &spec, &mut rng);
+    println!(
+        "new dataset `{}`: {} tables, {} total rows",
+        fresh.name,
+        fresh.num_tables(),
+        fresh.total_rows()
+    );
+    for wa in [1.0, 0.5, 0.1] {
+        let choice: ModelKind = advisor.recommend(&fresh, MetricWeights::new(wa));
+        println!("  accuracy weight {wa:>3}: use {choice}");
+    }
+}

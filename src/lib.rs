@@ -1,0 +1,16 @@
+//! # autoce-suite — umbrella crate of the AutoCE reproduction
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests have a single import root. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+
+pub use autoce;
+pub use ce_datagen as datagen;
+pub use ce_features as features;
+pub use ce_gnn as gnn;
+pub use ce_models as models;
+pub use ce_nn as nn;
+pub use ce_optsim as optsim;
+pub use ce_storage as storage;
+pub use ce_testbed as testbed;
+pub use ce_workload as workload;
