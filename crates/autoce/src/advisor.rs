@@ -7,6 +7,7 @@ use ce_models::ModelKind;
 use ce_nn::matrix::euclidean;
 use ce_storage::Dataset;
 use ce_testbed::{DatasetLabel, MetricWeights};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Advisor configuration.
@@ -118,9 +119,10 @@ impl AutoCe {
             })
             .collect();
 
-        // Stage 2: deep metric learning.
+        // Stage 2: deep metric learning. Graphs are borrowed into the
+        // trainer, never cloned.
         let dml_labels: Vec<Vec<f64>> = entries.iter().map(RcsEntry::dml_label).collect();
-        let graph_refs: Vec<FeatureGraph> = entries.iter().map(|e| e.graph.clone()).collect();
+        let graph_refs: Vec<&FeatureGraph> = entries.iter().map(|e| &e.graph).collect();
         let mut encoder = train_encoder(&graph_refs, &dml_labels, &config.dml, seed);
 
         // Stage 3: incremental learning with Mixup (Algorithm 2).
@@ -128,9 +130,13 @@ impl AutoCe {
             run_incremental_learning(&mut encoder, &entries, il, &config, seed);
         }
 
-        // Final embeddings for the RCS.
-        for e in &mut entries {
-            e.embedding = encoder.encode(&e.graph);
+        // Final embeddings for the RCS, batch-parallel.
+        let embeddings: Vec<Vec<f32>> = entries
+            .par_iter()
+            .map(|e| encoder.encode(&e.graph))
+            .collect();
+        for (e, embedding) in entries.iter_mut().zip(embeddings) {
+            e.embedding = embedding;
         }
         AutoCe {
             config,
@@ -187,8 +193,19 @@ impl AutoCe {
             .filter(|(i, _)| *i != exclude)
             .map(|(i, e)| (i, euclidean(embedding, &e.embedding)))
             .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        assert!(
+            !dists.is_empty(),
+            "KNN needs at least one non-excluded RCS entry"
+        );
+        // Partial selection: only the k nearest need ordering; sorting the
+        // whole RCS per query is wasted work on the serving path.
         let k = self.config.k.clamp(1, dists.len());
+        let by_dist =
+            |a: &(usize, f32), b: &(usize, f32)| a.1.partial_cmp(&b.1).expect("finite distances");
+        if k < dists.len() {
+            dists.select_nth_unstable_by(k - 1, by_dist);
+        }
+        dists[..k].sort_unstable_by(by_dist);
         let neighbors = &dists[..k];
         let arity = self.rcs[neighbors[0].0].kinds.len();
         let mut avg = vec![0.0f64; arity];
@@ -218,11 +235,6 @@ impl AutoCe {
         self.predict_from_embedding(&x, w).0
     }
 
-    /// Mutable encoder access (online adapting re-trains it in place).
-    pub(crate) fn encoder_mut(&mut self) -> &mut GinEncoder {
-        &mut self.encoder
-    }
-
     /// Shared encoder access.
     pub fn encoder(&self) -> &GinEncoder {
         &self.encoder
@@ -242,10 +254,23 @@ impl AutoCe {
         });
     }
 
-    /// Recomputes all RCS embeddings (after incremental encoder updates).
+    /// Splits a mutable encoder borrow from a shared RCS borrow (online
+    /// adapting retrains the encoder on borrowed RCS graphs).
+    pub(crate) fn encoder_and_rcs(&mut self) -> (&mut GinEncoder, &[RcsEntry]) {
+        (&mut self.encoder, &self.rcs)
+    }
+
+    /// Recomputes all RCS embeddings (after incremental encoder updates),
+    /// batch-parallel over the pool.
     pub fn refresh_embeddings(&mut self) {
-        for e in &mut self.rcs {
-            e.embedding = self.encoder.encode(&e.graph);
+        let encoder = &self.encoder;
+        let embeddings: Vec<Vec<f32>> = self
+            .rcs
+            .par_iter()
+            .map(|e| encoder.encode(&e.graph))
+            .collect();
+        for (e, embedding) in self.rcs.iter_mut().zip(embeddings) {
+            e.embedding = embedding;
         }
     }
 }

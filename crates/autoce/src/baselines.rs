@@ -203,8 +203,7 @@ impl RegressionSelector {
             for &i in &order {
                 let emb = encoder.forward_train(&graphs[i]);
                 let pred = head.forward(&Matrix::row_vector(&emb));
-                let (_, grad) =
-                    ce_nn::loss::mse_loss(&pred, &Matrix::row_vector(&targets[i]));
+                let (_, grad) = ce_nn::loss::mse_loss(&pred, &Matrix::row_vector(&targets[i]));
                 let g_emb = head.backward(&grad);
                 encoder.backward(g_emb.row(0), graphs[i].num_vertices());
                 head.step(dml.lr);
@@ -286,7 +285,10 @@ impl Selector for RuleSelector {
         } else {
             &pool
         };
-        *pool.as_slice().choose(&mut *rng).expect("nonempty candidates")
+        *pool
+            .as_slice()
+            .choose(&mut *rng)
+            .expect("nonempty candidates")
     }
 }
 
@@ -502,7 +504,9 @@ mod tests {
             assert!(rule
                 .select(&single, MetricWeights::new(1.0))
                 .is_data_driven());
-            assert!(rule.select(&multi, MetricWeights::new(1.0)).is_query_driven());
+            assert!(rule
+                .select(&multi, MetricWeights::new(1.0))
+                .is_query_driven());
         }
     }
 

@@ -7,7 +7,10 @@ use rand::Rng;
 
 /// Draws one sample from `Beta(alpha, beta)`.
 pub fn sample_beta<R: Rng>(alpha: f64, beta: f64, rng: &mut R) -> f64 {
-    assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "Beta parameters must be positive"
+    );
     // Jöhnk: accept (u^(1/α), v^(1/β)) when their sum is ≤ 1.
     for _ in 0..10_000 {
         let u: f64 = rng.gen::<f64>().max(1e-300);

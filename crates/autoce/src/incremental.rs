@@ -20,6 +20,7 @@ use ce_testbed::score::best_index;
 use ce_testbed::{d_error, MetricWeights};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Incremental-learning parameters.
@@ -79,7 +80,10 @@ pub fn collect_feedback(
         return FeedbackSplit::default();
     }
     let w = MetricWeights::new(il.validation_weight);
-    let embeddings: Vec<Vec<f32>> = entries.iter().map(|e| encoder.encode(&e.graph)).collect();
+    let embeddings: Vec<Vec<f32>> = entries
+        .par_iter()
+        .map(|e| encoder.encode(&e.graph))
+        .collect();
     let folds = il.folds.clamp(2, n);
     let mut split = FeedbackSplit::default();
     for i in 0..n {
@@ -127,12 +131,19 @@ pub fn run_incremental_learning(
         return 0;
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x3141);
-    let embeddings: Vec<Vec<f32>> = entries.iter().map(|e| encoder.encode(&e.graph)).collect();
+    let embeddings: Vec<Vec<f32>> = entries
+        .par_iter()
+        .map(|e| encoder.encode(&e.graph))
+        .collect();
 
     // Step 2: Mixup each feedback sample with its nearest reference.
     let mut aug_graphs: Vec<FeatureGraph> = Vec::with_capacity(split.feedback.len());
     let mut aug_labels: Vec<Vec<f64>> = Vec::with_capacity(split.feedback.len());
-    let feedback = if il.augment { split.feedback.clone() } else { Vec::new() };
+    let feedback = if il.augment {
+        split.feedback.clone()
+    } else {
+        Vec::new()
+    };
     for &i in &feedback {
         let &j = split
             .reference
@@ -144,7 +155,11 @@ pub fn run_incremental_learning(
             })
             .expect("reference set nonempty");
         let lambda = sample_beta(il.mixup_alpha, il.mixup_beta, &mut rng);
-        aug_graphs.push(mixup_graphs(&entries[i].graph, &entries[j].graph, lambda as f32));
+        aug_graphs.push(mixup_graphs(
+            &entries[i].graph,
+            &entries[j].graph,
+            lambda as f32,
+        ));
         aug_labels.push(mixup_labels(
             &entries[i].dml_label(),
             &entries[j].dml_label(),
@@ -153,10 +168,14 @@ pub fn run_incremental_learning(
     }
     let synthesized = aug_graphs.len();
 
-    // Step 3: incremental training on original + synthetic data.
-    let mut graphs: Vec<FeatureGraph> = entries.iter().map(|e| e.graph.clone()).collect();
+    // Step 3: incremental training on original + synthetic data (original
+    // graphs borrowed from the RCS, only the synthetics are owned).
+    let graphs: Vec<&FeatureGraph> = entries
+        .iter()
+        .map(|e| &e.graph)
+        .chain(aug_graphs.iter())
+        .collect();
     let mut labels: Vec<Vec<f64>> = entries.iter().map(RcsEntry::dml_label).collect();
-    graphs.extend(aug_graphs);
     labels.extend(aug_labels);
     let mut cfg = config.dml.clone();
     cfg.epochs = il.epochs;

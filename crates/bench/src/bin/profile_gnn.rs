@@ -1,0 +1,117 @@
+//! Phase-attribution profiler for the GIN training engine.
+//!
+//! Not a paper experiment: this driver times the parallel sparse engine
+//! against the pre-refactor reference and breaks one training run into its
+//! phases (forward, loss, backward, reduction, Adam) so future perf work
+//! knows where the time goes. Pass `big` (8-12 tables) or `huge` (15-20)
+//! to scale the schemas up from the default 2-5 tables.
+
+use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
+use ce_features::{extract_features, FeatureConfig, FeatureGraph};
+use ce_gnn::loss::{pair_sets, weighted_contrastive};
+use ce_gnn::reference::train_encoder_reference;
+use ce_gnn::{train_encoder, DmlConfig, GinEncoder, GinGrads, GraphCtx};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x617e);
+    let mut spec = DatasetSpec::small().multi_table();
+    match std::env::args().nth(1).as_deref() {
+        Some("big") => spec.tables = SpecRange { lo: 8, hi: 12 },
+        Some("huge") => spec.tables = SpecRange { lo: 15, hi: 20 },
+        _ => {}
+    }
+    let fcfg = FeatureConfig::default();
+    let graphs: Vec<FeatureGraph> = (0..50)
+        .map(|i| extract_features(&generate_dataset(format!("g{i}"), &spec, &mut rng), &fcfg))
+        .collect();
+    let labels: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            if i % 2 == 0 {
+                vec![1.0, 0.2, 0.1 * (i % 5) as f64]
+            } else {
+                vec![0.1 * (i % 5) as f64, 0.2, 1.0]
+            }
+        })
+        .collect();
+    let cfg = DmlConfig::default();
+
+    let t = Instant::now();
+    for r in 0..5u64 {
+        black_box(train_encoder(&graphs, &labels, &cfg, 9 + r));
+    }
+    let fast = t.elapsed() / 5;
+    println!("train (parallel sparse engine): {fast:?}");
+
+    let t = Instant::now();
+    for r in 0..5u64 {
+        black_box(train_encoder_reference(&graphs, &labels, &cfg, 9 + r));
+    }
+    let reference = t.elapsed() / 5;
+    println!("train (sequential dense ref)  : {reference:?}");
+    println!(
+        "speedup: {:.2}x",
+        reference.as_secs_f64() / fast.as_secs_f64()
+    );
+
+    // Phase attribution of one training run of the fast engine.
+    let mut enc = GinEncoder::new(graphs[0].vertex_dim(), &cfg.hidden, cfg.embed_dim, 9);
+    let ctxs: Vec<GraphCtx> = graphs.iter().map(GraphCtx::from_graph).collect();
+    let mut rng = StdRng::seed_from_u64(9 ^ 0xd31);
+    let mut order: Vec<usize> = (0..graphs.len()).collect();
+    let (mut t_fwd, mut t_loss, mut t_bwd, mut t_red, mut t_adam) = (
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+    );
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size) {
+            let t = Instant::now();
+            let tapes: Vec<_> = chunk.iter().map(|&i| enc.forward_tape(&ctxs[i])).collect();
+            let embeddings: Vec<Vec<f32>> =
+                tapes.iter().map(|tp| tp.embedding().to_vec()).collect();
+            t_fwd += t.elapsed();
+
+            let t = Instant::now();
+            let blab: Vec<Vec<f64>> = chunk.iter().map(|&i| labels[i].clone()).collect();
+            let pairs = pair_sets(&blab, cfg.tau);
+            let lg = weighted_contrastive(&embeddings, &blab, &pairs, cfg.gamma);
+            t_loss += t.elapsed();
+
+            let t = Instant::now();
+            let plan = enc.backward_plan();
+            let grads: Vec<Option<GinGrads>> = (0..chunk.len())
+                .map(|b| {
+                    if lg.grads[b].iter().all(|&g| g == 0.0) {
+                        return None;
+                    }
+                    let mut acc = GinGrads::zeros_like(&enc);
+                    enc.backward_tape(&ctxs[chunk[b]], &tapes[b], &lg.grads[b], &mut acc, &plan);
+                    Some(acc)
+                })
+                .collect();
+            t_bwd += t.elapsed();
+
+            let t = Instant::now();
+            let mut total = GinGrads::zeros_like(&enc);
+            for g in grads.iter().flatten() {
+                total.add_assign(g);
+            }
+            t_red += t.elapsed();
+
+            let t = Instant::now();
+            enc.step_with(&total, cfg.lr);
+            t_adam += t.elapsed();
+        }
+    }
+    println!(
+        "phases: fwd {t_fwd:?} | loss {t_loss:?} | bwd {t_bwd:?} | reduce {t_red:?} | adam {t_adam:?}"
+    );
+}

@@ -42,7 +42,12 @@ pub fn run(scale: Scale) {
     let power_label = label_dataset(&power, &cfg_power, 2);
 
     let mut r = Report::new("fig1", "CE models over different datasets (motivation)");
-    r.header(&["model", "qerror(IMDB)", "qerror(Power)", "latency(Power) µs"]);
+    r.header(&[
+        "model",
+        "qerror(IMDB)",
+        "qerror(Power)",
+        "latency(Power) µs",
+    ]);
     for p in &imdb_label.performances {
         let pp = power_label
             .performances
@@ -56,7 +61,7 @@ pub fn run(scale: Scale) {
             f3(pp.latency_mean_us),
         ]);
     }
-    r.set("imdb", serde_json::to_value(&imdb_label).expect("serializable"));
-    r.set("power", serde_json::to_value(&power_label).expect("serializable"));
+    r.set("imdb", crate::labels::label_to_json(&imdb_label));
+    r.set("power", crate::labels::label_to_json(&power_label));
     r.finish();
 }

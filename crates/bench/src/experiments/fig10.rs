@@ -23,7 +23,12 @@ use rand::SeedableRng;
 pub fn realworld_testsets(
     scale: Scale,
     testbed: &TestbedConfig,
-) -> (Vec<Dataset>, Vec<DatasetLabel>, Vec<Dataset>, Vec<DatasetLabel>) {
+) -> (
+    Vec<Dataset>,
+    Vec<DatasetLabel>,
+    Vec<Dataset>,
+    Vec<DatasetLabel>,
+) {
     let mut rng = StdRng::seed_from_u64(0xf10);
     let n = scale.count(20, 10);
     let imdb = imdb_like(0.02 * scale.0, &mut rng);
@@ -52,8 +57,7 @@ pub fn run(scale: Scale) {
         },
         103,
     );
-    let (imdb20, imdb_labels, stats20, stats_labels) =
-        realworld_testsets(scale, &corpus.testbed);
+    let (imdb20, imdb_labels, stats20, stats_labels) = realworld_testsets(scale, &corpus.testbed);
 
     let w = MetricWeights::new(0.9);
     let mlp = MlpSelector::train(
@@ -65,7 +69,10 @@ pub fn run(scale: Scale) {
         104,
     );
 
-    let mut r = Report::new("fig10", "efficacy on real-world datasets (mean D-error, w_a = 0.9)");
+    let mut r = Report::new(
+        "fig10",
+        "efficacy on real-world datasets (mean D-error, w_a = 0.9)",
+    );
     r.header(&["selector", "IMDB-20", "STATS-20"]);
     let selectors: Vec<(&str, &dyn Selector)> = vec![
         ("AutoCE", &advisor),

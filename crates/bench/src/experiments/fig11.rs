@@ -27,8 +27,20 @@ fn truncated(corpus: &Corpus, fraction: f64) -> Corpus {
     }
 }
 
-fn train_variant(corpus: &Corpus, scale: Scale, il: Option<IncrementalConfig>, seed: u64) -> AutoCe {
-    train_advisor(corpus, scale, LossKind::Weighted, il, &SELECTABLE_MODELS, seed)
+fn train_variant(
+    corpus: &Corpus,
+    scale: Scale,
+    il: Option<IncrementalConfig>,
+    seed: u64,
+) -> AutoCe {
+    train_advisor(
+        corpus,
+        scale,
+        LossKind::Weighted,
+        il,
+        &SELECTABLE_MODELS,
+        seed,
+    )
 }
 
 /// Runs both ablations and writes `results/fig11.json`.
@@ -62,7 +74,12 @@ pub fn run(scale: Scale) {
             &corpus.test_labels,
             w,
         ));
-        r.row(vec!["a".into(), format!("wa={wa}"), "AutoCE".into(), f3(d_auto)]);
+        r.row(vec![
+            "a".into(),
+            format!("wa={wa}"),
+            "AutoCE".into(),
+            f3(d_auto),
+        ]);
         r.row(vec![
             "a".into(),
             format!("wa={wa}"),

@@ -27,7 +27,10 @@ pub fn run(scale: Scale) {
     let learning_all = LearningAllSelector::new(sample_budget, 123);
     let w = MetricWeights::new(0.9);
 
-    let mut r = Report::new("fig12", "AutoCE vs online learning (efficiency / Q-error / D-error)");
+    let mut r = Report::new(
+        "fig12",
+        "AutoCE vs online learning (efficiency / Q-error / D-error)",
+    );
     r.header(&[
         "#datasets",
         "method",

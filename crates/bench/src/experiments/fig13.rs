@@ -5,7 +5,9 @@
 //! encoder update), and the D-error on the other half is compared with vs.
 //! without adapting, at `w_a ∈ {0.9, 0.7, 0.5}`.
 
-use crate::harness::{build_corpus, cached_labels, eval_selector, mean, train_default_advisor, Scale};
+use crate::harness::{
+    build_corpus, cached_labels, eval_selector, mean, train_default_advisor, Scale,
+};
 use crate::report::{f3, Report};
 use autoce::online::{adapt_online, DriftDetector};
 use ce_datagen::{generate_batch, DatasetSpec, SpecRange};
@@ -18,10 +20,16 @@ use rand::SeedableRng;
 /// heavier skew, bigger tables-counts.
 fn shifted_spec() -> DatasetSpec {
     let mut spec = DatasetSpec::small();
-    spec.domain = SpecRange { lo: 2_000, hi: 8_000 };
+    spec.domain = SpecRange {
+        lo: 2_000,
+        hi: 8_000,
+    };
     spec.skew = SpecRange { lo: 0.85, hi: 1.0 };
     spec.tables = SpecRange { lo: 4, hi: 5 };
-    spec.rows = SpecRange { lo: 1_500, hi: 2_500 };
+    spec.rows = SpecRange {
+        lo: 1_500,
+        hi: 2_500,
+    };
     spec
 }
 
@@ -41,7 +49,13 @@ pub fn run(scale: Scale) {
     let detector = DriftDetector::fit(&adapted);
     let mut adapted_count = 0;
     for (i, ds) in adapt_half.iter().enumerate() {
-        if adapt_online(&mut adapted, &detector, ds, &corpus.testbed, 1300 + i as u64) {
+        if adapt_online(
+            &mut adapted,
+            &detector,
+            ds,
+            &corpus.testbed,
+            1300 + i as u64,
+        ) {
             adapted_count += 1;
         }
     }

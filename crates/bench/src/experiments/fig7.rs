@@ -12,8 +12,22 @@ use ce_testbed::MetricWeights;
 /// Runs the experiment and writes `results/fig7.json`.
 pub fn run(scale: Scale) {
     let corpus = build_corpus(scale, SELECTABLE_MODELS.to_vec(), 0xf7);
-    let weighted = train_advisor(&corpus, scale, LossKind::Weighted, None, &SELECTABLE_MODELS, 71);
-    let basic = train_advisor(&corpus, scale, LossKind::Basic, None, &SELECTABLE_MODELS, 71);
+    let weighted = train_advisor(
+        &corpus,
+        scale,
+        LossKind::Weighted,
+        None,
+        &SELECTABLE_MODELS,
+        71,
+    );
+    let basic = train_advisor(
+        &corpus,
+        scale,
+        LossKind::Basic,
+        None,
+        &SELECTABLE_MODELS,
+        71,
+    );
 
     let mut r = Report::new("fig7", "weighted vs basic contrastive loss (mean D-error)");
     r.header(&["w_q", "weighted", "basic"]);

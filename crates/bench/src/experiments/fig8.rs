@@ -37,7 +37,11 @@ pub fn run(scale: Scale) {
         "AutoCE vs selection strategies (D-error / Q-error / latency)",
     );
     r.header(&[
-        "w_a", "selector", "mean D-error", "mean Q-error", "mean latency µs",
+        "w_a",
+        "selector",
+        "mean D-error",
+        "mean Q-error",
+        "mean latency µs",
     ]);
     let weights = [1.0, 0.9, 0.7, 0.5, 0.3, 0.1];
     let mut series = Vec::new();
@@ -63,13 +67,7 @@ pub fn run(scale: Scale) {
         for (name, sel) in selectors {
             let (d, q, l) =
                 eval_selector_breakdown(sel, &corpus.test_datasets, &corpus.test_labels, w);
-            r.row(vec![
-                format!("{wa}"),
-                name.to_string(),
-                f3(d),
-                f3(q),
-                f3(l),
-            ]);
+            r.row(vec![format!("{wa}"), name.to_string(), f3(d), f3(q), f3(l)]);
             series.push(serde_json::json!({
                 "wa": wa, "selector": name, "d_error": d, "q_error": q, "latency_us": l
             }));

@@ -13,7 +13,11 @@ fn describe(ds: &Dataset) -> (usize, usize, usize, usize, usize) {
     let tables = ds.num_tables();
     let min_rows = ds.tables.iter().map(|t| t.num_rows()).min().unwrap_or(0);
     let max_rows = ds.tables.iter().map(|t| t.num_rows()).max().unwrap_or(0);
-    let columns: usize = ds.tables.iter().map(|t| t.data_column_indices().len()).sum();
+    let columns: usize = ds
+        .tables
+        .iter()
+        .map(|t| t.data_column_indices().len())
+        .sum();
     let domain: usize = ds
         .tables
         .iter()
@@ -34,7 +38,13 @@ pub fn run(scale: Scale) {
     let synth = generate_batch("syn", scale.count(10, 5), &DatasetSpec::small(), &mut rng);
 
     let mut r = Report::new("table1", "statistics of datasets");
-    r.header(&["dataset", "#tables", "#rows", "#columns", "total domain size"]);
+    r.header(&[
+        "dataset",
+        "#tables",
+        "#rows",
+        "#columns",
+        "total domain size",
+    ]);
     let mut rows = Vec::new();
     for (name, ds) in [("IMDB-light", &imdb), ("STATS-light", &stats)] {
         let (t, lo, hi, c, d) = describe(ds);
@@ -64,12 +74,22 @@ pub fn run(scale: Scale) {
         .unwrap_or(0);
     let c_lo = synth
         .iter()
-        .map(|d| d.tables.iter().map(|t| t.data_column_indices().len()).sum::<usize>())
+        .map(|d| {
+            d.tables
+                .iter()
+                .map(|t| t.data_column_indices().len())
+                .sum::<usize>()
+        })
         .min()
         .unwrap_or(0);
     let c_hi = synth
         .iter()
-        .map(|d| d.tables.iter().map(|t| t.data_column_indices().len()).sum::<usize>())
+        .map(|d| {
+            d.tables
+                .iter()
+                .map(|t| t.data_column_indices().len())
+                .sum::<usize>()
+        })
         .max()
         .unwrap_or(0);
     let dom: usize = synth.iter().map(|d| describe(d).4).sum::<usize>() / synth.len().max(1);

@@ -30,11 +30,15 @@ pub fn run(scale: Scale) {
         },
         203,
     );
-    let (imdb20, imdb_labels, stats20, stats_labels) =
-        realworld_testsets(scale, &corpus.testbed);
+    let (imdb20, imdb_labels, stats20, stats_labels) = realworld_testsets(scale, &corpus.testbed);
 
-    let mut r = Report::new("table2", "recommendation accuracy (fraction with D-error <= eps)");
-    r.header(&["datasets", "w_a", "advisor", "eps=0.1", "eps=0.15", "eps=0.2"]);
+    let mut r = Report::new(
+        "table2",
+        "recommendation accuracy (fraction with D-error <= eps)",
+    );
+    r.header(&[
+        "datasets", "w_a", "advisor", "eps=0.1", "eps=0.15", "eps=0.2",
+    ]);
     let mut series = Vec::new();
     let suites: [(&str, &[ce_storage::Dataset], &[ce_testbed::DatasetLabel]); 3] = [
         ("Synthetic", &corpus.test_datasets, &corpus.test_labels),

@@ -16,8 +16,8 @@ use ce_models::{build_model, ModelKind, TrainContext};
 use ce_storage::Dataset;
 use ce_testbed::{DatasetLabel, MetricWeights, ModelPerformance};
 use ce_workload::ceb::{ceb_workload, derive_templates};
-use ce_workload::metrics::{mean_qerror, percentile_qerror};
 use ce_workload::label_workload;
+use ce_workload::metrics::{mean_qerror, percentile_qerror};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -48,8 +48,7 @@ fn label_with_ceb(ds: &Dataset, scale: Scale, seed: u64) -> DatasetLabel {
             let train_time_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t1 = Instant::now();
             let est: Vec<f64> = test.iter().map(|lq| model.estimate(&lq.query)).collect();
-            let latency_mean_us =
-                t1.elapsed().as_secs_f64() * 1e6 / test.len().max(1) as f64;
+            let latency_mean_us = t1.elapsed().as_secs_f64() * 1e6 / test.len().max(1) as f64;
             ModelPerformance {
                 kind,
                 qerror_mean: mean_qerror(&est, &truths),

@@ -39,7 +39,10 @@ pub fn run(scale: Scale) {
     // costs real wall-clock time when joins are big enough that a wrong
     // operator or order hurts (the paper's multi-table runs take hours).
     let mut spec = DatasetSpec::small();
-    spec.rows = ce_datagen::SpecRange { lo: 4_000, hi: 9_000 };
+    spec.rows = ce_datagen::SpecRange {
+        lo: 4_000,
+        hi: 9_000,
+    };
     let singles = generate_batch("e2e-s", n_each, &spec.clone().single_table(), &mut rng);
     let multis = generate_batch("e2e-m", n_each, &spec.multi_table(), &mut rng);
     let queries_per_ds = scale.count(40, 20);
@@ -94,10 +97,20 @@ pub fn run(scale: Scale) {
 
             // Fixed-estimator rows.
             let rep = run_workload(ds, &test_queries, &oracle, &indexes);
-            add(group, "TrueCard".into(), rep.execution_secs, rep.inference_secs);
+            add(
+                group,
+                "TrueCard".into(),
+                rep.execution_secs,
+                rep.inference_secs,
+            );
             for (kind, model) in &models {
                 let rep = run_workload(ds, &test_queries, model.as_ref(), &indexes);
-                add(group, kind.name().into(), rep.execution_secs, rep.inference_secs);
+                add(
+                    group,
+                    kind.name().into(),
+                    rep.execution_secs,
+                    rep.inference_secs,
+                );
             }
             // AutoCE rows: recommendation decides which trained model runs.
             for wa in [0.5, 1.0] {
@@ -142,7 +155,11 @@ pub fn run(scale: Scale) {
         let row = &rows[&(group, name.clone())];
         let total = row.execution + row.inference;
         let base = baseline[group];
-        let imp = if base > 0.0 { (base - total) / base } else { 0.0 };
+        let imp = if base > 0.0 {
+            (base - total) / base
+        } else {
+            0.0
+        };
         r.row(vec![
             group.to_string(),
             name.clone(),

@@ -95,7 +95,10 @@ pub fn cached_labels(
         cfg.models
     ));
     if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(labels) = serde_json::from_slice::<Vec<DatasetLabel>>(&bytes) {
+        if let Some(labels) = serde_json::from_slice(&bytes)
+            .ok()
+            .and_then(|v| crate::labels::labels_from_json(&v))
+        {
             if labels.len() == datasets.len() {
                 eprintln!("[harness] reusing cached labels: {}", path.display());
                 return labels;
@@ -104,7 +107,7 @@ pub fn cached_labels(
     }
     let labels = label_datasets(datasets, cfg, seed, 0);
     let _ = std::fs::create_dir_all("results");
-    if let Ok(bytes) = serde_json::to_vec(&labels) {
+    if let Ok(bytes) = serde_json::to_vec(&crate::labels::labels_to_json(&labels)) {
         let _ = std::fs::write(&path, bytes);
     }
     labels

@@ -1,0 +1,101 @@
+//! Explicit JSON (de)serialization for [`DatasetLabel`]s.
+//!
+//! The offline `serde` shim provides marker derives only, so the label
+//! cache and the fig1 record build their JSON through these hand-rolled
+//! converters instead of derive-driven serialization.
+
+use ce_models::{ModelKind, ALL_MODELS};
+use ce_testbed::{DatasetLabel, ModelPerformance};
+use serde_json::{json, Value};
+
+/// `ModelKind` from its stable display name.
+pub fn kind_from_name(name: &str) -> Option<ModelKind> {
+    ALL_MODELS.into_iter().find(|k| k.name() == name)
+}
+
+/// One label as a JSON object.
+pub fn label_to_json(label: &DatasetLabel) -> Value {
+    let perfs: Vec<Value> = label
+        .performances
+        .iter()
+        .map(|p| {
+            json!({
+                "kind": p.kind.name(),
+                "qerror_mean": p.qerror_mean,
+                "qerror_p50": p.qerror_p50,
+                "qerror_p95": p.qerror_p95,
+                "qerror_p99": p.qerror_p99,
+                "latency_mean_us": p.latency_mean_us,
+                "train_time_ms": p.train_time_ms
+            })
+        })
+        .collect();
+    json!({
+        "dataset": label.dataset.clone(),
+        "performances": perfs
+    })
+}
+
+/// Parses one label back from [`label_to_json`]'s layout.
+pub fn label_from_json(v: &Value) -> Option<DatasetLabel> {
+    let dataset = v.get("dataset")?.as_str()?.to_string();
+    let mut performances = Vec::new();
+    for p in v.get("performances")?.as_array()? {
+        let field = |name: &str| p.get(name).and_then(Value::as_f64);
+        performances.push(ModelPerformance {
+            kind: kind_from_name(p.get("kind")?.as_str()?)?,
+            qerror_mean: field("qerror_mean")?,
+            qerror_p50: field("qerror_p50").unwrap_or(0.0),
+            qerror_p95: field("qerror_p95").unwrap_or(0.0),
+            qerror_p99: field("qerror_p99").unwrap_or(0.0),
+            latency_mean_us: field("latency_mean_us")?,
+            train_time_ms: field("train_time_ms")?,
+        });
+    }
+    Some(DatasetLabel {
+        dataset,
+        performances,
+    })
+}
+
+/// A whole label set as a JSON array.
+pub fn labels_to_json(labels: &[DatasetLabel]) -> Value {
+    Value::Array(labels.iter().map(label_to_json).collect())
+}
+
+/// Parses a label set; `None` if any entry is malformed.
+pub fn labels_from_json(v: &Value) -> Option<Vec<DatasetLabel>> {
+    v.as_array()?.iter().map(label_from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        let label = DatasetLabel {
+            dataset: "ds0".into(),
+            performances: vec![ModelPerformance {
+                kind: ModelKind::Mscn,
+                qerror_mean: 2.5,
+                qerror_p50: 1.5,
+                qerror_p95: 9.0,
+                qerror_p99: 20.0,
+                latency_mean_us: 12.25,
+                train_time_ms: 340.0,
+            }],
+        };
+        let bytes = serde_json::to_vec(&labels_to_json(std::slice::from_ref(&label))).unwrap();
+        let back = labels_from_json(&serde_json::from_slice(&bytes).unwrap()).unwrap();
+        assert_eq!(back, vec![label]);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in ALL_MODELS {
+            assert_eq!(kind_from_name(k.name()), Some(k));
+        }
+        assert_eq!(kind_from_name("nope"), None);
+    }
+}

@@ -10,18 +10,19 @@
 //! larger values approach the paper's corpus sizes).
 
 pub mod harness;
+pub mod labels;
 pub mod report;
 
 pub mod experiments {
     //! One module per table/figure.
     pub mod fig1;
-    pub mod fig7;
-    pub mod fig8;
-    pub mod fig9;
     pub mod fig10;
     pub mod fig11;
     pub mod fig12;
     pub mod fig13;
+    pub mod fig7;
+    pub mod fig8;
+    pub mod fig9;
     pub mod table1;
     pub mod table2;
     pub mod table3;

@@ -55,8 +55,7 @@ impl ArBinner {
 
     /// Bin index of a value.
     pub fn bin_of(&self, v: Value) -> usize {
-        (((v.clamp(self.min, self.max) - self.min) as f64 / self.width) as usize)
-            .min(AR_BINS - 1)
+        (((v.clamp(self.min, self.max) - self.min) as f64 / self.width) as usize).min(AR_BINS - 1)
     }
 
     /// Fraction of bin `b` inside `[lo, hi]`.
@@ -90,7 +89,10 @@ impl ArModel {
         seed: u64,
     ) -> Self {
         let ncols = bounds.len();
-        let binners: Vec<ArBinner> = bounds.iter().map(|&(lo, hi)| ArBinner::new(lo, hi)).collect();
+        let binners: Vec<ArBinner> = bounds
+            .iter()
+            .map(|&(lo, hi)| ArBinner::new(lo, hi))
+            .collect();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xa12);
         let mut heads: Vec<Mlp> = (0..ncols)
             .map(|i| {
@@ -165,12 +167,12 @@ impl ArModel {
     fn one_walk(&self, ranges: &[Option<(Value, Value)>], rng: &mut StdRng) -> f64 {
         let mut prefix_bins: Vec<usize> = Vec::with_capacity(self.num_columns());
         let mut prob = 1.0f64;
-        for i in 0..self.num_columns() {
+        for (i, range) in ranges.iter().enumerate().take(self.num_columns()) {
             let x = Matrix::row_vector(&prefix_features_usize(&prefix_bins, i));
             let logits = self.heads[i].infer(&x);
             let p = softmax(&logits);
             let dist = p.row(0);
-            let bin = match ranges[i] {
+            let bin = match *range {
                 Some((lo, hi)) => {
                     // Restricted mass with fractional bin coverage.
                     let weights: Vec<f64> = (0..AR_BINS)

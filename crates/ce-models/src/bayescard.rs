@@ -160,7 +160,6 @@ impl TableBayesNet {
             root_marginal,
             cpts,
             root,
-
         })
     }
 
@@ -300,15 +299,28 @@ mod tests {
         spec.skew = SpecRange { lo: 0.0, hi: 0.0 };
         spec.columns = SpecRange { lo: 2, hi: 2 };
         spec.domain = SpecRange { lo: 120, hi: 120 };
-        spec.rows = SpecRange { lo: 5_000, hi: 5_000 };
+        spec.rows = SpecRange {
+            lo: 5_000,
+            hi: 5_000,
+        };
         let ds = generate_dataset("bc", &spec, &mut rng);
         let model = BayesCardModel::learn(&ds);
         let pg = crate::postgres::PostgresEstimator::analyze(&ds);
         let q = Query::single_table(
             0,
             vec![
-                Predicate { table: 0, column: 0, lo: 1, hi: 30 },
-                Predicate { table: 0, column: 1, lo: 1, hi: 30 },
+                Predicate {
+                    table: 0,
+                    column: 0,
+                    lo: 1,
+                    hi: 30,
+                },
+                Predicate {
+                    table: 0,
+                    column: 1,
+                    lo: 1,
+                    hi: 30,
+                },
             ],
         );
         let truth = query_cardinality(&ds, &q).unwrap() as f64;

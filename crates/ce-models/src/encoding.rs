@@ -153,8 +153,7 @@ impl SchemaEncoder {
                 let mut f = vec![0.0f32; self.table_feat_dim()];
                 if t < self.num_tables {
                     f[t] = 1.0;
-                    f[self.num_tables] =
-                        ((self.table_rows[t] as f32) + 1.0).ln() / 20.0;
+                    f[self.num_tables] = ((self.table_rows[t] as f32) + 1.0).ln() / 20.0;
                 }
                 f
             })

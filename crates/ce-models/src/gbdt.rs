@@ -141,6 +141,7 @@ fn build_tree(
     let total_sum: f32 = idx.iter().map(|&i| residuals[i]).sum();
     let total_cnt = idx.len() as f32;
     let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
+    #[allow(clippy::needless_range_loop)]
     for f in 0..dims {
         let mut order: Vec<usize> = idx.to_vec();
         order.sort_by(|&a, &b| {
@@ -160,9 +161,8 @@ fn build_tree(
             let right_sum = total_sum - left_sum;
             let right_cnt = total_cnt - left_cnt;
             // Variance-reduction gain ∝ n_l·mean_l² + n_r·mean_r².
-            let gain =
-                left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt
-                    - total_sum * total_sum / total_cnt;
+            let gain = left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt
+                - total_sum * total_sum / total_cnt;
             if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((f, (xa + xb) * 0.5, gain));
             }
@@ -196,7 +196,10 @@ mod tests {
     fn fits_piecewise_function() {
         // y = 1 if x < 0.5 else 5.
         let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
-        let ys: Vec<f32> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
         let g = Gbdt::fit(&xs, &ys, &GbdtParams::default());
         assert!((g.predict(&[0.2]) - 1.0).abs() < 0.2);
         assert!((g.predict(&[0.8]) - 5.0).abs() < 0.2);

@@ -34,7 +34,10 @@ impl JoinIndex {
         let mut sizes = HashMap::new();
         // Enumerate all non-empty subsets (n ≤ 5 in the paper's generator;
         // cap at 12 tables to keep this bounded for exotic schemas).
-        assert!(n <= 20, "join index enumeration not intended for >20 tables");
+        assert!(
+            n <= 20,
+            "join index enumeration not intended for >20 tables"
+        );
         for mask in 1u32..(1 << n) {
             let tables: Vec<usize> = (0..n).filter(|&t| mask & (1 << t) != 0).collect();
             let Some(joins) = spanning_joins(ds, &tables) else {

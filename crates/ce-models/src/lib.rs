@@ -37,4 +37,6 @@ pub mod spn;
 pub mod traits;
 pub mod uae;
 
-pub use traits::{build_model, CardEstimator, ModelKind, TrainContext, ALL_MODELS, SELECTABLE_MODELS};
+pub use traits::{
+    build_model, CardEstimator, ModelKind, TrainContext, ALL_MODELS, SELECTABLE_MODELS,
+};

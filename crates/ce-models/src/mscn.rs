@@ -163,8 +163,9 @@ impl Mscn {
         if nt > 0 {
             let mut ge = Matrix::zeros(nt, HID);
             for r in 0..nt {
-                for c in 0..HID {
-                    *ge.get_mut(r, c) = g[c] / nt as f32;
+                let row = ge.row_mut(r);
+                for (dst, &src) in row.iter_mut().zip(&g[0..HID]) {
+                    *dst = src / nt as f32;
                 }
             }
             self.table_net.backward(&ge);
@@ -172,8 +173,9 @@ impl Mscn {
         if nj > 0 {
             let mut ge = Matrix::zeros(nj, HID);
             for r in 0..nj {
-                for c in 0..HID {
-                    *ge.get_mut(r, c) = g[HID + c] / nj as f32;
+                let row = ge.row_mut(r);
+                for (dst, &src) in row.iter_mut().zip(&g[HID..HID + HID]) {
+                    *dst = src / nj as f32;
                 }
             }
             self.join_net.backward(&ge);
@@ -181,8 +183,9 @@ impl Mscn {
         if np > 0 {
             let mut ge = Matrix::zeros(np, HID);
             for r in 0..np {
-                for c in 0..HID {
-                    *ge.get_mut(r, c) = g[2 * HID + c] / np as f32;
+                let row = ge.row_mut(r);
+                for (dst, &src) in row.iter_mut().zip(&g[2 * HID..2 * HID + HID]) {
+                    *dst = src / np as f32;
                 }
             }
             self.pred_net.backward(&ge);

@@ -140,14 +140,27 @@ mod tests {
         spec.skew = SpecRange { lo: 0.0, hi: 0.2 };
         spec.columns = SpecRange { lo: 3, hi: 3 };
         spec.domain = SpecRange { lo: 80, hi: 80 };
-        spec.rows = SpecRange { lo: 4_000, hi: 4_000 };
+        spec.rows = SpecRange {
+            lo: 4_000,
+            hi: 4_000,
+        };
         let ds = generate_dataset("nc", &spec, &mut rng);
         let model = NeuroCard::learn(&ds, 5);
         let q = Query::single_table(
             0,
             vec![
-                Predicate { table: 0, column: 0, lo: 1, hi: 25 },
-                Predicate { table: 0, column: 1, lo: 1, hi: 25 },
+                Predicate {
+                    table: 0,
+                    column: 0,
+                    lo: 1,
+                    hi: 25,
+                },
+                Predicate {
+                    table: 0,
+                    column: 1,
+                    lo: 1,
+                    hi: 25,
+                },
             ],
         );
         let truth = query_cardinality(&ds, &q).unwrap() as f64;

@@ -35,19 +35,20 @@ impl PostgresEstimator {
         let mut histograms = HashMap::new();
         for (t, table) in ds.tables.iter().enumerate() {
             for c in table.data_column_indices() {
-                histograms.insert((t, c), EquiDepthHistogram::build(&table.columns[c], BUCKETS));
+                histograms.insert(
+                    (t, c),
+                    EquiDepthHistogram::build(&table.columns[c], BUCKETS),
+                );
             }
         }
         let mut join_ndv = HashMap::new();
         for e in &ds.joins {
-            let ndv_fk = ce_storage::stats::ColumnStats::compute(
-                &ds.tables[e.fk_table].columns[e.fk_col],
-            )
-            .ndv as f64;
-            let ndv_pk = ce_storage::stats::ColumnStats::compute(
-                &ds.tables[e.pk_table].columns[e.pk_col],
-            )
-            .ndv as f64;
+            let ndv_fk =
+                ce_storage::stats::ColumnStats::compute(&ds.tables[e.fk_table].columns[e.fk_col])
+                    .ndv as f64;
+            let ndv_pk =
+                ce_storage::stats::ColumnStats::compute(&ds.tables[e.pk_table].columns[e.pk_col])
+                    .ndv as f64;
             join_ndv.insert((e.fk_table, e.pk_table), (ndv_fk, ndv_pk));
         }
         PostgresEstimator {
@@ -81,11 +82,7 @@ impl CardEstimator for PostgresEstimator {
             card *= rows * self.table_selectivity(query, t);
         }
         for &(a, b) in &query.joins {
-            let (ndv_fk, ndv_pk) = self
-                .join_ndv
-                .get(&(a, b))
-                .copied()
-                .unwrap_or((1.0, 1.0));
+            let (ndv_fk, ndv_pk) = self.join_ndv.get(&(a, b)).copied().unwrap_or((1.0, 1.0));
             card /= ndv_fk.max(ndv_pk).max(1.0);
         }
         card.max(1.0)
@@ -131,7 +128,7 @@ mod tests {
         );
         let mut bad = 0;
         for q in &queries {
-            let truth = query_cardinality(&ds, &q).unwrap() as f64;
+            let truth = query_cardinality(&ds, q).unwrap() as f64;
             let e = est.estimate(q);
             if qerror(e, truth) > 3.0 {
                 bad += 1;
@@ -156,8 +153,18 @@ mod tests {
         let q = Query::single_table(
             0,
             vec![
-                Predicate { table: 0, column: 0, lo: 1, hi: 20 },
-                Predicate { table: 0, column: 1, lo: 1, hi: 20 },
+                Predicate {
+                    table: 0,
+                    column: 0,
+                    lo: 1,
+                    hi: 20,
+                },
+                Predicate {
+                    table: 0,
+                    column: 1,
+                    lo: 1,
+                    hi: 20,
+                },
             ],
         );
         let truth = query_cardinality(&ds, &q).unwrap() as f64;

@@ -50,9 +50,7 @@ impl SpnNode {
                 Some(&(lo, hi)) => hist.selectivity(lo, hi),
                 None => 1.0,
             },
-            SpnNode::Product { children } => {
-                children.iter().map(|c| c.prob(ranges)).product()
-            }
+            SpnNode::Product { children } => children.iter().map(|c| c.prob(ranges)).product(),
             SpnNode::Sum { weights, children } => weights
                 .iter()
                 .zip(children)
@@ -173,7 +171,10 @@ fn learn_node(
         };
     }
     let total = rows.len() as f64;
-    let weights: Vec<f64> = cluster_rows.iter().map(|c| c.len() as f64 / total).collect();
+    let weights: Vec<f64> = cluster_rows
+        .iter()
+        .map(|c| c.len() as f64 / total)
+        .collect();
     let children = cluster_rows
         .iter()
         .map(|cr| learn_node(table, cr, cols, depth + 1, rng))
@@ -215,9 +216,9 @@ fn correlation_groups(table: &Table, rows: &[u32], cols: &[usize]) -> Vec<Vec<us
         }
     }
     let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
-    for i in 0..n {
+    for (i, &col) in cols.iter().enumerate().take(n) {
         let r = find(&mut parent, i);
-        groups.entry(r).or_default().push(cols[i]);
+        groups.entry(r).or_default().push(col);
     }
     let mut out: Vec<Vec<usize>> = groups.into_values().collect();
     out.sort();
@@ -240,7 +241,11 @@ impl DeepDb {
     pub fn learn(ds: &Dataset, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xdeeb);
         DeepDb {
-            spns: ds.tables.iter().map(|t| TableSpn::learn(t, &mut rng)).collect(),
+            spns: ds
+                .tables
+                .iter()
+                .map(|t| TableSpn::learn(t, &mut rng))
+                .collect(),
             join_index: JoinIndex::build(ds),
         }
     }
@@ -299,7 +304,10 @@ mod tests {
         spec.skew = SpecRange { lo: 0.0, hi: 0.1 };
         spec.columns = SpecRange { lo: 2, hi: 2 };
         spec.domain = SpecRange { lo: 60, hi: 60 };
-        spec.rows = SpecRange { lo: 4_000, hi: 4_000 };
+        spec.rows = SpecRange {
+            lo: 4_000,
+            hi: 4_000,
+        };
         let ds = generate_dataset("spn", &spec, &mut rng);
         let model = DeepDb::learn(&ds, 7);
         let pg = crate::postgres::PostgresEstimator::analyze(&ds);
@@ -310,8 +318,18 @@ mod tests {
             let q = Query::single_table(
                 0,
                 vec![
-                    Predicate { table: 0, column: 0, lo, hi: lo + 14 },
-                    Predicate { table: 0, column: 1, lo, hi: lo + 14 },
+                    Predicate {
+                        table: 0,
+                        column: 0,
+                        lo,
+                        hi: lo + 14,
+                    },
+                    Predicate {
+                        table: 0,
+                        column: 1,
+                        lo,
+                        hi: lo + 14,
+                    },
                 ],
             );
             let truth = query_cardinality(&ds, &q).unwrap() as f64;
@@ -345,7 +363,10 @@ mod tests {
         };
         let truth = query_cardinality(&ds, &q).unwrap() as f64;
         let est = model.estimate(&q);
-        assert!((est - truth.max(1.0)).abs() < 1e-6, "no-predicate join is exact");
+        assert!(
+            (est - truth.max(1.0)).abs() < 1e-6,
+            "no-predicate join is exact"
+        );
         let _ = rng.gen::<u8>();
     }
 
@@ -353,7 +374,10 @@ mod tests {
     fn spn_builds_nontrivial_structure() {
         let mut rng = StdRng::seed_from_u64(144);
         let mut spec = DatasetSpec::small().single_table();
-        spec.rows = SpecRange { lo: 3_000, hi: 3_000 };
+        spec.rows = SpecRange {
+            lo: 3_000,
+            hi: 3_000,
+        };
         spec.columns = SpecRange { lo: 4, hi: 4 };
         let ds = generate_dataset("n", &spec, &mut rng);
         let model = DeepDb::learn(&ds, 3);

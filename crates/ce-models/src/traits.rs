@@ -138,8 +138,14 @@ mod tests {
     fn registry_partitions() {
         assert_eq!(SELECTABLE_MODELS.len(), 7);
         assert_eq!(ALL_MODELS.len(), 9);
-        let qd = SELECTABLE_MODELS.iter().filter(|m| m.is_query_driven()).count();
-        let dd = SELECTABLE_MODELS.iter().filter(|m| m.is_data_driven()).count();
+        let qd = SELECTABLE_MODELS
+            .iter()
+            .filter(|m| m.is_query_driven())
+            .count();
+        let dd = SELECTABLE_MODELS
+            .iter()
+            .filter(|m| m.is_data_driven())
+            .count();
         assert_eq!(qd, 3, "three query-driven models");
         assert_eq!(dd, 3, "three data-driven models");
         // The remaining one is the hybrid.

@@ -1,0 +1,261 @@
+//! Offline shim of the `rand` 0.8 API surface this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! deterministic, self-contained replacement: [`rngs::StdRng`] is a
+//! xoshiro256++ generator seeded through SplitMix64, and the [`Rng`],
+//! [`SeedableRng`] and [`seq::SliceRandom`] traits cover exactly the calls
+//! the workspace makes (`gen_range` over integer/float ranges, `gen`,
+//! `gen_bool`, `shuffle`, `choose`). Streams differ from upstream `rand`,
+//! which is fine: every consumer treats the RNG as an opaque deterministic
+//! source, and nothing depends on upstream value sequences.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of `next_u64`).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding constructor (only the `seed_from_u64` entry point is used here).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform sample of a primitive (`f32`/`f64` in `[0, 1)`, full-width
+    /// integers, fair `bool`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high-quality bits -> [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                (s as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[inline]
+fn next_u128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+impl SampleRange<u128> for core::ops::Range<u128> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + next_u128(rng) % (self.end - self.start)
+    }
+}
+
+impl SampleRange<u128> for core::ops::RangeInclusive<u128> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        let (s, e) = (*self.start(), *self.end());
+        assert!(s <= e, "cannot sample empty range");
+        let span = e - s;
+        if span == u128::MAX {
+            return next_u128(rng);
+        }
+        s + next_u128(rng) % (span + 1)
+    }
+}
+
+macro_rules! float_sample_range {
+    ($($t:ty, $unit:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let v = self.start + $unit(rng) as $t * (self.end - self.start);
+                // Rounding can land exactly on the excluded endpoint.
+                if v < self.end { v } else { self.start }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                s + $unit(rng) as $t * (e - s)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, unit_f32; f64, unit_f64);
+
+/// Primitive types [`Rng::gen`] can produce (the shim's stand-in for the
+/// `Standard` distribution).
+pub trait Standard {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        unit_f32(rng)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_standard {
+    ($($t:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-1.5f32..=1.5);
+            assert!((-1.5..=1.5).contains(&f));
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..20).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle permutes");
+        assert_ne!(v, orig, "20 elements virtually never shuffle to identity");
+        assert!(orig.contains(v.choose(&mut rng).unwrap()));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

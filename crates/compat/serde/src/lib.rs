@@ -1,0 +1,13 @@
+//! Offline shim of `serde`: the workspace only uses `#[derive(Serialize,
+//! Deserialize)]` as markers (JSON output goes through the hand-rolled
+//! `serde_json` shim's `Value` type), so the traits carry no methods and the
+//! derives expand to empty impls while still accepting `#[serde(...)]`
+//! field attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type opts into serialization support.
+pub trait Serialize {}
+
+/// Marker: the type opts into deserialization support.
+pub trait Deserialize {}

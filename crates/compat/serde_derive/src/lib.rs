@@ -1,0 +1,102 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The shim traits are empty markers, so the derives only need to name the
+//! deriving type (including its generic parameters) and emit an empty impl.
+//! `#[serde(...)]` container and field attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl<G> ::serde::<Trait> for Name<G'> {}` for the item in `input`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Skip `#[...]` attribute pairs.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                        name = Some(n.to_string());
+                    }
+                    i += 2;
+                    break;
+                }
+                // Visibility / other modifiers.
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.expect("serde shim derive: could not find item name");
+
+    // Generic parameters, split at top-level commas.
+    let mut impl_params: Vec<String> = Vec::new();
+    let mut type_params: Vec<String> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        let mut flush = |current: &mut Vec<TokenTree>| {
+            if current.is_empty() {
+                return;
+            }
+            let full: TokenStream = current.iter().cloned().collect();
+            // The parameter name is everything before a `:` bound or `=`
+            // default at the top of the parameter.
+            let head: Vec<TokenTree> = current
+                .iter()
+                .take_while(
+                    |t| !matches!(t, TokenTree::Punct(p) if p.as_char() == ':' || p.as_char() == '='),
+                )
+                .cloned()
+                .collect();
+            let head: TokenStream = head.into_iter().collect();
+            impl_params.push(full.to_string());
+            type_params.push(head.to_string());
+            current.clear();
+        };
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push(tokens[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        current.push(tokens[i].clone());
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => flush(&mut current),
+                t => current.push(t.clone()),
+            }
+            i += 1;
+        }
+        flush(&mut current);
+    }
+
+    let (impl_generics, ty_generics) = if impl_params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (
+            format!("<{}>", impl_params.join(", ")),
+            format!("<{}>", type_params.join(", ")),
+        )
+    };
+    format!("impl{impl_generics} ::serde::{trait_name} for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl parses")
+}

@@ -1,0 +1,620 @@
+//! Offline shim of `serde_json`: a self-contained JSON `Value` with the
+//! `json!` macro, compact/pretty printers and a recursive-descent parser.
+//! No derive-driven serialization — callers build `Value`s explicitly.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, printed without a fraction when whole).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map<String, Value>),
+}
+
+/// Insertion-ordered string map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Value under `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable value under `key`.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Value {
+    /// Member access on objects (`None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as an unsigned integer when whole and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+// ---- Conversions -----------------------------------------------------------
+
+macro_rules! from_number {
+    ($($t:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+from_number!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// ---- Indexing --------------------------------------------------------------
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifies missing keys on objects (like upstream `serde_json`).
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => {
+                if m.get(key).is_none() {
+                    m.insert(key.to_string(), Value::Null);
+                }
+                m.get_mut(key).expect("just inserted")
+            }
+            _ => panic!("cannot index non-object JSON value with a string key"),
+        }
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        &mut self[key.as_str()]
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports object literals
+/// with literal keys and expression values (including nested array
+/// expressions like `[lo, hi]`), array literals, and plain expressions that
+/// convert via `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+// ---- Printing --------------------------------------------------------------
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Shim result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n}");
+        s
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(item, out, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, out, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(self, &mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Compact serialization.
+pub fn to_vec(v: &Value) -> Result<Vec<u8>> {
+    Ok(v.to_string().into_bytes())
+}
+
+/// Compact serialization to a `String`.
+pub fn to_string(v: &Value) -> Result<String> {
+    Ok(v.to_string())
+}
+
+/// Pretty (2-space indented) serialization.
+pub fn to_vec_pretty(v: &Value) -> Result<Vec<u8>> {
+    let mut s = String::new();
+    write_value(v, &mut s, 0, true);
+    Ok(s.into_bytes())
+}
+
+// ---- Parsing ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error("non-utf8 \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our printer;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error("invalid utf8 in string".into()))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+            None => self.err("unexpected end of input"),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_slice(bytes: &[u8]) -> Result<Value> {
+    let mut p = Parser { bytes, pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+/// Parses a JSON string into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value> {
+    from_slice(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let mut v = json!({
+            "name": "x",
+            "n": 3,
+            "pi": 3.5,
+            "flag": true,
+            "range": [1, 2]
+        });
+        v["none"] = Value::Null;
+        let compact = String::from_utf8(to_vec(&v).unwrap()).unwrap();
+        let back = from_str(&compact).unwrap();
+        assert_eq!(v, back);
+        let pretty = String::from_utf8(to_vec_pretty(&v).unwrap()).unwrap();
+        assert!(pretty.contains("\"name\": \"x\""));
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn macro_forms() {
+        assert_eq!(json!(42), Value::Number(42.0));
+        assert_eq!(json!("s"), Value::String("s".into()));
+        let arr = json!([1, 2, 3]);
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+        let name = String::from("k");
+        let obj = json!({"a": 1.5, "b": name.clone()});
+        assert_eq!(obj.get("b").unwrap().as_str(), Some("k"));
+    }
+
+    #[test]
+    fn index_auto_vivify() {
+        let mut v = json!({"a": 1});
+        v["b"] = json!(2);
+        v[String::from("c")] = json!("z");
+        assert_eq!(v["b"].as_f64(), Some(2.0));
+        assert_eq!(v["c"].as_str(), Some("z"));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("a\"b\\c\nd".into());
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn whole_numbers_print_without_fraction() {
+        assert_eq!(number_to_string(3.0), "3");
+        assert_eq!(number_to_string(-2.0), "-2");
+        assert_eq!(number_to_string(2.5), "2.5");
+    }
+}

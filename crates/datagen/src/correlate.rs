@@ -34,10 +34,7 @@ mod tests {
         let source: Vec<Value> = (0..20_000).map(|_| rng.gen_range(1..=1000)).collect();
         let mut target: Vec<Value> = (0..20_000).map(|_| rng.gen_range(2000..=3000)).collect();
         correlate_columns(&source, &mut target, 0.7, &mut rng);
-        let rate = equality_rate(
-            &Column::data("s", source),
-            &Column::data("t", target),
-        );
+        let rate = equality_rate(&Column::data("s", source), &Column::data("t", target));
         assert!((rate - 0.7).abs() < 0.02, "rate = {rate}");
     }
 

@@ -18,7 +18,11 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Generates one dataset according to `spec`, deterministically from `rng`.
-pub fn generate_dataset<R: Rng>(name: impl Into<String>, spec: &DatasetSpec, rng: &mut R) -> Dataset {
+pub fn generate_dataset<R: Rng>(
+    name: impl Into<String>,
+    spec: &DatasetSpec,
+    rng: &mut R,
+) -> Dataset {
     let num_tables = spec.tables.sample(rng).max(1);
     let name = name.into();
 
@@ -26,7 +30,13 @@ pub fn generate_dataset<R: Rng>(name: impl Into<String>, spec: &DatasetSpec, rng
         let rows = spec.rows.sample(rng);
         let cols = spec.columns.sample(rng).max(1);
         let t = generate_table(
-            "table0", cols, rows, spec.domain, spec.skew, spec.correlation, rng,
+            "table0",
+            cols,
+            rows,
+            spec.domain,
+            spec.skew,
+            spec.correlation,
+            rng,
         );
         return Dataset::new(name, vec![t], Vec::new()).expect("single table is valid");
     }
@@ -81,8 +91,7 @@ pub fn generate_dataset<R: Rng>(name: impl Into<String>, spec: &DatasetSpec, rng
             .primary_key_index()
             .expect("main tables have a pk");
         let pk_values: Vec<Value> = tables[target].columns[pk_col].data.clone();
-        let portion_len = ((pk_values.len() as f64 * p).round() as usize)
-            .clamp(1, pk_values.len());
+        let portion_len = ((pk_values.len() as f64 * p).round() as usize).clamp(1, pk_values.len());
         let mut portion = pk_values;
         portion.shuffle(rng);
         portion.truncate(portion_len);
@@ -91,8 +100,7 @@ pub fn generate_dataset<R: Rng>(name: impl Into<String>, spec: &DatasetSpec, rng
         // concentrate on "popular" parents.
         let parent_attr = tables[target].data_column_indices().first().copied();
         if let Some(pd) = parent_attr {
-            let attr_of: std::collections::HashMap<Value, Value> = tables[target].columns
-                [pk_col]
+            let attr_of: std::collections::HashMap<Value, Value> = tables[target].columns[pk_col]
                 .data
                 .iter()
                 .copied()
@@ -206,7 +214,10 @@ mod tests {
     fn join_correlation_tracks_requested_range() {
         let mut spec = spec().multi_table();
         spec.join_correlation = SpecRange { lo: 0.3, hi: 0.3 };
-        spec.rows = SpecRange { lo: 2_000, hi: 2_000 };
+        spec.rows = SpecRange {
+            lo: 2_000,
+            hi: 2_000,
+        };
         let mut rng = StdRng::seed_from_u64(33);
         let ds = generate_dataset("jc", &spec, &mut rng);
         for edge in &ds.joins {

@@ -71,7 +71,8 @@ fn build_from_profiles<R: Rng>(
                 let rows = t.num_rows();
                 let mut pk: Vec<Value> = (1..=rows as Value).collect();
                 pk.shuffle(rng);
-                t.push_column(Column::primary_key("id", pk)).expect("pk fits");
+                t.push_column(Column::primary_key("id", pk))
+                    .expect("pk fits");
             }
             t
         })
@@ -92,8 +93,7 @@ fn build_from_profiles<R: Rng>(
         // from the base-table distribution — the second ingredient of the
         // Fig. 1 effect (per-table models mispredict join queries).
         if let Some(pd) = tables[parent].data_column_indices().first().copied() {
-            let attr_of: std::collections::HashMap<Value, Value> = tables[parent].columns
-                [pk_col]
+            let attr_of: std::collections::HashMap<Value, Value> = tables[parent].columns[pk_col]
                 .data
                 .iter()
                 .copied()
@@ -115,15 +115,16 @@ fn build_from_profiles<R: Rng>(
         // effect.
         if p.fk_data_corr > 0.0 && !tables[i].columns.is_empty() {
             if let Some(pd) = tables[parent].data_column_indices().first().copied() {
-                let by_pk: std::collections::HashMap<Value, Value> = tables[parent].columns
-                    [pk_col]
+                let by_pk: std::collections::HashMap<Value, Value> = tables[parent].columns[pk_col]
                     .data
                     .iter()
                     .copied()
                     .zip(tables[parent].columns[pd].data.iter().copied())
                     .collect();
-                let parent_vals: Vec<Value> =
-                    fk.iter().map(|k| *by_pk.get(k).expect("fk hits pk")).collect();
+                let parent_vals: Vec<Value> = fk
+                    .iter()
+                    .map(|k| *by_pk.get(k).expect("fk hits pk"))
+                    .collect();
                 let target = &mut tables[i].columns[0].data;
                 crate::correlate::correlate_columns(&parent_vals, target, p.fk_data_corr, rng);
             }
@@ -371,7 +372,11 @@ fn split_one<R: Rng>(ds: &Dataset, index: usize, rng: &mut R) -> Dataset {
         frontier.clear();
         for &t in &chosen {
             for e in ds.joins_of(t) {
-                let other = if e.fk_table == t { e.pk_table } else { e.fk_table };
+                let other = if e.fk_table == t {
+                    e.pk_table
+                } else {
+                    e.fk_table
+                };
                 if !chosen.contains(&other) {
                     frontier.push((other, t));
                 }

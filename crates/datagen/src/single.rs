@@ -107,7 +107,10 @@ mod tests {
             "t",
             2,
             5_000,
-            SpecRange { lo: 1_000, hi: 1_000 },
+            SpecRange {
+                lo: 1_000,
+                hi: 1_000,
+            },
             SpecRange { lo: 0.0, hi: 0.0 },
             SpecRange { lo: 0.0, hi: 0.0 },
             &mut rng,

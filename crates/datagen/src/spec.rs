@@ -119,7 +119,10 @@ mod tests {
             let v = r.sample(&mut rng);
             assert!((3..=5).contains(&v));
         }
-        let f = SpecRange { lo: 0.25f64, hi: 0.75 };
+        let f = SpecRange {
+            lo: 0.25f64,
+            hi: 0.75,
+        };
         for _ in 0..100 {
             let v = f.sample(&mut rng);
             assert!((0.25..=0.75).contains(&v));

@@ -131,12 +131,7 @@ mod tests {
         assert_eq!(g.vertex_dim(), cfg.vertex_dim());
         assert_eq!(g.edges.len(), ds.num_tables());
         // One nonzero edge entry per join.
-        let nonzero: usize = g
-            .edges
-            .iter()
-            .flatten()
-            .filter(|&&w| w > 0.0)
-            .count();
+        let nonzero: usize = g.edges.iter().flatten().filter(|&&w| w > 0.0).count();
         assert_eq!(nonzero, ds.joins.len());
         // Edge orientation: E[pk][fk].
         for e in &ds.joins {
@@ -147,12 +142,18 @@ mod tests {
 
     #[test]
     fn skew_feature_tracks_generated_skew() {
-        let mut make = |skew: f64, seed: u64| {
+        let make = |skew: f64, seed: u64| {
             let mut spec = DatasetSpec::small().single_table();
             spec.skew = SpecRange { lo: skew, hi: skew };
             spec.columns = SpecRange { lo: 1, hi: 1 };
-            spec.rows = SpecRange { lo: 4_000, hi: 4_000 };
-            spec.domain = SpecRange { lo: 1_000, hi: 1_000 };
+            spec.rows = SpecRange {
+                lo: 4_000,
+                hi: 4_000,
+            };
+            spec.domain = SpecRange {
+                lo: 1_000,
+                hi: 1_000,
+            };
             let mut rng = StdRng::seed_from_u64(seed);
             let ds = generate_dataset("sk", &spec, &mut rng);
             extract_features(&ds, &FeatureConfig::default()).vertices[0][0]
@@ -167,11 +168,14 @@ mod tests {
 
     #[test]
     fn correlation_feature_tracks_generated_correlation() {
-        let mut make = |corr: f64| {
+        let make = |corr: f64| {
             let mut spec = DatasetSpec::small().single_table();
             spec.correlation = SpecRange { lo: corr, hi: corr };
             spec.columns = SpecRange { lo: 2, hi: 2 };
-            spec.rows = SpecRange { lo: 3_000, hi: 3_000 };
+            spec.rows = SpecRange {
+                lo: 3_000,
+                hi: 3_000,
+            };
             let mut rng = StdRng::seed_from_u64(7);
             let ds = generate_dataset("cr", &spec, &mut rng);
             let g = extract_features(&ds, &FeatureConfig::default());

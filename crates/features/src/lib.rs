@@ -16,8 +16,10 @@
 //! the generator's F2 process), and edge weights reverse F3 (FK-over-PK set
 //! coverage).
 
+pub mod csr;
 pub mod graph;
 pub mod mixup;
 
+pub use csr::CsrAdjacency;
 pub use graph::{extract_features, FeatureConfig, FeatureGraph, COLUMN_FEATURES};
 pub use mixup::{mixup_graphs, mixup_labels};

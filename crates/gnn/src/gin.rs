@@ -9,25 +9,49 @@
 //! with `f_θ` a dense layer, `ε` learnable, and `e′_ji` the join-correlation
 //! edge weight. The encoder stacks `L` layers and sum-pools vertex
 //! representations into one embedding per graph. Backprop is manual: the
-//! aggregation is linear, so its transpose routes gradients; `ε`'s gradient
-//! is the inner product of the incoming gradient with the layer input.
+//! aggregation is linear and symmetric, so the same sparse structure routes
+//! gradients; `ε`'s gradient is the inner product of the incoming gradient
+//! with the layer input.
+//!
+//! # Engine architecture (throughput rebuild)
+//!
+//! Parameters are split from activation state so the encoder can train a
+//! whole batch of graphs in parallel:
+//!
+//! * [`GinEncoder`] owns **shared parameters only** (weights, ε, Adam
+//!   moments). [`GinEncoder::forward_tape`] and
+//!   [`GinEncoder::backward_tape`] are pure w.r.t. the encoder (`&self`),
+//!   so any number of graphs can be in flight concurrently.
+//! * [`GraphCtx`] is the per-graph prepared input: the vertex matrix copied
+//!   once (no per-forward `Vec` clones) and the symmetrized adjacency in
+//!   CSR form built once — the seed engine rebuilt a dense n×n aggregation
+//!   matrix per layer per forward.
+//! * [`ForwardTape`] records per-layer activations of one training forward;
+//!   the same tape yields the embedding **and** feeds backprop, eliminating
+//!   the seed's second (cache-building) forward pass per graph per batch.
+//! * [`GinGrads`] is a per-stream gradient accumulator. Reducing
+//!   accumulators in a fixed order and applying one
+//!   [`GinEncoder::step_with`] keeps parallel training bit-for-bit
+//!   deterministic across thread counts.
+//!
+//! The legacy single-stream API ([`GinEncoder::forward_train`] /
+//! [`backward`](GinEncoder::backward) / [`step`](GinEncoder::step)) remains,
+//! layered on the pure engine.
 
-use ce_features::FeatureGraph;
-use ce_nn::{Activation, Dense, Matrix};
+use ce_features::{CsrAdjacency, FeatureGraph};
+use ce_nn::matrix::spmm_csr;
+use ce_nn::{Activation, Dense, DenseGrad, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// One GINConv layer.
+/// One GINConv layer: parameters and optimizer state only — no activation
+/// caches, so forward/backward are pure with respect to the layer.
 struct GinLayer {
     mlp: Dense,
     eps: f32,
     // Adam state for eps.
     eps_m: f32,
     eps_v: f32,
-    eps_grad: f32,
-    // Caches for backward.
-    input: Option<Matrix>,
-    adjacency: Option<Matrix>, // (1+eps)I + W at forward time
 }
 
 impl GinLayer {
@@ -37,67 +61,124 @@ impl GinLayer {
             eps: 0.0,
             eps_m: 0.0,
             eps_v: 0.0,
-            eps_grad: 0.0,
-            input: None,
-            adjacency: None,
         }
     }
 
-    /// Symmetrized, ε-augmented aggregation matrix for a graph.
-    fn aggregation(&self, g: &FeatureGraph) -> Matrix {
-        let n = g.num_vertices();
-        let mut a = Matrix::zeros(n, n);
-        for i in 0..n {
-            *a.get_mut(i, i) = 1.0 + self.eps;
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                // Neighbors regardless of FK direction: E[i][j] + E[j][i].
-                let w = g.edges[i][j] + g.edges[j][i];
-                *a.get_mut(i, j) += w;
-            }
-        }
-        a
+    /// Aggregation `M = (1+ε)·H + A·H` via the shared CSR adjacency.
+    fn aggregate(&self, h: &Matrix, csr: &CsrAdjacency, out: &mut Matrix) {
+        spmm_csr(
+            &csr.indptr,
+            &csr.indices,
+            &csr.weights,
+            1.0 + self.eps,
+            h,
+            out,
+        );
     }
 
-    fn forward(&mut self, h: &Matrix, g: &FeatureGraph, train: bool) -> Matrix {
-        let a = self.aggregation(g);
-        let m = a.matmul(h);
-        if train {
-            self.input = Some(h.clone());
-            self.adjacency = Some(a);
-            self.mlp.forward(&m)
-        } else {
-            self.mlp.infer(&m)
-        }
-    }
-
-    /// Returns gradient w.r.t. the layer input `h`.
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let gm = self.mlp.backward(grad_out); // grad w.r.t. M = A·H
-        let a = self.adjacency.as_ref().expect("backward before forward");
-        let h = self.input.as_ref().expect("backward before forward");
-        // dL/dε = Σ_i <gm_i, h_i> (the ε term contributes ε·h_i to m_i).
-        for r in 0..gm.rows {
-            for c in 0..gm.cols {
-                self.eps_grad += gm.get(r, c) * h.get(r, c);
-            }
-        }
-        a.transpose().matmul(&gm)
-    }
-
-    fn step(&mut self, lr: f32, t: u64) {
-        self.mlp.adam_step(lr, t);
+    fn step(&mut self, grad: &LayerGrad, lr: f32, t: u64) {
+        self.mlp.adam_step_with(&grad.dense, lr, t);
         const B1: f32 = 0.9;
         const B2: f32 = 0.999;
-        let g = self.eps_grad;
+        let g = grad.eps;
         self.eps_m = B1 * self.eps_m + (1.0 - B1) * g;
         self.eps_v = B2 * self.eps_v + (1.0 - B2) * g * g;
         let mhat = self.eps_m / (1.0 - B1.powi(t as i32));
         let vhat = self.eps_v / (1.0 - B2.powi(t as i32));
         self.eps -= lr * mhat / (vhat.sqrt() + 1e-8);
-        self.eps_grad = 0.0;
+    }
+}
+
+/// Per-graph prepared input: vertex features as a dense matrix (copied once)
+/// plus the symmetrized adjacency in CSR form (extracted once). Reused
+/// across every epoch, layer and pass that touches the graph.
+pub struct GraphCtx {
+    h0: Matrix,
+    csr: CsrAdjacency,
+}
+
+impl GraphCtx {
+    /// Prepares a feature graph for encoding/training.
+    pub fn from_graph(g: &FeatureGraph) -> Self {
+        GraphCtx {
+            h0: Matrix::from_row_slices(&g.vertices),
+            csr: CsrAdjacency::symmetrized(g),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.h0.rows
+    }
+}
+
+/// Activations of one training forward: per layer, the aggregated input `M`
+/// fed to the dense map and its post-activation output `Y`. Layer `l`'s
+/// aggregation input is layer `l-1`'s `Y` (or the graph's vertex matrix),
+/// so nothing is stored twice.
+pub struct ForwardTape {
+    steps: Vec<TapeStep>,
+    embedding: Vec<f32>,
+}
+
+struct TapeStep {
+    m: Matrix,
+    y: Matrix,
+}
+
+impl ForwardTape {
+    /// The graph embedding this forward produced (sum-pooled vertices).
+    pub fn embedding(&self) -> &[f32] {
+        &self.embedding
+    }
+}
+
+/// Per-batch backward plan: every layer's `Wᵀ` materialized once and shared
+/// (read-only) by all concurrent per-graph backward passes of the batch.
+/// Weights are constant within a batch, so one transpose amortizes over
+/// every graph and keeps the `dx = g·Wᵀ` product on the wide i-k-j kernel.
+pub struct BackwardPlan {
+    wts: Vec<Matrix>,
+}
+
+/// Gradient accumulator for every encoder parameter. One per concurrent
+/// training stream; reduced in fixed batch order before the Adam step.
+pub struct GinGrads {
+    layers: Vec<LayerGrad>,
+}
+
+struct LayerGrad {
+    dense: DenseGrad,
+    eps: f32,
+}
+
+impl GinGrads {
+    /// Zero accumulator shaped for `encoder`.
+    pub fn zeros_like(encoder: &GinEncoder) -> Self {
+        GinGrads {
+            layers: encoder
+                .layers
+                .iter()
+                .map(|l| LayerGrad {
+                    dense: DenseGrad::zeros_like(&l.mlp),
+                    eps: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic reduction `self += other`.
+    pub fn add_assign(&mut self, other: &GinGrads) {
+        assert_eq!(self.layers.len(), other.layers.len(), "layer mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.dense.add_assign(&b.dense);
+            a.eps += b.eps;
+        }
+    }
+
+    /// ε-gradient of each layer (exposed for tests).
+    pub fn epsilon_grads(&self) -> Vec<f32> {
+        self.layers.iter().map(|l| l.eps).collect()
     }
 }
 
@@ -105,6 +186,9 @@ impl GinLayer {
 pub struct GinEncoder {
     layers: Vec<GinLayer>,
     t: u64,
+    // Legacy single-stream training state (compat API only).
+    pending: Option<(GraphCtx, ForwardTape)>,
+    acc: Option<GinGrads>,
 }
 
 impl GinEncoder {
@@ -118,7 +202,12 @@ impl GinEncoder {
         let layers = (0..dims.len() - 1)
             .map(|i| GinLayer::new(dims[i], dims[i + 1], &mut rng))
             .collect();
-        GinEncoder { layers, t: 0 }
+        GinEncoder {
+            layers,
+            t: 0,
+            pending: None,
+            acc: None,
+        }
     }
 
     /// Embedding dimensionality.
@@ -128,49 +217,169 @@ impl GinEncoder {
 
     /// Inference: encodes a feature graph into its embedding `X⃗`.
     pub fn encode(&self, g: &FeatureGraph) -> Vec<f32> {
-        let mut h = Matrix::from_rows(g.vertices.clone());
+        self.encode_ctx(&GraphCtx::from_graph(g))
+    }
+
+    /// Inference over a prepared graph (no tape, minimal allocation).
+    pub fn encode_ctx(&self, ctx: &GraphCtx) -> Vec<f32> {
+        let mut h = ctx.h0.clone();
+        let mut m = Matrix::zeros(ctx.h0.rows, ctx.h0.cols);
         for layer in &self.layers {
-            // Cache-free mirror of `forward_train`.
-            let a = layer.aggregation(g);
-            h = layer.mlp.infer(&a.matmul(&h));
+            if m.cols != h.cols {
+                m = Matrix::zeros(h.rows, h.cols);
+            }
+            layer.aggregate(&h, &ctx.csr, &mut m);
+            h = layer.mlp.infer(&m);
         }
         h.sum_rows().data
     }
 
-    /// Training-mode forward: caches per-layer state and returns the
-    /// embedding. Must be followed by [`backward`](Self::backward) before
-    /// the next training forward.
-    pub fn forward_train(&mut self, g: &FeatureGraph) -> Vec<f32> {
-        let mut h = Matrix::from_rows(g.vertices.clone());
-        for layer in &mut self.layers {
-            h = layer.forward(&h, g, true);
+    /// Pure training forward: records the per-layer activations needed by
+    /// [`Self::backward_tape`] and the embedding. `&self` only — safe to
+    /// run for many graphs concurrently.
+    pub fn forward_tape(&self, ctx: &GraphCtx) -> ForwardTape {
+        let mut steps = Vec::with_capacity(self.layers.len());
+        let mut h = &ctx.h0;
+        for layer in &self.layers {
+            let mut m = Matrix::zeros(h.rows, h.cols);
+            layer.aggregate(h, &ctx.csr, &mut m);
+            let y = layer.mlp.infer(&m);
+            steps.push(TapeStep { m, y });
+            h = &steps.last().expect("just pushed").y;
         }
-        h.sum_rows().data
+        let embedding = h.sum_rows().data;
+        ForwardTape { steps, embedding }
     }
 
-    /// Backward from an embedding gradient; accumulates parameter grads.
-    pub fn backward(&mut self, grad_embedding: &[f32], num_vertices: usize) {
+    /// Builds the per-batch backward plan (one `Wᵀ` per layer). Weights
+    /// must not change between this call and the backward passes using it.
+    pub fn backward_plan(&self) -> BackwardPlan {
+        BackwardPlan {
+            wts: self.layers.iter().map(|l| l.mlp.w.transpose()).collect(),
+        }
+    }
+
+    /// Pure backward from an embedding gradient, accumulating parameter
+    /// gradients into `acc`. `&self` only; `plan` is shared read-only by
+    /// every graph of the batch.
+    pub fn backward_tape(
+        &self,
+        ctx: &GraphCtx,
+        tape: &ForwardTape,
+        grad_embedding: &[f32],
+        acc: &mut GinGrads,
+        plan: &BackwardPlan,
+    ) {
+        let n = ctx.num_vertices();
         // Sum pooling broadcasts the embedding gradient to every vertex.
-        let mut g = Matrix::zeros(num_vertices, grad_embedding.len());
-        for r in 0..num_vertices {
+        let mut g = Matrix::zeros(n, grad_embedding.len());
+        for r in 0..n {
             g.row_mut(r).copy_from_slice(grad_embedding);
         }
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let step = &tape.steps[l];
+            let h = if l == 0 {
+                &ctx.h0
+            } else {
+                &tape.steps[l - 1].y
+            };
+            let layer_acc = &mut acc.layers[l];
+            let gm = layer.mlp.backward_owned_wt(
+                &step.m,
+                &step.y,
+                g,
+                &plan.wts[l],
+                &mut layer_acc.dense,
+            );
+            // dL/dε = Σ_i <gm_i, h_i> (the ε term contributes ε·h_i to m_i).
+            for (a, b) in gm.data.iter().zip(&h.data) {
+                layer_acc.eps += a * b;
+            }
+            if l == 0 {
+                // The input-feature gradient is never consumed.
+                break;
+            }
+            // dL/dH = (1+ε)·gm + Aᵀ·gm; A is symmetric, so the forward
+            // SpMM kernel routes the gradient too.
+            let mut gh = Matrix::zeros(h.rows, h.cols);
+            spmm_csr(
+                &ctx.csr.indptr,
+                &ctx.csr.indices,
+                &ctx.csr.weights,
+                1.0 + layer.eps,
+                &gm,
+                &mut gh,
+            );
+            g = gh;
         }
     }
 
-    /// One Adam step over all layers (after accumulating a batch).
-    pub fn step(&mut self, lr: f32) {
+    /// One Adam step from a reduced gradient accumulator.
+    pub fn step_with(&mut self, grads: &GinGrads, lr: f32) {
         self.t += 1;
-        for layer in &mut self.layers {
-            layer.step(lr, self.t);
+        for (layer, grad) in self.layers.iter_mut().zip(&grads.layers) {
+            layer.step(grad, lr, self.t);
         }
+    }
+
+    /// Legacy training-mode forward: caches per-graph state on the encoder
+    /// and returns the embedding. Prefer [`Self::forward_tape`] for batch
+    /// training — this entry point is single-stream by construction.
+    pub fn forward_train(&mut self, g: &FeatureGraph) -> Vec<f32> {
+        let ctx = GraphCtx::from_graph(g);
+        let tape = self.forward_tape(&ctx);
+        let embedding = tape.embedding.clone();
+        self.pending = Some((ctx, tape));
+        embedding
+    }
+
+    /// Legacy backward from an embedding gradient; accumulates parameter
+    /// grads on the encoder. Must follow [`Self::forward_train`].
+    pub fn backward(&mut self, grad_embedding: &[f32], num_vertices: usize) {
+        let (ctx, tape) = self.pending.take().expect("backward before forward_train");
+        assert_eq!(ctx.num_vertices(), num_vertices, "vertex count mismatch");
+        let mut acc = match self.acc.take() {
+            Some(acc) => acc,
+            None => GinGrads::zeros_like(self),
+        };
+        let plan = self.backward_plan();
+        self.backward_tape(&ctx, &tape, grad_embedding, &mut acc, &plan);
+        self.acc = Some(acc);
+    }
+
+    /// Legacy Adam step over gradients accumulated by [`Self::backward`].
+    pub fn step(&mut self, lr: f32) {
+        let acc = match self.acc.take() {
+            Some(acc) => acc,
+            None => GinGrads::zeros_like(self),
+        };
+        self.step_with(&acc, lr);
+    }
+
+    /// Per-layer parameters `(weights, bias, ε)` — lets the reference
+    /// engine clone a trained state for equivalence testing.
+    pub(crate) fn layer_params(&self) -> Vec<(&Matrix, &[f32], f32)> {
+        self.layers
+            .iter()
+            .map(|l| (&l.mlp.w, l.mlp.b.as_slice(), l.eps))
+            .collect()
     }
 
     /// Learnable ε of each layer (exposed for tests / inspection).
     pub fn epsilons(&self) -> Vec<f32> {
         self.layers.iter().map(|l| l.eps).collect()
+    }
+
+    /// Every parameter flattened in a stable order (weights, biases, ε per
+    /// layer) — the bit-exactness witness for determinism tests.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            out.extend_from_slice(&layer.mlp.w.data);
+            out.extend_from_slice(&layer.mlp.b);
+            out.push(layer.eps);
+        }
+        out
     }
 }
 
@@ -229,17 +438,17 @@ mod tests {
     #[test]
     fn training_forward_matches_inference() {
         let mut enc = GinEncoder::new(4, &[8], 5, 45);
-        let g = graph(
-            vec![vec![0.1, 0.2, 0.3, 0.4]],
-            vec![vec![0.0]],
-        );
+        let g = graph(vec![vec![0.1, 0.2, 0.3, 0.4]], vec![vec![0.0]]);
         let a = enc.forward_train(&g);
         let b = enc.encode(&g);
         assert_eq!(a, b);
+        // The pure tape agrees as well.
+        let ctx = GraphCtx::from_graph(&g);
+        assert_eq!(enc.forward_tape(&ctx).embedding(), a.as_slice());
     }
 
     /// Finite-difference check of the full encoder gradient w.r.t. the first
-    /// layer's epsilon and weights.
+    /// layer's epsilon.
     #[test]
     fn gradient_check_through_graph() {
         let mut enc = GinEncoder::new(2, &[4], 3, 46);
@@ -248,9 +457,13 @@ mod tests {
             vec![vec![0.0, 0.6], vec![0.0, 0.0]],
         );
         // Loss = sum of embedding entries.
-        let emb = enc.forward_train(&g);
-        enc.backward(&vec![1.0; emb.len()], g.num_vertices());
-        let analytic_eps = enc.layers[0].eps_grad;
+        let ctx = GraphCtx::from_graph(&g);
+        let tape = enc.forward_tape(&ctx);
+        let mut acc = GinGrads::zeros_like(&enc);
+        let ones = vec![1.0; tape.embedding().len()];
+        let plan = enc.backward_plan();
+        enc.backward_tape(&ctx, &tape, &ones, &mut acc, &plan);
+        let analytic_eps = acc.epsilon_grads()[0];
         let eps = 1e-3f32;
         let loss = |enc: &GinEncoder| -> f32 { enc.encode(&g).iter().sum() };
         enc.layers[0].eps += eps;
@@ -280,6 +493,36 @@ mod tests {
         let after = enc.encode(&g);
         let n_before: f32 = before.iter().map(|v| v * v).sum();
         let n_after: f32 = after.iter().map(|v| v * v).sum();
-        assert!(n_after < n_before, "norm should shrink: {n_before} -> {n_after}");
+        assert!(
+            n_after < n_before,
+            "norm should shrink: {n_before} -> {n_after}"
+        );
+    }
+
+    /// The legacy single-stream API and the pure tape API produce identical
+    /// parameter updates.
+    #[test]
+    fn legacy_and_tape_apis_agree() {
+        let g = graph(
+            vec![vec![0.4, -0.3], vec![0.8, 0.1]],
+            vec![vec![0.0, 0.6], vec![0.0, 0.0]],
+        );
+        let mut legacy = GinEncoder::new(2, &[4], 3, 48);
+        let mut pure = GinEncoder::new(2, &[4], 3, 48);
+        for _ in 0..3 {
+            let emb = legacy.forward_train(&g);
+            let grad: Vec<f32> = emb.iter().map(|&v| 2.0 * v).collect();
+            legacy.backward(&grad, 2);
+            legacy.step(0.01);
+
+            let ctx = GraphCtx::from_graph(&g);
+            let tape = pure.forward_tape(&ctx);
+            let grad: Vec<f32> = tape.embedding().iter().map(|&v| 2.0 * v).collect();
+            let mut acc = GinGrads::zeros_like(&pure);
+            let plan = pure.backward_plan();
+            pure.backward_tape(&ctx, &tape, &grad, &mut acc, &plan);
+            pure.step_with(&acc, 0.01);
+        }
+        assert_eq!(legacy.flat_params(), pure.flat_params());
     }
 }

@@ -14,8 +14,9 @@
 
 pub mod gin;
 pub mod loss;
+pub mod reference;
 pub mod train;
 
-pub use gin::GinEncoder;
+pub use gin::{BackwardPlan, ForwardTape, GinEncoder, GinGrads, GraphCtx};
 pub use loss::{basic_contrastive, performance_similarity, weighted_contrastive, PairSets};
 pub use train::{train_encoder, DmlConfig, LossKind};

@@ -34,7 +34,15 @@ pub fn performance_similarity(a: &[f64], b: &[f64]) -> f64 {
 /// Assigns each ordered pair to the positive or negative set by threshold
 /// `tau` (Def. 3).
 pub fn pair_sets(labels: &[Vec<f64>], tau: f64) -> PairSets {
+    pair_sets_with_sims(labels, tau).0
+}
+
+/// [`pair_sets`] variant that also returns the pairwise similarity matrix
+/// it computed, so [`weighted_contrastive_presim`] can reuse it instead of
+/// recomputing the same O(m²·dim) pass.
+pub fn pair_sets_with_sims(labels: &[Vec<f64>], tau: f64) -> (PairSets, Vec<f64>) {
     let m = labels.len();
+    let sims = pairwise_similarities(labels);
     let mut positives = vec![Vec::new(); m];
     let mut negatives = vec![Vec::new(); m];
     for i in 0..m {
@@ -42,17 +50,20 @@ pub fn pair_sets(labels: &[Vec<f64>], tau: f64) -> PairSets {
             if i == j {
                 continue;
             }
-            if performance_similarity(&labels[i], &labels[j]) >= tau {
+            if sims[i * m + j] >= tau {
                 positives[i].push(j);
             } else {
                 negatives[i].push(j);
             }
         }
     }
-    PairSets {
-        positives,
-        negatives,
-    }
+    (
+        PairSets {
+            positives,
+            negatives,
+        },
+        sims,
+    )
 }
 
 /// Output of a loss evaluation: the scalar loss and per-embedding gradients.
@@ -73,6 +84,37 @@ fn log_sum_exp(vs: &[f64]) -> f64 {
     max + vs.iter().map(|v| (v - max).exp()).sum::<f64>().ln()
 }
 
+/// Pairwise embedding distances, computed once per batch (`m×m`,
+/// symmetric, flattened row-major). The loss loops consult each distance
+/// up to three times (term, softmax weight, gradient direction), so one
+/// precomputation pass removes two-thirds of the Euclidean work.
+fn pairwise_distances(embeddings: &[Vec<f32>]) -> Vec<f32> {
+    let m = embeddings.len();
+    let mut d = vec![0.0f32; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let v = euclidean(&embeddings[i], &embeddings[j]);
+            d[i * m + j] = v;
+            d[j * m + i] = v;
+        }
+    }
+    d
+}
+
+/// Pairwise label similarities (Def. 2), computed once per batch.
+fn pairwise_similarities(labels: &[Vec<f64>]) -> Vec<f64> {
+    let m = labels.len();
+    let mut s = vec![0.0f64; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let v = performance_similarity(&labels[i], &labels[j]);
+            s[i * m + j] = v;
+            s[j * m + i] = v;
+        }
+    }
+    s
+}
+
 /// The weighted contrastive loss (Eq. 9) with gradients.
 ///
 /// `gamma` is the fixed margin of the negative term. Similarities are the
@@ -83,14 +125,26 @@ pub fn weighted_contrastive(
     pairs: &PairSets,
     gamma: f64,
 ) -> LossGrad {
+    weighted_contrastive_presim(embeddings, &pairwise_similarities(labels), pairs, gamma)
+}
+
+/// [`weighted_contrastive`] with the label-similarity matrix supplied by
+/// the caller (from [`pair_sets_with_sims`]) — the hot-path form used by
+/// training, which avoids computing the matrix twice per batch.
+pub fn weighted_contrastive_presim(
+    embeddings: &[Vec<f32>],
+    sims: &[f64],
+    pairs: &PairSets,
+    gamma: f64,
+) -> LossGrad {
     let m = embeddings.len();
+    assert_eq!(sims.len(), m * m, "similarity matrix shape mismatch");
     let dim = embeddings.first().map_or(0, Vec::len);
     let mut grads = vec![vec![0.0f32; dim]; m];
     let mut loss = 0.0f64;
     let inv_m = 1.0 / m.max(1) as f64;
 
-    // Pairwise distances and similarities, computed once.
-    let dist = |i: usize, j: usize| euclidean(&embeddings[i], &embeddings[j]) as f64;
+    let dists = pairwise_distances(embeddings);
 
     for i in 0..m {
         let pos = &pairs.positives[i];
@@ -98,27 +152,27 @@ pub fn weighted_contrastive(
         if !pos.is_empty() {
             let terms: Vec<f64> = pos
                 .iter()
-                .map(|&k| dist(i, k) + performance_similarity(&labels[i], &labels[k]))
+                .map(|&k| dists[i * m + k] as f64 + sims[i * m + k])
                 .collect();
             let lse = log_sum_exp(&terms);
             loss += inv_m * lse;
             // Softmax weights = dL/dU_ik (Eq. 11).
             for (idx, &k) in pos.iter().enumerate() {
                 let w = inv_m * (terms[idx] - lse).exp();
-                add_distance_grad(&mut grads, embeddings, i, k, w as f32);
+                add_distance_grad(&mut grads, embeddings, i, k, w as f32, dists[i * m + k]);
             }
         }
         if !neg.is_empty() {
             let terms: Vec<f64> = neg
                 .iter()
-                .map(|&k| gamma - dist(i, k) - performance_similarity(&labels[i], &labels[k]))
+                .map(|&k| gamma - dists[i * m + k] as f64 - sims[i * m + k])
                 .collect();
             let lse = log_sum_exp(&terms);
             loss += inv_m * lse;
             // dL/dU_ik = −softmax weight (Eq. 12).
             for (idx, &k) in neg.iter().enumerate() {
                 let w = -inv_m * (terms[idx] - lse).exp();
-                add_distance_grad(&mut grads, embeddings, i, k, w as f32);
+                add_distance_grad(&mut grads, embeddings, i, k, w as f32, dists[i * m + k]);
             }
         }
     }
@@ -128,26 +182,29 @@ pub fn weighted_contrastive(
 /// The basic contrastive loss ([5], Hadsell et al.): `Σ_pos U² +
 /// Σ_neg max(0, γ − U)²`, averaged over anchors — the Fig. 7 ablation
 /// baseline.
-pub fn basic_contrastive(
-    embeddings: &[Vec<f32>],
-    pairs: &PairSets,
-    gamma: f64,
-) -> LossGrad {
+pub fn basic_contrastive(embeddings: &[Vec<f32>], pairs: &PairSets, gamma: f64) -> LossGrad {
     let m = embeddings.len();
     let dim = embeddings.first().map_or(0, Vec::len);
     let mut grads = vec![vec![0.0f32; dim]; m];
     let mut loss = 0.0f64;
     let inv_m = 1.0 / m.max(1) as f64;
-    let dist = |i: usize, j: usize| euclidean(&embeddings[i], &embeddings[j]) as f64;
+    let dists = pairwise_distances(embeddings);
     for i in 0..m {
         for &k in &pairs.positives[i] {
-            let u = dist(i, k);
+            let u = dists[i * m + k] as f64;
             loss += inv_m * u * u;
             // d(U²)/dU = 2U; times dU/dx.
-            add_distance_grad(&mut grads, embeddings, i, k, (inv_m * 2.0 * u) as f32);
+            add_distance_grad(
+                &mut grads,
+                embeddings,
+                i,
+                k,
+                (inv_m * 2.0 * u) as f32,
+                dists[i * m + k],
+            );
         }
         for &k in &pairs.negatives[i] {
-            let u = dist(i, k);
+            let u = dists[i * m + k] as f64;
             if u < gamma {
                 loss += inv_m * (gamma - u) * (gamma - u);
                 add_distance_grad(
@@ -156,6 +213,7 @@ pub fn basic_contrastive(
                     i,
                     k,
                     (-inv_m * 2.0 * (gamma - u)) as f32,
+                    dists[i * m + k],
                 );
             }
         }
@@ -164,19 +222,31 @@ pub fn basic_contrastive(
 }
 
 /// Adds `w · dU_ik/dx` to the gradients of both endpoints, where
-/// `U = ‖x_i − x_k‖₂`.
+/// `U = ‖x_i − x_k‖₂` (precomputed by the caller).
 fn add_distance_grad(
     grads: &mut [Vec<f32>],
     embeddings: &[Vec<f32>],
     i: usize,
     k: usize,
     w: f32,
+    u: f32,
 ) {
-    let u = euclidean(&embeddings[i], &embeddings[k]).max(1e-6);
-    for d in 0..embeddings[i].len() {
-        let diff = (embeddings[i][d] - embeddings[k][d]) / u;
-        grads[i][d] += w * diff;
-        grads[k][d] -= w * diff;
+    let u = u.max(1e-6);
+    // Split the two gradient rows apart so the loop borrows cleanly and
+    // vectorizes (identical arithmetic to the indexed form).
+    let (gi, gk) = if i < k {
+        let (lo, hi) = grads.split_at_mut(k);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = grads.split_at_mut(i);
+        (&mut hi[0], &mut lo[k])
+    };
+    let ei = &embeddings[i];
+    let ek = &embeddings[k];
+    for (((gi_d, gk_d), &a), &b) in gi.iter_mut().zip(gk.iter_mut()).zip(ei).zip(ek) {
+        let diff = (a - b) / u;
+        *gi_d += w * diff;
+        *gk_d -= w * diff;
     }
 }
 
@@ -193,11 +263,7 @@ mod tests {
 
     #[test]
     fn pair_sets_respect_threshold() {
-        let labels = vec![
-            vec![1.0, 0.0],
-            vec![0.9, 0.1],
-            vec![0.0, 1.0],
-        ];
+        let labels = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
         let p = pair_sets(&labels, 0.8);
         assert!(p.positives[0].contains(&1));
         assert!(p.negatives[0].contains(&2));

@@ -149,7 +149,10 @@ mod tests {
             points.push(vec![rng.gen::<f32>() * 0.1, rng.gen::<f32>() * 0.1]);
         }
         for _ in 0..50 {
-            points.push(vec![5.0 + rng.gen::<f32>() * 0.1, 5.0 + rng.gen::<f32>() * 0.1]);
+            points.push(vec![
+                5.0 + rng.gen::<f32>() * 0.1,
+                5.0 + rng.gen::<f32>() * 0.1,
+            ]);
         }
         let r = kmeans(&points, 2, 50, &mut rng);
         let first = r.assignments[0];

@@ -69,6 +69,39 @@ impl Activation {
     }
 }
 
+/// Externally owned gradient accumulator for one [`Dense`] layer.
+///
+/// The layer's built-in `forward`/`backward` keep caches and gradients
+/// inside the layer, which makes it single-stream. Batch-parallel training
+/// (the GIN engine) instead runs the pure [`Dense::backward_owned_wt`]
+/// against per-stream accumulators and reduces them in a fixed order
+/// before one [`Dense::adam_step_with`].
+#[derive(Debug, Clone)]
+pub struct DenseGrad {
+    /// Accumulated weight gradient.
+    pub gw: Matrix,
+    /// Accumulated bias gradient.
+    pub gb: Vec<f32>,
+}
+
+impl DenseGrad {
+    /// Zero accumulator shaped for `layer`.
+    pub fn zeros_like(layer: &Dense) -> Self {
+        DenseGrad {
+            gw: Matrix::zeros(layer.w.rows, layer.w.cols),
+            gb: vec![0.0; layer.b.len()],
+        }
+    }
+
+    /// Elementwise reduction `self += other`.
+    pub fn add_assign(&mut self, other: &DenseGrad) {
+        self.gw.add_assign(&other.gw);
+        for (a, &b) in self.gb.iter_mut().zip(&other.gb) {
+            *a += b;
+        }
+    }
+}
+
 /// A fully connected layer `y = act(x·W + b)` with Adam state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
@@ -163,6 +196,75 @@ impl Dense {
             }
         }
         g.matmul(&self.w.transpose())
+    }
+
+    /// Pure backward: given the input `x` and the post-activation output
+    /// `y` of an [`infer`](Self::infer) call, routes `grad_out` into `acc`
+    /// (weight/bias gradients) and returns the gradient w.r.t. `x`. Shares
+    /// no mutable state with the layer, so independent streams may run
+    /// concurrently against separate accumulators.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        grad_out: &Matrix,
+        acc: &mut DenseGrad,
+    ) -> Matrix {
+        // Convenience form of [`Self::backward_owned_wt`]: transposes the
+        // weights per call. Batch training amortizes the transpose via a
+        // shared plan instead; both paths are bit-identical.
+        let wt = self.w.transpose();
+        self.backward_owned_wt(x, y, grad_out.clone(), &wt, acc)
+    }
+
+    /// Variant of [`Self::backward_into`] for batch training: consumes the
+    /// output gradient (no defensive clone) and takes `Wᵀ` pre-materialized
+    /// — one transpose per layer per *batch* instead of a row-dot kernel
+    /// per graph, which keeps the `dx` product on the vectorized i-k-j
+    /// path. The caller guarantees `wt` is this layer's transposed weights.
+    pub fn backward_owned_wt(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        mut g: Matrix,
+        wt: &Matrix,
+        acc: &mut DenseGrad,
+    ) -> Matrix {
+        self.activation.backward(y, &mut g);
+        x.matmul_transposed_left_into(&g, &mut acc.gw);
+        for r in 0..g.rows {
+            for (b, &v) in acc.gb.iter_mut().zip(g.row(r)) {
+                *b += v;
+            }
+        }
+        g.matmul(wt)
+    }
+
+    /// Adam update reading gradients from an external accumulator (the
+    /// reduced batch gradient); the layer's internal gradient buffers are
+    /// untouched.
+    pub fn adam_step_with(&mut self, grad: &DenseGrad, lr: f32, t: u64) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.data.len() {
+            let g = grad.gw.data[i];
+            self.mw.data[i] = B1 * self.mw.data[i] + (1.0 - B1) * g;
+            self.vw.data[i] = B2 * self.vw.data[i] + (1.0 - B2) * g * g;
+            let mhat = self.mw.data[i] / bc1;
+            let vhat = self.vw.data[i] / bc2;
+            self.w.data[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            let g = grad.gb[i];
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
+            let mhat = self.mb[i] / bc1;
+            let vhat = self.vb[i] / bc2;
+            self.b[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
     }
 
     /// Adam update with bias correction at step `t` (1-based); clears grads.
@@ -278,6 +380,10 @@ mod tests {
                 last = total;
             }
         }
-        assert!((layer.w.data[0] - 3.0).abs() < 0.05, "w = {}", layer.w.data[0]);
+        assert!(
+            (layer.w.data[0] - 3.0).abs() < 0.05,
+            "w = {}",
+            layer.w.data[0]
+        );
     }
 }

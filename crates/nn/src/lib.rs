@@ -25,7 +25,7 @@ pub mod matrix;
 pub mod mlp;
 
 pub use kmeans::kmeans;
-pub use layers::{Activation, Dense};
+pub use layers::{Activation, Dense, DenseGrad};
 pub use loss::{mse_loss, softmax_cross_entropy};
 pub use matrix::Matrix;
 pub use mlp::Mlp;

@@ -1,7 +1,204 @@
 //! Row-major `f32` matrices with the operations the models need.
+//!
+//! # Kernel notes
+//!
+//! The hot kernels ([`Matrix::matmul`], the fused transposed products and
+//! [`spmm_csr`]) are written for the shapes the GIN training engine
+//! produces: tall-thin activations (a handful of graph vertices × 32–64
+//! features) multiplied against small square-ish weight matrices. The
+//! matmul uses an i-k-j loop order — the innermost loop streams one row of
+//! `b` into one row of `out` with no branches, which vectorizes — and
+//! blocks the `k` dimension in panels of [`KERNEL_BLOCK`] so a panel of
+//! `b` rows stays in L1 across successive `i` rows when `a` has many rows.
+//! `k` advances in ascending order within and across panels, so the
+//! accumulation order (and hence the exact floating-point result) is
+//! independent of the blocking and identical to the naive triple loop.
+//!
+//! The transposed products (`matmul_transposed_left` = `selfᵀ·other`,
+//! `matmul_transposed_right` = `self·otherᵀ`) index the transposed operand
+//! directly instead of materializing the transpose; backprop calls them on
+//! every layer of every graph, where the saved allocation dominates the
+//! cost at GIN sizes.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// `k`-panel size of the blocked matmul (rows of `b` kept hot in L1).
+const KERNEL_BLOCK: usize = 64;
+
+// ---- SIMD dispatch ---------------------------------------------------------
+//
+// The hot kernels are all lane-parallel (`out[j] += a · b[j]` with
+// independent `j` lanes, accumulation order fixed along `k`), so compiling
+// the *same* body under wider target features only widens the vectors —
+// per-lane IEEE math is unchanged and results stay bit-identical to the
+// scalar build. Rust never contracts `a*b + c` into an FMA, so enabling
+// AVX-512F/AVX2 cannot change rounding. Feature detection is cached and
+// checked once per kernel call (thousands of flops), not per row.
+
+/// Generates scalar + AVX2 + AVX-512F instantiations of one kernel body
+/// (same code, wider autovectorization) plus a caller dispatching on cached
+/// runtime CPU features. Non-x86-64 targets always take the scalar body.
+macro_rules! simd_kernel {
+    ($name:ident, ($($arg:ident: $ty:ty),* $(,)?), $body:block) => {
+        mod $name {
+            use super::*;
+
+            #[inline(always)]
+            fn body($($arg: $ty),*) $body
+
+            fn scalar($($arg: $ty),*) {
+                body($($arg),*)
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2")]
+            unsafe fn avx2($($arg: $ty),*) {
+                body($($arg),*)
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx512f")]
+            unsafe fn avx512($($arg: $ty),*) {
+                body($($arg),*)
+            }
+
+            pub(super) fn dispatch($($arg: $ty),*) {
+                #[cfg(target_arch = "x86_64")]
+                match simd_level() {
+                    // SAFETY: the matching feature was detected at runtime.
+                    2 => return unsafe { avx512($($arg),*) },
+                    1 => return unsafe { avx2($($arg),*) },
+                    _ => {}
+                }
+                scalar($($arg),*)
+            }
+        }
+    };
+}
+
+/// Cached SIMD capability: 0 = baseline, 1 = AVX2, 2 = AVX-512F.
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> u8 {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<u8> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            2
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+simd_kernel!(matmul_kernel, (a: &[f32], b: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize), {
+    // Cache-blocked branchless i-k-j product. Four `k` steps are fused per
+    // pass over the output row (one load/store of `out` instead of four);
+    // within each output element the four adds chain in ascending `k`, so
+    // the accumulation order — and hence the exact result — matches the
+    // naive triple loop.
+    for k0 in (0..inner).step_by(KERNEL_BLOCK) {
+        let k1 = (k0 + KERNEL_BLOCK).min(inner);
+        for i in 0..rows {
+            let a_row = &a[i * inner + k0..i * inner + k1];
+            let out_row = &mut out[i * cols..(i + 1) * cols];
+            let mut k = 0usize;
+            while k + 4 <= a_row.len() {
+                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+                let base = (k0 + k) * cols;
+                let b0 = &b[base..base + cols];
+                let b1 = &b[base + cols..base + 2 * cols];
+                let b2 = &b[base + 2 * cols..base + 3 * cols];
+                let b3 = &b[base + 3 * cols..base + 4 * cols];
+                for j in 0..cols {
+                    let mut v = out_row[j];
+                    v += a0 * b0[j];
+                    v += a1 * b1[j];
+                    v += a2 * b2[j];
+                    v += a3 * b3[j];
+                    out_row[j] = v;
+                }
+                k += 4;
+            }
+            while k < a_row.len() {
+                let av = a_row[k];
+                let b_row = &b[(k0 + k) * cols..(k0 + k + 1) * cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+                k += 1;
+            }
+        }
+    }
+});
+
+simd_kernel!(tmatmul_left_kernel, (x: &[f32], g: &[f32], out: &mut [f32], rows: usize, xc: usize, gc: usize), {
+    // out (xc×gc) += xᵀ·g with k (shared rows) ascending; four `k` rows
+    // fused per pass over `out` (same chained-add ordering as one-by-one).
+    let mut k = 0usize;
+    while k + 4 <= rows {
+        let x0 = &x[k * xc..(k + 1) * xc];
+        let x1 = &x[(k + 1) * xc..(k + 2) * xc];
+        let x2 = &x[(k + 2) * xc..(k + 3) * xc];
+        let x3 = &x[(k + 3) * xc..(k + 4) * xc];
+        let g0 = &g[k * gc..(k + 1) * gc];
+        let g1 = &g[(k + 1) * gc..(k + 2) * gc];
+        let g2 = &g[(k + 2) * gc..(k + 3) * gc];
+        let g3 = &g[(k + 3) * gc..(k + 4) * gc];
+        for i in 0..xc {
+            let (v0, v1, v2, v3) = (x0[i], x1[i], x2[i], x3[i]);
+            let out_row = &mut out[i * gc..(i + 1) * gc];
+            for j in 0..gc {
+                let mut v = out_row[j];
+                v += v0 * g0[j];
+                v += v1 * g1[j];
+                v += v2 * g2[j];
+                v += v3 * g3[j];
+                out_row[j] = v;
+            }
+        }
+        k += 4;
+    }
+    while k < rows {
+        let x_row = &x[k * xc..(k + 1) * xc];
+        let g_row = &g[k * gc..(k + 1) * gc];
+        for (i, &xv) in x_row.iter().enumerate() {
+            let out_row = &mut out[i * gc..(i + 1) * gc];
+            for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                *o += xv * gv;
+            }
+        }
+        k += 1;
+    }
+});
+
+simd_kernel!(add_slices_kernel, (acc: &mut [f32], other: &[f32]), {
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a += b;
+    }
+});
+
+simd_kernel!(spmm_kernel, (indptr: &[usize], indices: &[usize], weights: &[f32], diag: f32, h: &[f32], out: &mut [f32], cols: usize), {
+    let n = indptr.len() - 1;
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..n {
+        let lo = indptr[i];
+        let hi = indptr[i + 1];
+        let split = lo + indices[lo..hi].partition_point(|&j| j < i);
+        let out_row = &mut out[i * cols..(i + 1) * cols];
+        for idx in lo..split {
+            let j = indices[idx];
+            axpy(out_row, &h[j * cols..(j + 1) * cols], weights[idx]);
+        }
+        axpy(out_row, &h[i * cols..(i + 1) * cols], diag);
+        for idx in split..hi {
+            let j = indices[idx];
+            axpy(out_row, &h[j * cols..(j + 1) * cols], weights[idx]);
+        }
+    }
+});
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,14 +223,25 @@ impl Matrix {
 
     /// Builds from a nested `Vec` (each inner vec is one row).
     pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        Matrix::from_row_slices(&rows)
+    }
+
+    /// Builds from borrowed row slices — one straight copy per row, no
+    /// intermediate `Vec` clones (the hot-path replacement for
+    /// `from_rows(rows.clone())`).
+    pub fn from_row_slices(rows: &[Vec<f32>]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "ragged rows");
-            data.extend_from_slice(&row);
+            data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// A single-row matrix.
@@ -79,20 +287,68 @@ impl Matrix {
     }
 
     /// Matrix product `self (r×k) · other (k×c)`.
+    ///
+    /// Cache-blocked branchless i-k-j kernel dispatched to the widest
+    /// available SIMD level; see the module notes. The result is
+    /// bit-identical to the naive ascending-`k` triple loop at any width.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_kernel::dispatch(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        out
+    }
+
+    /// Fused product `selfᵀ (k×r) · other (k×c)` without materializing the
+    /// transpose. Used for weight gradients (`xᵀ·g`). `k` runs over shared
+    /// rows in ascending order, matching `self.transpose().matmul(other)`
+    /// bit-for-bit.
+    pub fn matmul_transposed_left(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_transposed_left_into(other, &mut out);
+        out
+    }
+
+    /// Accumulating variant of [`Self::matmul_transposed_left`]:
+    /// `out += selfᵀ·other`, with no temporary product matrix. This is the
+    /// gradient-accumulation shape (`gw += xᵀ·g`) of backprop.
+    pub fn matmul_transposed_left_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_transposed_left mismatch");
+        assert_eq!(out.rows, self.cols, "output rows mismatch");
+        assert_eq!(out.cols, other.cols, "output cols mismatch");
+        tmatmul_left_kernel::dispatch(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// Fused product `self (r×k) · otherᵀ (k×c)` without materializing the
+    /// transpose. Used for input gradients (`g·Wᵀ`); each output entry is a
+    /// dot product of two rows, the cache-optimal layout for row-major
+    /// storage.
+    pub fn matmul_transposed_right(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transposed_right mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
                 }
-                let b_row = other.row(k);
-                for (j, &b) in b_row.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
+                *o = acc;
             }
         }
         out
@@ -109,12 +365,17 @@ impl Matrix {
         out
     }
 
-    /// Elementwise in-place addition.
+    /// Elementwise in-place addition (SIMD-dispatched; this is the
+    /// gradient-reduction primitive, called per graph per batch).
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.data.len(), other.data.len(), "shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        add_slices_kernel::dispatch(&mut self.data, &other.data);
+    }
+
+    /// Fused elementwise `self += s · other` (matrix axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, s: f32) {
+        assert_eq!(self.data.len(), other.data.len(), "shape mismatch");
+        axpy(&mut self.data, &other.data, s);
     }
 
     /// Elementwise in-place scaling.
@@ -159,6 +420,48 @@ impl Matrix {
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
+}
+
+/// Fused slice axpy: `y += a · x`.
+#[inline]
+pub fn axpy(y: &mut [f32], x: &[f32], a: f32) {
+    debug_assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+/// Sparse-times-dense product for a symmetric CSR adjacency with an implicit
+/// scaled diagonal: `out = diag·H + A·H`, row by row.
+///
+/// `indptr`/`indices`/`weights` are standard CSR arrays over `h.rows`
+/// vertices; `indices` within a row must be sorted ascending and exclude the
+/// diagonal. Row `i` accumulates neighbors with index `< i` first, then the
+/// `diag·h_i` term, then neighbors `> i` — exactly the ascending-`k` order a
+/// dense `((diag·I + A)·H)` matmul that skips zero entries would use, so the
+/// sparse and dense paths agree bit-for-bit. Because the aggregation matrix
+/// is symmetric (`A = Aᵀ`), the same kernel routes gradients in backprop.
+pub fn spmm_csr(
+    indptr: &[usize],
+    indices: &[usize],
+    weights: &[f32],
+    diag: f32,
+    h: &Matrix,
+    out: &mut Matrix,
+) {
+    let n = h.rows;
+    assert_eq!(indptr.len(), n + 1, "indptr length mismatch");
+    assert_eq!(out.rows, n, "output rows mismatch");
+    assert_eq!(out.cols, h.cols, "output cols mismatch");
+    spmm_kernel::dispatch(
+        indptr,
+        indices,
+        weights,
+        diag,
+        &h.data,
+        &mut out.data,
+        h.cols,
+    );
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -216,6 +519,98 @@ mod tests {
         assert_eq!(c.row(1), &[3.0, 4.0, 6.0]);
         assert_eq!(a.sum_rows().data, vec![4.0, 6.0]);
         assert_eq!(a.mean_rows().data, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn transposed_products_match_materialized_transpose() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::xavier(7, 5, &mut rng);
+        let b = Matrix::xavier(7, 4, &mut rng);
+        assert_eq!(a.matmul_transposed_left(&b), a.transpose().matmul(&b));
+        let c = Matrix::xavier(3, 5, &mut rng);
+        let d = Matrix::xavier(6, 5, &mut rng);
+        assert_eq!(c.matmul_transposed_right(&d), c.matmul(&d.transpose()));
+        let mut acc = Matrix::xavier(5, 4, &mut rng);
+        let mut expect = acc.clone();
+        expect.add_assign(&a.transpose().matmul(&b));
+        a.matmul_transposed_left_into(&b, &mut acc);
+        for (x, y) in acc.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_handles_wide_inner_dim() {
+        // Inner dimension spanning multiple KERNEL_BLOCK panels.
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::xavier(3, 150, &mut rng);
+        let b = Matrix::xavier(150, 4, &mut rng);
+        let c = a.matmul(&b);
+        // Naive reference.
+        let mut expect = Matrix::zeros(3, 4);
+        for i in 0..3 {
+            for k in 0..150 {
+                for j in 0..4 {
+                    *expect.get_mut(i, j) += a.get(i, k) * b.get(k, j);
+                }
+            }
+        }
+        for (x, y) in c.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_formula() {
+        // 4 vertices, ring topology with asymmetric raw weights.
+        let n = 4;
+        let mut dense = Matrix::zeros(n, n);
+        let edges = [
+            (0usize, 1usize, 0.5f32),
+            (1, 2, 0.25),
+            (2, 3, 0.75),
+            (3, 0, 0.1),
+        ];
+        let diag = 1.3f32;
+        for i in 0..n {
+            *dense.get_mut(i, i) = diag;
+        }
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut weights = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w: f32 = edges
+                    .iter()
+                    .filter(|&&(a, b, _)| (a == i && b == j) || (a == j && b == i))
+                    .map(|&(_, _, w)| w)
+                    .sum();
+                if w != 0.0 {
+                    *dense.get_mut(i, j) = w;
+                    indices.push(j);
+                    weights.push(w);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = Matrix::xavier(n, 6, &mut rng);
+        let mut out = Matrix::zeros(n, 6);
+        spmm_csr(&indptr, &indices, &weights, diag, &h, &mut out);
+        let expect = dense.matmul(&h);
+        assert_eq!(
+            out, expect,
+            "sparse and dense aggregation agree bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn from_row_slices_matches_from_rows() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        assert_eq!(Matrix::from_row_slices(&rows), Matrix::from_rows(rows));
     }
 
     #[test]

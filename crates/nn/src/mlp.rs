@@ -23,7 +23,12 @@ impl Mlp {
     /// `hidden`, the output layer uses `output` activation.
     ///
     /// `sizes = [in, h1, ..., out]` produces `sizes.len() - 1` layers.
-    pub fn new<R: Rng>(sizes: &[usize], hidden: Activation, output: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
@@ -105,7 +110,12 @@ mod tests {
     #[test]
     fn fits_nonlinear_function() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut mlp = Mlp::new(&[1, 16, 16, 1], Activation::Relu, Activation::Linear, &mut rng);
+        let mut mlp = Mlp::new(
+            &[1, 16, 16, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng,
+        );
         assert_eq!(mlp.input_dim(), 1);
         assert_eq!(mlp.output_dim(), 1);
         // y = x^2 on [-1, 1].

@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn hash_join_wins_on_large_inputs() {
-        assert!(hash_join_cost(5_000.0, 5_000.0, 5_000.0) < nested_loop_cost(5_000.0, 5_000.0, 5_000.0));
+        assert!(
+            hash_join_cost(5_000.0, 5_000.0, 5_000.0) < nested_loop_cost(5_000.0, 5_000.0, 5_000.0)
+        );
         // Nested loop wins when one side is tiny.
         assert!(nested_loop_cost(2.0, 100.0, 5.0) < hash_join_cost(2.0, 100.0, 5.0));
     }

@@ -60,12 +60,11 @@ pub fn execute_plan(
             let l = execute_plan(ds, query, left, indexes);
             let r = execute_plan(ds, query, right, indexes);
             // Locate key columns on each side.
-            let (l_table, l_col, r_table, r_col) =
-                if l.position(edge.fk_table).is_some() {
-                    (edge.fk_table, edge.fk_col, edge.pk_table, edge.pk_col)
-                } else {
-                    (edge.pk_table, edge.pk_col, edge.fk_table, edge.fk_col)
-                };
+            let (l_table, l_col, r_table, r_col) = if l.position(edge.fk_table).is_some() {
+                (edge.fk_table, edge.fk_col, edge.pk_table, edge.pk_col)
+            } else {
+                (edge.pk_table, edge.pk_col, edge.fk_table, edge.fk_col)
+            };
             let lpos = l.position(l_table).expect("left side holds its table");
             let rpos = r.position(r_table).expect("right side holds its table");
             let lkey = (lpos, &ds.tables[l_table], l_col);

@@ -50,11 +50,7 @@ mod tests {
 
     #[test]
     fn lookup_matches_scan() {
-        let t = Table::with_columns(
-            "t",
-            vec![Column::data("a", vec![5, 3, 9, 3, 7, 1])],
-        )
-        .unwrap();
+        let t = Table::with_columns("t", vec![Column::data("a", vec![5, 3, 9, 3, 7, 1])]).unwrap();
         let ds = Dataset::new("d", vec![t], vec![]).unwrap();
         let idx = DatasetIndexes::build(&ds);
         assert!(idx.has(0, 0));
@@ -79,11 +75,7 @@ mod tests {
 
     #[test]
     fn key_columns_are_not_indexed() {
-        let t = Table::with_columns(
-            "t",
-            vec![Column::primary_key("id", vec![1, 2, 3])],
-        )
-        .unwrap();
+        let t = Table::with_columns("t", vec![Column::primary_key("id", vec![1, 2, 3])]).unwrap();
         let ds = Dataset::new("d", vec![t], vec![]).unwrap();
         let idx = DatasetIndexes::build(&ds);
         assert!(!idx.has(0, 0));

@@ -108,8 +108,12 @@ pub fn optimize_query(
             if right_mask == 0 || right_mask & (1 << b) == 0 {
                 continue;
             }
-            let Some((lc, lplan)) = dp.get(&left_mask) else { continue };
-            let Some((rc, rplan)) = dp.get(&right_mask) else { continue };
+            let Some((lc, lplan)) = dp.get(&left_mask) else {
+                continue;
+            };
+            let Some((rc, rplan)) = dp.get(&right_mask) else {
+                continue;
+            };
             let lrows = lplan.est_rows();
             let rrows = rplan.est_rows();
             let edge = *ds
@@ -261,8 +265,14 @@ mod tests {
     fn selective_predicate_prefers_index_scan() {
         let mut rng = StdRng::seed_from_u64(262);
         let mut spec = DatasetSpec::small().single_table();
-        spec.rows = ce_datagen::SpecRange { lo: 5_000, hi: 5_000 };
-        spec.domain = ce_datagen::SpecRange { lo: 5_000, hi: 5_000 };
+        spec.rows = ce_datagen::SpecRange {
+            lo: 5_000,
+            hi: 5_000,
+        };
+        spec.domain = ce_datagen::SpecRange {
+            lo: 5_000,
+            hi: 5_000,
+        };
         spec.skew = ce_datagen::SpecRange { lo: 0.0, hi: 0.0 };
         let ds = generate_dataset("idx", &spec, &mut rng);
         let est = TrueCardEstimator::new(&ds);
@@ -278,7 +288,13 @@ mod tests {
         );
         let plan = optimize_query(&ds, &q, &est, &indexes);
         assert!(
-            matches!(plan, PlanNode::Scan { method: ScanMethod::Index { .. }, .. }),
+            matches!(
+                plan,
+                PlanNode::Scan {
+                    method: ScanMethod::Index { .. },
+                    ..
+                }
+            ),
             "expected index scan, got {}",
             plan.explain()
         );
@@ -294,7 +310,13 @@ mod tests {
         );
         let plan2 = optimize_query(&ds, &q2, &est, &indexes);
         assert!(
-            matches!(plan2, PlanNode::Scan { method: ScanMethod::Sequential, .. }),
+            matches!(
+                plan2,
+                PlanNode::Scan {
+                    method: ScanMethod::Sequential,
+                    ..
+                }
+            ),
             "expected seq scan, got {}",
             plan2.explain()
         );

@@ -105,7 +105,11 @@ impl PlanNode {
                     JoinMethod::Hash => "HashJoin",
                     JoinMethod::NestedLoop => "NLJoin",
                 };
-                format!("{m}[{} , {} ~{est_rows:.0}]", left.explain(), right.explain())
+                format!(
+                    "{m}[{} , {} ~{est_rows:.0}]",
+                    left.explain(),
+                    right.explain()
+                )
             }
         }
     }

@@ -40,10 +40,16 @@ impl fmt::Display for StorageError {
             }
             StorageError::NonTreeJoin(msg) => write!(f, "query join graph is not a tree: {msg}"),
             StorageError::PredicateOutsideQuery { table } => {
-                write!(f, "predicate references table {table} not joined by the query")
+                write!(
+                    f,
+                    "predicate references table {table} not joined by the query"
+                )
             }
             StorageError::UnknownJoin { fk_table, pk_table } => {
-                write!(f, "no PK-FK join edge from table {fk_table} to table {pk_table}")
+                write!(
+                    f,
+                    "no PK-FK join edge from table {fk_table} to table {pk_table}"
+                )
             }
             StorageError::EmptyQuery => write!(f, "query references no tables"),
         }

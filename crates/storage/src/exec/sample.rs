@@ -245,7 +245,7 @@ mod tests {
         let s = sample_join(&ds, &q, 4000, &mut rng).unwrap();
         assert_eq!(s.rows.len(), 4000);
         assert_eq!(s.schema.len(), 4); // 2 cols per table
-        // P(main id = 1) should be 3/4 (three fact rows reference id 1).
+                                       // P(main id = 1) should be 3/4 (three fact rows reference id 1).
         let id_col = 0; // (table 0, col 0)
         let ones = s.rows.iter().filter(|r| r[id_col] == 1).count();
         let frac = ones as f64 / 4000.0;
@@ -257,8 +257,7 @@ mod tests {
     #[test]
     fn empty_join_yields_no_rows() {
         let main = Table::with_columns("m", vec![Column::primary_key("id", vec![1])]).unwrap();
-        let fact =
-            Table::with_columns("f", vec![Column::foreign_key("m_id", vec![2, 2])]).unwrap();
+        let fact = Table::with_columns("f", vec![Column::foreign_key("m_id", vec![2, 2])]).unwrap();
         let ds = Dataset::new(
             "e",
             vec![main, fact],

@@ -57,7 +57,10 @@ impl Query {
 
     /// Predicates restricted to one table.
     pub fn predicates_on(&self, table: usize) -> Vec<&Predicate> {
-        self.predicates.iter().filter(|p| p.table == table).collect()
+        self.predicates
+            .iter()
+            .filter(|p| p.table == table)
+            .collect()
     }
 
     /// Number of joins in the query.
@@ -82,12 +85,16 @@ impl Query {
                     "join ({a},{b}) touches a table outside the query"
                 )));
             }
-            let edge = ds
-                .join_between(a, b)
-                .ok_or(StorageError::UnknownJoin { fk_table: a, pk_table: b })?;
+            let edge = ds.join_between(a, b).ok_or(StorageError::UnknownJoin {
+                fk_table: a,
+                pk_table: b,
+            })?;
             // Direction must match the dataset edge.
             if !(edge.fk_table == a && edge.pk_table == b) {
-                return Err(StorageError::UnknownJoin { fk_table: a, pk_table: b });
+                return Err(StorageError::UnknownJoin {
+                    fk_table: a,
+                    pk_table: b,
+                });
             }
         }
         // Tree check: |edges| == |tables| - 1 and connected.

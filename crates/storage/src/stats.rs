@@ -325,16 +325,10 @@ mod tests {
 
     #[test]
     fn join_correlation_ratio() {
-        let main = Table::with_columns(
-            "m",
-            vec![Column::primary_key("id", vec![1, 2, 3, 4])],
-        )
-        .unwrap();
-        let fact = Table::with_columns(
-            "f",
-            vec![Column::foreign_key("m_id", vec![1, 1, 2, 2])],
-        )
-        .unwrap();
+        let main =
+            Table::with_columns("m", vec![Column::primary_key("id", vec![1, 2, 3, 4])]).unwrap();
+        let fact =
+            Table::with_columns("f", vec![Column::foreign_key("m_id", vec![1, 1, 2, 2])]).unwrap();
         let ds = Dataset::new(
             "d",
             vec![main, fact],

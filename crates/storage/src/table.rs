@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn pk_uniqueness_checked() {
-        let t = Table::with_columns(
-            "t",
-            vec![Column::primary_key("id", vec![1, 2, 2])],
-        )
-        .unwrap();
+        let t = Table::with_columns("t", vec![Column::primary_key("id", vec![1, 2, 2])]).unwrap();
         assert!(t.validate().is_err());
     }
 

@@ -115,7 +115,11 @@ impl DatasetLabel {
     /// percentile variants).
     pub fn score_vector_with(&self, w: MetricWeights, metric: AccuracyMetric) -> Vec<f64> {
         let q: Vec<f64> = self.performances.iter().map(|p| p.qerror(metric)).collect();
-        let t: Vec<f64> = self.performances.iter().map(|p| p.latency_mean_us).collect();
+        let t: Vec<f64> = self
+            .performances
+            .iter()
+            .map(|p| p.latency_mean_us)
+            .collect();
         score_vector(&q, &t, w)
     }
 
@@ -179,10 +183,8 @@ impl DatasetLabel {
     /// Eq. 3/4. The score vector at any weighting is their affine
     /// combination, so storing the pair supports arbitrary `w⃗` exactly.
     pub fn normalized_components(&self) -> (Vec<f64>, Vec<f64>) {
-        let sa = self
-            .score_vector(MetricWeights::new(1.0));
-        let se = self
-            .score_vector(MetricWeights::new(0.0));
+        let sa = self.score_vector(MetricWeights::new(1.0));
+        let se = self.score_vector(MetricWeights::new(0.0));
         (sa, se)
     }
 }
@@ -325,7 +327,10 @@ mod tests {
         let b = label_dataset(&ds, &quick_cfg(), 13);
         for (x, y) in a.performances.iter().zip(&b.performances) {
             assert_eq!(x.kind, y.kind);
-            assert!((x.qerror_mean - y.qerror_mean).abs() < 1e-9, "q-error deterministic");
+            assert!(
+                (x.qerror_mean - y.qerror_mean).abs() < 1e-9,
+                "q-error deterministic"
+            );
         }
     }
 }

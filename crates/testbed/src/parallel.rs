@@ -2,12 +2,12 @@
 //!
 //! Stage-1 labeling trains every model on every dataset — the paper reports
 //! ~2 hours for its corpus. Datasets are independent, so we fan the work out
-//! over a crossbeam scoped thread pool with a shared work queue.
+//! over scoped worker threads pulling from a shared atomic work queue.
 
 use crate::label::{label_dataset, DatasetLabel, TestbedConfig};
 use ce_storage::Dataset;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Labels all datasets, using up to `threads` worker threads (0 = all
 /// available cores). Output order matches input order; per-dataset seeds are
@@ -29,32 +29,40 @@ pub fn label_datasets(
     let results: Vec<Mutex<Option<DatasetLabel>>> =
         (0..datasets.len()).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= datasets.len() {
-                    break;
-                }
-                let label = label_dataset(&datasets[i], cfg, seed.wrapping_add(i as u64));
-                *results[i].lock() = Some(label);
-            });
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= datasets.len() {
+            break;
         }
-    })
-    .expect("labeling workers do not panic");
+        let label = label_dataset(&datasets[i], cfg, seed.wrapping_add(i as u64));
+        *results[i].lock().expect("label slot poisoned") = Some(label);
+    };
+    if threads <= 1 {
+        work();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(work);
+            }
+        });
+    }
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("label slot poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ce_datagen::{generate_batch, DatasetSpec};
     use ce_models::ModelKind;
     use ce_workload::WorkloadSpec;
-    use ce_datagen::{generate_batch, DatasetSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -24,7 +24,9 @@ impl MetricWeights {
 
     /// The paper's grid: `w_a` from 0 to 1 with a step of 0.1.
     pub fn grid() -> Vec<MetricWeights> {
-        (0..=10).map(|i| MetricWeights::new(i as f64 / 10.0)).collect()
+        (0..=10)
+            .map(|i| MetricWeights::new(i as f64 / 10.0))
+            .collect()
     }
 }
 

@@ -100,7 +100,11 @@ pub fn ceb_workload<R: Rng>(
 ) -> Vec<Query> {
     templates
         .iter()
-        .flat_map(|t| (0..per_template).map(|_| t.instantiate(ds, rng)).collect::<Vec<_>>())
+        .flat_map(|t| {
+            (0..per_template)
+                .map(|_| t.instantiate(ds, rng))
+                .collect::<Vec<_>>()
+        })
         .collect()
 }
 

@@ -58,7 +58,11 @@ pub fn generate_query<R: Rng>(ds: &Dataset, spec: &WorkloadSpec, rng: &mut R) ->
         let mut frontier: Vec<(usize, usize)> = Vec::new();
         for &t in &tables {
             for e in ds.joins_of(t) {
-                let other = if e.fk_table == t { e.pk_table } else { e.fk_table };
+                let other = if e.fk_table == t {
+                    e.pk_table
+                } else {
+                    e.fk_table
+                };
                 if !tables.contains(&other) {
                     frontier.push((e.fk_table, e.pk_table));
                 }

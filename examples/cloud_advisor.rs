@@ -62,7 +62,10 @@ fn main() {
     // A tenant with a wildly different distribution triggers online
     // adapting: the testbed labels it, the RCS grows, the encoder updates.
     let mut odd_spec = spec.clone();
-    odd_spec.domain = SpecRange { lo: 3_000, hi: 9_000 };
+    odd_spec.domain = SpecRange {
+        lo: 3_000,
+        hi: 9_000,
+    };
     odd_spec.skew = SpecRange { lo: 0.9, hi: 1.0 };
     odd_spec.tables = SpecRange { lo: 5, hi: 5 };
     let odd = generate_dataset("tenant-odd", &odd_spec, &mut rng);
@@ -72,7 +75,10 @@ fn main() {
         detector.threshold()
     );
     let adapted = adapt_online(&mut advisor, &detector, &odd, &testbed, 77);
-    println!("online adapting triggered: {adapted}; RCS size now {}", advisor.rcs().len());
+    println!(
+        "online adapting triggered: {adapted}; RCS size now {}",
+        advisor.rcs().len()
+    );
     println!(
         "post-adaptation recommendation for tenant-odd: {}",
         advisor.recommend(&odd, w)

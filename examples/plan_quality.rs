@@ -57,7 +57,10 @@ fn main() {
     ] {
         let model = build_model(kind, &ctx);
         let report = run_workload(&ds, &queries, model.as_ref(), &indexes);
-        assert_eq!(report.total_rows, baseline.total_rows, "plans agree on answers");
+        assert_eq!(
+            report.total_rows, baseline.total_rows,
+            "plans agree on answers"
+        );
         let vs_pg = pg_report
             .as_ref()
             .map(|b| format!("{:+.1}% vs Postgres", report.improvement_over(b) * 100.0))

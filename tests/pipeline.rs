@@ -110,11 +110,7 @@ fn training_is_deterministic() {
 fn label_metric_space_invariants() {
     let mut rng = StdRng::seed_from_u64(9003);
     let train = generate_batch("inv", 5, &DatasetSpec::small(), &mut rng);
-    let cfg = testbed(vec![
-        ModelKind::Postgres,
-        ModelKind::LwNn,
-        ModelKind::LwXgb,
-    ]);
+    let cfg = testbed(vec![ModelKind::Postgres, ModelKind::LwNn, ModelKind::LwXgb]);
     let labels = label_datasets(&train, &cfg, 7, 0);
     for label in &labels {
         for w in MetricWeights::grid() {
