@@ -1,10 +1,22 @@
 //! The AutoCE advisor: Stage-2 training and Stage-4 recommendation.
+//!
+//! # Serving path
+//!
+//! Every bulk embedding computation — the post-training RCS embeddings,
+//! [`AutoCe::refresh_embeddings`] after incremental/online encoder updates,
+//! and the batch recommendation entry points — runs on the batch-stacked
+//! embedding service ([`GinEncoder::encode_batch`]): graph blocks are
+//! concatenated into one tall vertex matrix with a block-diagonal CSR
+//! adjacency and encoded in a handful of large SIMD kernel calls instead of
+//! one dispatch per graph per layer. The stacked path is bit-identical to
+//! per-graph encoding, so switching it in changes no recommendation.
 
 use crate::incremental::{run_incremental_learning, IncrementalConfig};
 use ce_features::{extract_features, FeatureConfig, FeatureGraph};
-use ce_gnn::{train_encoder, DmlConfig, GinEncoder};
+use ce_gnn::{train_encoder, DmlConfig, GinEncoder, StackedCtx};
 use ce_models::ModelKind;
 use ce_nn::matrix::euclidean;
+use ce_nn::Matrix;
 use ce_storage::Dataset;
 use ce_testbed::{DatasetLabel, MetricWeights};
 use rayon::prelude::*;
@@ -77,6 +89,11 @@ pub struct AutoCe {
     pub config: AutoCeConfig,
     encoder: GinEncoder,
     rcs: Vec<RcsEntry>,
+    /// Cached stacked serving chunks over the RCS graphs. Graphs are
+    /// immutable once in the RCS, so the stacking (vertex matrix +
+    /// block-diagonal CSR + offsets) survives every encoder update; only
+    /// RCS membership changes invalidate it.
+    serving: Option<Vec<StackedCtx>>,
 }
 
 impl AutoCe {
@@ -130,11 +147,9 @@ impl AutoCe {
             run_incremental_learning(&mut encoder, &entries, il, &config, seed);
         }
 
-        // Final embeddings for the RCS, batch-parallel.
-        let embeddings: Vec<Vec<f32>> = entries
-            .par_iter()
-            .map(|e| encoder.encode(&e.graph))
-            .collect();
+        // Final embeddings for the RCS via the batch-stacked service.
+        let graphs: Vec<&FeatureGraph> = entries.iter().map(|e| &e.graph).collect();
+        let embeddings = encoder.encode_batch(&graphs);
         for (e, embedding) in entries.iter_mut().zip(embeddings) {
             e.embedding = embedding;
         }
@@ -142,6 +157,7 @@ impl AutoCe {
             config,
             encoder,
             rcs: entries,
+            serving: None,
         }
     }
 
@@ -242,6 +258,8 @@ impl AutoCe {
 
     /// Adds a freshly labeled dataset to the RCS (online adapting, §V-E).
     pub fn push_rcs_entry(&mut self, graph: FeatureGraph, label: &DatasetLabel) {
+        // RCS membership changed; the stacked serving chunks are stale.
+        self.serving = None;
         let (sa, se) = label.normalized_components();
         let embedding = self.encoder.encode(&graph);
         self.rcs.push(RcsEntry {
@@ -260,18 +278,61 @@ impl AutoCe {
         (&mut self.encoder, &self.rcs)
     }
 
-    /// Recomputes all RCS embeddings (after incremental encoder updates),
-    /// batch-parallel over the pool.
+    /// Recomputes all RCS embeddings (after incremental encoder updates)
+    /// on the batch-stacked embedding service: the whole RCS is encoded in
+    /// a few large stacked forwards (chunks fanned out over the pool)
+    /// instead of one kernel dispatch per graph per layer. The stacked
+    /// chunks are cached across refreshes — in steady state this path does
+    /// no *per-graph* work (no context rebuild or per-graph allocation;
+    /// entry embedding buffers are reused in place, with only a few
+    /// per-chunk workspace matrices allocated per call). Bit-identical to
+    /// encoding each graph separately.
     pub fn refresh_embeddings(&mut self) {
-        let encoder = &self.encoder;
-        let embeddings: Vec<Vec<f32>> = self
-            .rcs
-            .par_iter()
-            .map(|e| encoder.encode(&e.graph))
-            .collect();
-        for (e, embedding) in self.rcs.iter_mut().zip(embeddings) {
-            e.embedding = embedding;
+        if self.serving.is_none() {
+            let graphs: Vec<&FeatureGraph> = self.rcs.iter().map(|e| &e.graph).collect();
+            self.serving = Some(StackedCtx::pack_graphs(&graphs));
         }
+        let chunks = self.serving.as_deref().expect("just built");
+        let encoder = &self.encoder;
+        let pooled: Vec<Matrix> = chunks
+            .par_iter()
+            .map(|s| {
+                let mut m = Matrix::zeros(0, 0);
+                encoder.encode_stacked_into(s, &mut m);
+                m
+            })
+            .collect();
+        let mut rows = pooled
+            .iter()
+            .flat_map(|m| (0..m.rows).map(move |r| m.row(r)));
+        for e in &mut self.rcs {
+            let row = rows.next().expect("one pooled row per RCS entry");
+            e.embedding.clear();
+            e.embedding.extend_from_slice(row);
+        }
+        assert!(rows.next().is_none(), "pooled rows must match RCS size");
+    }
+
+    /// Embeds many datasets at once: features are extracted in parallel and
+    /// the graphs are encoded through the batch-stacked service. Identical
+    /// to mapping [`Self::embed`] over `datasets`, with far fewer kernel
+    /// dispatches.
+    pub fn embed_batch(&self, datasets: &[Dataset]) -> Vec<Vec<f32>> {
+        let graphs: Vec<FeatureGraph> = datasets
+            .par_iter()
+            .map(|ds| extract_features(ds, &self.config.feature))
+            .collect();
+        self.encoder.encode_batch(&graphs)
+    }
+
+    /// Batch Stage-4 recommendation: one stacked embedding pass over all
+    /// datasets, then the KNN vote per embedding. Equivalent to calling
+    /// [`Self::recommend`] per dataset.
+    pub fn recommend_batch(&self, datasets: &[Dataset], w: MetricWeights) -> Vec<ModelKind> {
+        self.embed_batch(datasets)
+            .iter()
+            .map(|x| self.predict_from_embedding(x, w).0)
+            .collect()
     }
 }
 
@@ -346,6 +407,31 @@ mod tests {
         let m = advisor.recommend(&datasets[0], MetricWeights::new(0.5));
         let _ = m;
         assert_eq!(advisor.rcs().len(), 12, "RCS keeps original entries");
+    }
+
+    /// The batch-stacked serving path must agree with the per-graph path
+    /// bit for bit: refreshed RCS embeddings, batch embeds and batch
+    /// recommendations all match their one-at-a-time equivalents.
+    #[test]
+    fn stacked_serving_path_matches_per_graph_path_bitwise() {
+        let (datasets, mut advisor) = tiny_training_run(2, false);
+        // Per-graph references, computed before any refresh.
+        let per_graph_rcs: Vec<Vec<f32>> = advisor
+            .rcs()
+            .iter()
+            .map(|e| advisor.embed_graph(&e.graph))
+            .collect();
+        advisor.refresh_embeddings();
+        for (e, expect) in advisor.rcs().iter().zip(&per_graph_rcs) {
+            assert_eq!(&e.embedding, expect, "stacked refresh must be bitwise");
+        }
+        let batch = advisor.embed_batch(&datasets);
+        let w = MetricWeights::new(0.7);
+        let recs = advisor.recommend_batch(&datasets, w);
+        for ((ds, emb), rec) in datasets.iter().zip(&batch).zip(&recs) {
+            assert_eq!(emb, &advisor.embed(ds), "stacked embed must be bitwise");
+            assert_eq!(*rec, advisor.recommend(ds, w));
+        }
     }
 
     #[test]

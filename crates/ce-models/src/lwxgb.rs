@@ -1,5 +1,5 @@
 //! LW-XGB — lightweight gradient-boosted trees (Dutt et al.), on the
-//! from-scratch [`Gbdt`](crate::gbdt::Gbdt) substrate.
+//! from-scratch [`crate::gbdt::Gbdt`] substrate.
 //!
 //! Same flat query encoding and normalized log-card target as LW-NN; only
 //! the regressor differs (tree ensemble instead of a neural net), matching

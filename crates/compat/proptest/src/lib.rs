@@ -92,7 +92,7 @@ float_strategy!(f32, f64);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`fn@vec`]: an exact `usize` or a `Range`.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,

@@ -3,23 +3,45 @@
 //! `ThreadPoolBuilder::num_threads(n).build().install(..)` to pin the worker
 //! count (the parallel-vs-sequential equivalence tests force one thread).
 //!
+//! Like real rayon, the default worker count honors the
+//! `RAYON_NUM_THREADS` environment variable (read once, cached) before
+//! falling back to the host's available parallelism — CI's determinism
+//! matrix pins thread counts through it without touching any code.
+//!
 //! Work is split into contiguous chunks executed on `std::thread::scope`
 //! threads and results are concatenated **in input order**, so `collect` is
 //! deterministic regardless of scheduling. On a single-core host (or inside
 //! `num_threads(1)`) the map runs inline with no thread overhead.
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 thread_local! {
     /// 0 = no override (use available parallelism).
     static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
+/// `RAYON_NUM_THREADS` at first use (0 = unset/invalid), like real rayon's
+/// global-pool sizing.
+fn env_num_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
 /// Number of worker threads `collect` will use from this thread.
 pub fn current_num_threads() -> usize {
     let o = POOL_OVERRIDE.with(Cell::get);
     if o != 0 {
-        o
+        return o;
+    }
+    let env = env_num_threads();
+    if env != 0 {
+        env
     } else {
         std::thread::available_parallelism().map_or(1, usize::from)
     }
@@ -205,6 +227,14 @@ mod tests {
         pool.install(|| assert_eq!(current_num_threads(), 1));
         let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         pool3.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn explicit_pool_overrides_environment() {
+        // Whatever RAYON_NUM_THREADS says, an installed pool wins — the
+        // determinism tests rely on `num_threads(n)` being authoritative.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Multi-table generation (paper §IV-A2).
 //!
 //! Three steps, mirroring the paper: (1) generate each table independently
-//! with [`generate_table`](crate::single::generate_table); (2) select main
+//! with [`generate_table`]; (2) select main
 //! tables and assign each a primary key; (3) correlate tables with the main
 //! tables through PK-FK joins whose join correlation `p` is drawn from
 //! `[jmin, jmax]` (F3): a fraction `p` of the PK values is taken without

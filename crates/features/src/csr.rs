@@ -54,6 +54,36 @@ impl CsrAdjacency {
         }
     }
 
+    /// Block-diagonal concatenation: stacks the adjacencies of `parts` into
+    /// one CSR over the union of their vertices, graph `g`'s vertex `v`
+    /// becoming global row `offset(g) + v`. Within every row the column
+    /// indices keep their relative order (shifted by the block base), so a
+    /// SpMM over the stacked matrix visits exactly the entries a per-graph
+    /// SpMM would, in the same order — the batch-stacked serving path is
+    /// bit-identical to the per-graph path by construction.
+    pub fn stack(parts: &[&CsrAdjacency]) -> CsrAdjacency {
+        let total_n: usize = parts.iter().map(|p| p.num_vertices()).sum();
+        let total_nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+        let mut indptr = Vec::with_capacity(total_n + 1);
+        let mut indices = Vec::with_capacity(total_nnz);
+        let mut weights = Vec::with_capacity(total_nnz);
+        indptr.push(0);
+        let mut vertex_base = 0usize;
+        let mut nnz_base = 0usize;
+        for part in parts {
+            indptr.extend(part.indptr[1..].iter().map(|&p| nnz_base + p));
+            indices.extend(part.indices.iter().map(|&j| vertex_base + j));
+            weights.extend_from_slice(&part.weights);
+            vertex_base += part.num_vertices();
+            nnz_base += part.nnz();
+        }
+        CsrAdjacency {
+            indptr,
+            indices,
+            weights,
+        }
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.indptr.len() - 1
@@ -146,6 +176,110 @@ mod tests {
             );
             assert_eq!(out, expect, "trial {trial}: n={n} dim={dim}");
         }
+    }
+
+    #[test]
+    fn stack_produces_block_diagonal_layout() {
+        let a = CsrAdjacency {
+            indptr: vec![0, 1, 2],
+            indices: vec![1, 0],
+            weights: vec![0.9, 0.9],
+        };
+        let empty = CsrAdjacency {
+            indptr: vec![0],
+            indices: vec![],
+            weights: vec![],
+        };
+        let b = CsrAdjacency {
+            indptr: vec![0, 0, 1],
+            indices: vec![0],
+            weights: vec![0.4],
+        };
+        let stacked = CsrAdjacency::stack(&[&a, &empty, &b]);
+        assert_eq!(stacked.num_vertices(), 4);
+        assert_eq!(stacked.indptr, vec![0, 1, 2, 2, 3]);
+        // b's vertex 0 shifts past a's two vertices (empty adds none).
+        assert_eq!(stacked.indices, vec![1, 0, 2]);
+        assert_eq!(stacked.weights, vec![0.9, 0.9, 0.4]);
+        assert_eq!(CsrAdjacency::stack(&[]).num_vertices(), 0);
+    }
+
+    /// Block-diagonal SpMM over a stacked CSR must be bit-identical to
+    /// per-graph SpMM for random graph sets — including empty and
+    /// single-vertex graphs, which stack to zero-width blocks.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn stacked_spmm_is_bitwise_per_graph_spmm() {
+        use ce_nn::matrix::spmm_csr;
+        use ce_nn::Matrix;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            fn prop(seed in 0u64..1_000_000, num_graphs in 0usize..=6, dim in 1usize..=9) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let eps: f32 = rng.gen_range(-0.5f32..0.5);
+                let graphs: Vec<FeatureGraph> = (0..num_graphs)
+                    .map(|_| {
+                        // 0 = empty graph, 1 = single vertex; both must stack.
+                        let n = rng.gen_range(0usize..=5);
+                        let mut edges = vec![vec![0.0f32; n]; n];
+                        for i in 0..n {
+                            for j in 0..n {
+                                if i != j && rng.gen::<f32>() < 0.4 {
+                                    edges[i][j] = rng.gen_range(0.05f32..1.0);
+                                }
+                            }
+                        }
+                        let vertices = (0..n)
+                            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..=1.0)).collect())
+                            .collect();
+                        FeatureGraph { vertices, edges }
+                    })
+                    .collect();
+                let csrs: Vec<CsrAdjacency> =
+                    graphs.iter().map(CsrAdjacency::symmetrized).collect();
+                let refs: Vec<&CsrAdjacency> = csrs.iter().collect();
+                let stacked = CsrAdjacency::stack(&refs);
+                let total_n: usize = graphs.iter().map(FeatureGraph::num_vertices).sum();
+                prop_assert_eq!(stacked.num_vertices(), total_n);
+
+                // Stacked vertex matrix and one big SpMM.
+                let mut data = Vec::new();
+                for g in &graphs {
+                    for v in &g.vertices {
+                        data.extend_from_slice(v);
+                    }
+                }
+                let h = Matrix { rows: total_n, cols: dim, data };
+                let mut out = Matrix::zeros(total_n, dim);
+                spmm_csr(
+                    &stacked.indptr,
+                    &stacked.indices,
+                    &stacked.weights,
+                    1.0 + eps,
+                    &h,
+                    &mut out,
+                );
+
+                // Per-graph SpMMs must reproduce the matching row blocks.
+                let mut base = 0usize;
+                for (g, csr) in graphs.iter().zip(&csrs) {
+                    let n = g.num_vertices();
+                    let hg = Matrix::from_row_slices(&g.vertices);
+                    let hg = if n == 0 { Matrix::zeros(0, dim) } else { hg };
+                    let mut og = Matrix::zeros(n, dim);
+                    spmm_csr(&csr.indptr, &csr.indices, &csr.weights, 1.0 + eps, &hg, &mut og);
+                    prop_assert_eq!(
+                        &out.data[base * dim..(base + n) * dim],
+                        og.data.as_slice()
+                    );
+                    base += n;
+                }
+            }
+        }
+        prop();
     }
 
     #[test]

@@ -93,8 +93,8 @@ impl GinLayer {
 /// plus the symmetrized adjacency in CSR form (extracted once). Reused
 /// across every epoch, layer and pass that touches the graph.
 pub struct GraphCtx {
-    h0: Matrix,
-    csr: CsrAdjacency,
+    pub(crate) h0: Matrix,
+    pub(crate) csr: CsrAdjacency,
 }
 
 impl GraphCtx {
@@ -127,9 +127,24 @@ struct TapeStep {
 }
 
 impl ForwardTape {
+    /// An empty tape, ready for [`GinEncoder::forward_tape_into`]. Pooled
+    /// tapes start here and keep their buffers across checkouts.
+    pub fn new() -> Self {
+        ForwardTape {
+            steps: Vec::new(),
+            embedding: Vec::new(),
+        }
+    }
+
     /// The graph embedding this forward produced (sum-pooled vertices).
     pub fn embedding(&self) -> &[f32] {
         &self.embedding
+    }
+}
+
+impl Default for ForwardTape {
+    fn default() -> Self {
+        ForwardTape::new()
     }
 }
 
@@ -179,6 +194,38 @@ impl GinGrads {
     /// ε-gradient of each layer (exposed for tests).
     pub fn epsilon_grads(&self) -> Vec<f32> {
         self.layers.iter().map(|l| l.eps).collect()
+    }
+
+    /// Resets every accumulated gradient to exactly zero. Pool checkouts
+    /// call this so a dirty returned workspace can never leak into the next
+    /// batch's accumulation.
+    pub fn zero(&mut self) {
+        for l in &mut self.layers {
+            l.dense.gw.data.iter_mut().for_each(|v| *v = 0.0);
+            l.dense.gb.iter_mut().for_each(|v| *v = 0.0);
+            l.eps = 0.0;
+        }
+    }
+
+    /// True when every accumulated gradient is exactly `0.0` — the
+    /// checkout invariant asserted (in debug builds) by the gradient pool.
+    pub fn is_zero(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.eps == 0.0
+                && l.dense.gw.data.iter().all(|&v| v == 0.0)
+                && l.dense.gb.iter().all(|&v| v == 0.0)
+        })
+    }
+
+    /// Whether this accumulator's shapes match `encoder`'s parameters (a
+    /// pooled accumulator may outlive the encoder it was built for).
+    pub fn shape_matches(&self, encoder: &GinEncoder) -> bool {
+        self.layers.len() == encoder.layers.len()
+            && self.layers.iter().zip(&encoder.layers).all(|(g, l)| {
+                g.dense.gw.rows == l.mlp.w.rows
+                    && g.dense.gw.cols == l.mlp.w.cols
+                    && g.dense.gb.len() == l.mlp.b.len()
+            })
     }
 }
 
@@ -238,17 +285,64 @@ impl GinEncoder {
     /// [`Self::backward_tape`] and the embedding. `&self` only — safe to
     /// run for many graphs concurrently.
     pub fn forward_tape(&self, ctx: &GraphCtx) -> ForwardTape {
-        let mut steps = Vec::with_capacity(self.layers.len());
-        let mut h = &ctx.h0;
-        for layer in &self.layers {
-            let mut m = Matrix::zeros(h.rows, h.cols);
-            layer.aggregate(h, &ctx.csr, &mut m);
-            let y = layer.mlp.infer(&m);
-            steps.push(TapeStep { m, y });
-            h = &steps.last().expect("just pushed").y;
+        let mut tape = ForwardTape::new();
+        self.forward_tape_into(ctx, &mut tape);
+        tape
+    }
+
+    /// Allocation-recycling variant of [`Self::forward_tape`]: overwrites
+    /// `tape` in place, reusing its per-layer matrices and embedding buffer
+    /// (reshaped as needed). Bit-identical to a freshly allocated tape —
+    /// this is what a [`TapePool`](crate::pool::TapePool) checkout runs.
+    pub fn forward_tape_into(&self, ctx: &GraphCtx, tape: &mut ForwardTape) {
+        tape.steps.resize_with(self.layers.len(), || TapeStep {
+            m: Matrix::zeros(0, 0),
+            y: Matrix::zeros(0, 0),
+        });
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = tape.steps.split_at_mut(l);
+            let step = &mut rest[0];
+            let h = if l == 0 { &ctx.h0 } else { &done[l - 1].y };
+            // The SpMM inside `aggregate` zeroes its output itself.
+            step.m.reshape_for_overwrite(h.rows, h.cols);
+            layer.aggregate(h, &ctx.csr, &mut step.m);
+            layer.mlp.infer_into(&step.m, &mut step.y);
         }
-        let embedding = h.sum_rows().data;
-        ForwardTape { steps, embedding }
+        let h = tape.steps.last().map_or(&ctx.h0, |s| &s.y);
+        tape.embedding.clear();
+        tape.embedding.resize(h.cols, 0.0);
+        // Ascending-row accumulation — identical to `Matrix::sum_rows`.
+        for r in 0..h.rows {
+            for (e, &v) in tape.embedding.iter_mut().zip(h.row(r)) {
+                *e += v;
+            }
+        }
+    }
+
+    /// Runs the GINConv stack over an already-stacked vertex matrix `h0`
+    /// with a block-diagonal adjacency `csr`, returning the final per-vertex
+    /// activations (pooling is the caller's job). Rows of different graphs
+    /// never mix — the SpMM visits only same-block neighbors and the dense
+    /// map is row-local — so every row is bit-identical to the per-graph
+    /// forward of its block.
+    pub(crate) fn stacked_layers_forward(&self, h0: &Matrix, csr: &CsrAdjacency) -> Matrix {
+        let mut cur = Matrix::zeros(0, 0);
+        let mut next = Matrix::zeros(0, 0);
+        let mut m = Matrix::zeros(0, 0);
+        for (l, layer) in self.layers.iter().enumerate() {
+            // The first layer reads the stacked input in place (no clone);
+            // the SpMM inside `aggregate` zeroes its output itself.
+            let h = if l == 0 { h0 } else { &cur };
+            m.reshape_for_overwrite(h.rows, h.cols);
+            layer.aggregate(h, csr, &mut m);
+            layer.mlp.infer_into(&m, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        if self.layers.is_empty() {
+            h0.clone()
+        } else {
+            cur
+        }
     }
 
     /// Builds the per-batch backward plan (one `Wᵀ` per layer). Weights

@@ -11,12 +11,22 @@
 //!   assignment (Def. 3).
 //! * [`train`]: Algorithm 1 — batched DML training of the encoder from
 //!   labeled feature graphs.
+//! * [`stack`]: the batch-stacked embedding service — N graphs concatenated
+//!   into one tall vertex matrix + block-diagonal CSR, encoded in one pass
+//!   through the SIMD kernels, bit-identical to per-graph encoding.
+//! * [`pool`]: reusable training workspaces (forward tapes and gradient
+//!   accumulators) recycled across batches; pooled gradient buffers are
+//!   zeroed on checkout, never trusted on return.
 
 pub mod gin;
 pub mod loss;
+pub mod pool;
 pub mod reference;
+pub mod stack;
 pub mod train;
 
 pub use gin::{BackwardPlan, ForwardTape, GinEncoder, GinGrads, GraphCtx};
 pub use loss::{basic_contrastive, performance_similarity, weighted_contrastive, PairSets};
+pub use pool::{GradPool, TapePool, WorkspacePools};
+pub use stack::{StackedCtx, STACK_CHUNK_ROWS};
 pub use train::{train_encoder, DmlConfig, LossKind};

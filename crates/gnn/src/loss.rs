@@ -7,7 +7,7 @@
 //!   Eq. 11/12 — larger weight for harder positives (far / very similar)
 //!   and harder negatives (close / very dissimilar).
 //! * [`basic_contrastive`]: the classic contrastive loss the ablation of
-//!   Fig. 7 compares against (Hadsell et al., the paper's reference [5]).
+//!   Fig. 7 compares against (Hadsell et al., the paper's reference \[5\]).
 
 use ce_nn::matrix::euclidean;
 
@@ -179,7 +179,7 @@ pub fn weighted_contrastive_presim(
     LossGrad { loss, grads }
 }
 
-/// The basic contrastive loss ([5], Hadsell et al.): `Σ_pos U² +
+/// The basic contrastive loss (\[5\], Hadsell et al.): `Σ_pos U² +
 /// Σ_neg max(0, γ − U)²`, averaged over anchors — the Fig. 7 ablation
 /// baseline.
 pub fn basic_contrastive(embeddings: &[Vec<f32>], pairs: &PairSets, gamma: f64) -> LossGrad {

@@ -1,0 +1,320 @@
+//! Batch-stacked embedding service: encode many graphs in one pass.
+//!
+//! The serving path (RCS refresh, advisor KNN lookups, loss evaluation)
+//! is dominated by many *small* per-graph forwards — one kernel dispatch
+//! and a handful of allocations per layer per graph, each amortized over
+//! only a few vertex rows. [`StackedCtx`] turns that into the shape the
+//! SIMD kernels were built for: N graphs are concatenated into one tall
+//! vertex matrix plus a block-diagonal CSR adjacency
+//! ([`CsrAdjacency::stack`](ce_features::CsrAdjacency::stack)), the whole
+//! batch runs as a handful of large SpMM/matmul calls (tall matmuls engage
+//! the 4-row register micro-kernel that a 3-vertex graph never fills), and
+//! a segmented row reduction ([`ce_nn::matrix::segmented_sum_rows`]) pools
+//! each graph's vertex block into its embedding.
+//!
+//! # Equivalence and determinism
+//!
+//! The stacked forward is **bit-identical** to the per-graph path
+//! ([`GinEncoder::encode`]), not merely close: every kernel involved is
+//! row-local (dense maps) or block-local with preserved intra-row entry
+//! order (the block-diagonal SpMM), and the segmented pooling accumulates
+//! rows in the same ascending order as per-graph sum pooling. Chunk
+//! boundaries therefore cannot change results either — the batch entry
+//! points pack graphs into chunks of ≈[`STACK_CHUNK_ROWS`] vertex rows
+//! fanned out over the rayon pool, and emit the same bits at any chunk
+//! size or thread count (tested).
+//!
+//! Graphs with zero vertices stack to zero-height blocks and pool to the
+//! all-zero embedding (the empty sum); the per-graph path cannot encode
+//! them at all, so the stacked service strictly extends it.
+
+use crate::gin::{GinEncoder, GraphCtx};
+use ce_features::{CsrAdjacency, FeatureGraph};
+use ce_nn::matrix::segmented_sum_rows;
+use ce_nn::Matrix;
+use rayon::prelude::*;
+use std::borrow::Borrow;
+use std::ops::Range;
+
+/// Vertex-row budget per stacked chunk. At GIN widths (≤ 64 features) a
+/// 64-row activation block plus one `KERNEL_BLOCK` panel of weights fits
+/// L1, so the matmul's second k-panel pass re-reads output rows from cache
+/// instead of L2 — stacking *everything* into one matrix measures slower.
+/// Chunks also bound latency and give the rayon pool units to fan out.
+/// Results are bit-identical at any value (see module docs).
+pub const STACK_CHUNK_ROWS: usize = 64;
+
+/// Greedy contiguous packing: close a chunk once it holds at least
+/// [`STACK_CHUNK_ROWS`] rows. Zero-row items never force a chunk break.
+fn chunk_ranges(row_counts: impl IntoIterator<Item = usize>) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut rows = 0usize;
+    let mut len = 0usize;
+    for (i, n) in row_counts.into_iter().enumerate() {
+        if rows >= STACK_CHUNK_ROWS {
+            ranges.push(start..i);
+            start = i;
+            rows = 0;
+        }
+        rows += n;
+        len = i + 1;
+    }
+    if start < len {
+        ranges.push(start..len);
+    }
+    ranges
+}
+
+/// N prepared graphs concatenated for one stacked forward: a tall vertex
+/// matrix, a block-diagonal CSR adjacency, and the row offsets delimiting
+/// each graph's vertex block (length N + 1).
+pub struct StackedCtx {
+    h0: Matrix,
+    csr: CsrAdjacency,
+    offsets: Vec<usize>,
+}
+
+impl StackedCtx {
+    /// Stacks prepared graph contexts. Non-empty graphs must share one
+    /// vertex dimensionality; zero-vertex graphs contribute empty blocks.
+    pub fn from_ctxs<C: Borrow<GraphCtx>>(ctxs: &[C]) -> Self {
+        let dim = ctxs
+            .iter()
+            .map(|c| c.borrow().h0.cols)
+            .find(|&c| c > 0)
+            .unwrap_or(0);
+        let total: usize = ctxs.iter().map(|c| c.borrow().h0.rows).sum();
+        let mut data = Vec::with_capacity(total * dim);
+        let mut offsets = Vec::with_capacity(ctxs.len() + 1);
+        offsets.push(0);
+        for c in ctxs {
+            let h0 = &c.borrow().h0;
+            if h0.rows > 0 {
+                assert_eq!(h0.cols, dim, "stacked graphs must share vertex dim");
+                data.extend_from_slice(&h0.data);
+            }
+            offsets.push(offsets.last().expect("non-empty") + h0.rows);
+        }
+        let csrs: Vec<&CsrAdjacency> = ctxs.iter().map(|c| &c.borrow().csr).collect();
+        StackedCtx {
+            h0: Matrix {
+                rows: total,
+                cols: dim,
+                data,
+            },
+            csr: CsrAdjacency::stack(&csrs),
+            offsets,
+        }
+    }
+
+    /// Prepares and stacks raw feature graphs.
+    pub fn from_graphs<G: Borrow<FeatureGraph>>(graphs: &[G]) -> Self {
+        let ctxs: Vec<GraphCtx> = graphs
+            .iter()
+            .map(|g| GraphCtx::from_graph(g.borrow()))
+            .collect();
+        StackedCtx::from_ctxs(&ctxs)
+    }
+
+    /// Packs `graphs` into serving chunks of ≈[`STACK_CHUNK_ROWS`] vertex
+    /// rows each, in input order. This is the cacheable form of the serving
+    /// path: build once per graph set, re-encode after every encoder update
+    /// ([`GinEncoder::encode_stacked_into`]) without touching the graphs.
+    pub fn pack_graphs<G: Borrow<FeatureGraph>>(graphs: &[G]) -> Vec<StackedCtx> {
+        chunk_ranges(graphs.iter().map(|g| g.borrow().num_vertices()))
+            .into_iter()
+            .map(|r| StackedCtx::from_graphs(&graphs[r]))
+            .collect()
+    }
+
+    /// Number of stacked graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total vertices across all stacked graphs.
+    pub fn num_vertices(&self) -> usize {
+        self.h0.rows
+    }
+
+    /// Row offsets delimiting each graph's vertex block (length N + 1).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+impl GinEncoder {
+    /// Encodes every graph of a stacked context in one pass through the
+    /// SIMD kernels, bit-identical to calling [`Self::encode`] per graph
+    /// (zero-vertex graphs yield the all-zero embedding).
+    pub fn encode_stacked(&self, stacked: &StackedCtx) -> Vec<Vec<f32>> {
+        let mut pooled = Matrix::zeros(0, 0);
+        self.encode_stacked_into(stacked, &mut pooled);
+        (0..pooled.rows).map(|r| pooled.row(r).to_vec()).collect()
+    }
+
+    /// Allocation-recycling form of [`Self::encode_stacked`]: `pooled` is
+    /// reshaped to one row per graph (reusing its buffer). The steady-state
+    /// serving loop — refresh embeddings after every incremental encoder
+    /// update — runs this over cached [`StackedCtx`] chunks with zero
+    /// per-graph allocations.
+    pub fn encode_stacked_into(&self, stacked: &StackedCtx, pooled: &mut Matrix) {
+        if stacked.num_vertices() == 0 {
+            pooled.reset_zeroed(stacked.num_graphs(), self.embed_dim());
+            return;
+        }
+        let h = self.stacked_layers_forward(&stacked.h0, &stacked.csr);
+        pooled.reset_zeroed(stacked.num_graphs(), h.cols);
+        segmented_sum_rows(&h, &stacked.offsets, pooled);
+    }
+
+    /// The batch serving entry point: embeds `graphs` via stacked forwards,
+    /// packed to ≈[`STACK_CHUNK_ROWS`] vertex rows per stack, chunks fanned
+    /// out over the rayon pool and reassembled in input order.
+    /// Bit-identical to the per-graph path at any chunk size or thread
+    /// count.
+    pub fn encode_batch<G: Borrow<FeatureGraph> + Sync>(&self, graphs: &[G]) -> Vec<Vec<f32>> {
+        let ranges = chunk_ranges(graphs.iter().map(|g| g.borrow().num_vertices()));
+        let per_chunk: Vec<Vec<Vec<f32>>> = ranges
+            .par_iter()
+            .map(|r| self.encode_stacked(&StackedCtx::from_graphs(&graphs[r.clone()])))
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// [`Self::encode_batch`] over already-prepared graph contexts (the
+    /// trainer holds these for the whole run).
+    pub fn encode_ctx_batch(&self, ctxs: &[GraphCtx]) -> Vec<Vec<f32>> {
+        let ranges = chunk_ranges(ctxs.iter().map(GraphCtx::num_vertices));
+        let per_chunk: Vec<Vec<Vec<f32>>> = ranges
+            .par_iter()
+            .map(|r| self.encode_stacked(&StackedCtx::from_ctxs(&ctxs[r.clone()])))
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random small graphs with varied vertex counts (including 1) and
+    /// random sparse edges.
+    #[allow(clippy::needless_range_loop)]
+    fn random_graphs(count: usize, dim: usize, seed: u64) -> Vec<FeatureGraph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let n = rng.gen_range(1usize..=7);
+                let mut edges = vec![vec![0.0f32; n]; n];
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j && rng.gen::<f32>() < 0.35 {
+                            edges[i][j] = rng.gen_range(0.05f32..1.0);
+                        }
+                    }
+                }
+                let vertices = (0..n)
+                    .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..=1.0)).collect())
+                    .collect();
+                FeatureGraph { vertices, edges }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stacked_encoding_is_bitwise_per_graph_encoding() {
+        let dim = 5;
+        let enc = GinEncoder::new(dim, &[16, 8], 6, 77);
+        let graphs = random_graphs(23, dim, 0x57ac);
+        let stacked = StackedCtx::from_graphs(&graphs);
+        assert_eq!(stacked.num_graphs(), graphs.len());
+        let batch = enc.encode_stacked(&stacked);
+        for (g, emb) in graphs.iter().zip(&batch) {
+            assert_eq!(&enc.encode(g), emb, "stacked must equal per-graph");
+        }
+    }
+
+    #[test]
+    fn encode_batch_spans_chunk_boundaries_bitwise() {
+        let dim = 4;
+        let enc = GinEncoder::new(dim, &[12], 5, 78);
+        // Far more vertex rows than one STACK_CHUNK_ROWS budget, so the
+        // packing and reassembly are exercised.
+        let graphs = random_graphs(60, dim, 0xbee);
+        let batch = enc.encode_batch(&graphs);
+        assert_eq!(batch.len(), graphs.len());
+        for (g, emb) in graphs.iter().zip(&batch) {
+            assert_eq!(&enc.encode(g), emb);
+        }
+        // Prepared-context and cached-chunk entry points agree.
+        let ctxs: Vec<GraphCtx> = graphs.iter().map(GraphCtx::from_graph).collect();
+        assert_eq!(enc.encode_ctx_batch(&ctxs), batch);
+        let packed = StackedCtx::pack_graphs(&graphs);
+        assert!(packed.len() > 1, "workload must span several chunks");
+        let repacked: Vec<Vec<f32>> = packed.iter().flat_map(|s| enc.encode_stacked(s)).collect();
+        assert_eq!(repacked, batch);
+    }
+
+    #[test]
+    fn encode_batch_is_bit_deterministic_across_thread_counts() {
+        let dim = 3;
+        let enc = GinEncoder::new(dim, &[8], 4, 79);
+        let graphs = random_graphs(40, dim, 0xd06);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds")
+                .install(|| enc.encode_batch(&graphs))
+        };
+        assert_eq!(run(1), run(4), "stacked serving must not depend on threads");
+    }
+
+    #[test]
+    fn empty_graphs_pool_to_zero_embeddings() {
+        let enc = GinEncoder::new(3, &[8], 4, 80);
+        let empty = FeatureGraph {
+            vertices: vec![],
+            edges: vec![],
+        };
+        let full = FeatureGraph {
+            vertices: vec![vec![0.1, 0.2, 0.3]],
+            edges: vec![vec![0.0]],
+        };
+        let stacked = StackedCtx::from_graphs(&[empty.clone(), full.clone(), empty]);
+        let batch = enc.encode_stacked(&stacked);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], vec![0.0; 4]);
+        assert_eq!(batch[2], vec![0.0; 4]);
+        assert_eq!(batch[1], enc.encode(&full));
+        // An all-empty stack still answers with the right shape.
+        let none = StackedCtx::from_graphs::<FeatureGraph>(&[]);
+        assert!(enc.encode_stacked(&none).is_empty());
+    }
+
+    #[test]
+    fn offsets_partition_the_vertex_rows() {
+        let graphs = random_graphs(9, 2, 0xfab);
+        let stacked = StackedCtx::from_graphs(&graphs);
+        let offsets = stacked.offsets();
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().expect("non-empty"), stacked.num_vertices());
+        for (i, g) in graphs.iter().enumerate() {
+            assert_eq!(offsets[i + 1] - offsets[i], g.vertices.len());
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_input_in_order() {
+        assert!(chunk_ranges(Vec::<usize>::new()).is_empty());
+        assert_eq!(chunk_ranges([0, 0, 0]), vec![0..3]);
+        // 40 + 30 >= 64 closes the first chunk; the tail forms the second.
+        assert_eq!(chunk_ranges([40, 30, 10, 5]), vec![0..2, 2..4]);
+        // A single huge graph still gets its own chunk.
+        assert_eq!(chunk_ranges([500, 1]), vec![0..1, 1..2]);
+    }
+}

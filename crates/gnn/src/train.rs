@@ -19,6 +19,7 @@
 
 use crate::gin::{ForwardTape, GinEncoder, GinGrads, GraphCtx};
 use crate::loss::{basic_contrastive, pair_sets_with_sims, weighted_contrastive_presim};
+use crate::pool::WorkspacePools;
 use ce_features::FeatureGraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -91,12 +92,13 @@ pub fn train_encoder<G: Borrow<FeatureGraph> + Sync>(
         return encoder;
     }
     let ctxs = prepare_ctxs(graphs);
+    let pools = WorkspacePools::new();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd31);
     let mut order: Vec<usize> = (0..graphs.len()).collect();
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.batch_size) {
-            train_batch(&mut encoder, &ctxs, labels, chunk, cfg);
+            train_batch(&mut encoder, &ctxs, labels, chunk, cfg, &pools);
         }
     }
     encoder
@@ -115,12 +117,13 @@ pub fn train_encoder_incremental<G: Borrow<FeatureGraph> + Sync>(
         return;
     }
     let ctxs = prepare_ctxs(graphs);
+    let pools = WorkspacePools::new();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1c2);
     let mut order: Vec<usize> = (0..graphs.len()).collect();
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.batch_size) {
-            train_batch(encoder, &ctxs, labels, chunk, cfg);
+            train_batch(encoder, &ctxs, labels, chunk, cfg, &pools);
         }
     }
 }
@@ -139,13 +142,19 @@ fn train_batch(
     labels: &[Vec<f64>],
     chunk: &[usize],
     cfg: &DmlConfig,
+    pools: &WorkspacePools,
 ) {
     let enc: &GinEncoder = encoder;
     // Single taped forward per graph, fanned out over the pool; the tapes
-    // serve both the loss embeddings and backprop (no second pass).
+    // serve both the loss embeddings and backprop (no second pass). Tape
+    // buffers are recycled across batches via the workspace pool.
     let tapes: Vec<ForwardTape> = chunk
         .par_iter()
-        .map(|&i| enc.forward_tape(&ctxs[i]))
+        .map(|&i| {
+            let mut tape = pools.tapes.checkout();
+            enc.forward_tape_into(&ctxs[i], &mut tape);
+            tape
+        })
         .collect();
     let embeddings: Vec<Vec<f32>> = tapes.iter().map(|t| t.embedding().to_vec()).collect();
     let batch_labels: Vec<Vec<f64>> = chunk.iter().map(|&i| labels[i].clone()).collect();
@@ -154,8 +163,9 @@ fn train_batch(
         LossKind::Weighted => weighted_contrastive_presim(&embeddings, &sims, &pairs, cfg.gamma),
         LossKind::Basic => basic_contrastive(&embeddings, &pairs, cfg.gamma),
     };
-    // Parallel backward into per-graph accumulators; the backward plan
-    // (per-layer Wᵀ) is built once and shared read-only by every stream...
+    // Parallel backward into per-graph accumulators (pooled, zeroed on
+    // checkout); the backward plan (per-layer Wᵀ) is built once and shared
+    // read-only by every stream...
     let plan = enc.backward_plan();
     let slots: Vec<usize> = (0..chunk.len()).collect();
     let grads: Vec<Option<GinGrads>> = slots
@@ -164,31 +174,34 @@ fn train_batch(
             if lg.grads[b].iter().all(|&g| g == 0.0) {
                 return None;
             }
-            let mut acc = GinGrads::zeros_like(enc);
+            let mut acc = pools.grads.checkout(enc);
             enc.backward_tape(&ctxs[chunk[b]], &tapes[b], &lg.grads[b], &mut acc, &plan);
             Some(acc)
         })
         .collect();
     // ...reduced in fixed batch order, then one Adam step.
-    let mut total = GinGrads::zeros_like(encoder);
+    let mut total = pools.grads.checkout(enc);
     for g in grads.iter().flatten() {
         total.add_assign(g);
     }
     encoder.step_with(&total, cfg.lr);
+    // Workspaces go back dirty; the next checkout re-zeroes what it needs.
+    pools.grads.restore(total);
+    pools.grads.restore_all(grads.into_iter().flatten());
+    pools.tapes.restore_all(tapes);
 }
 
 /// Evaluates the mean batch loss over the whole set (for tests/monitoring).
-/// Embeddings are computed in parallel.
+/// Embeddings come from the batch-stacked service ([`GinEncoder::
+/// encode_batch`]) — bit-identical to per-graph encoding, a fraction of the
+/// kernel dispatches.
 pub fn evaluate_loss<G: Borrow<FeatureGraph> + Sync>(
     encoder: &GinEncoder,
     graphs: &[G],
     labels: &[Vec<f64>],
     cfg: &DmlConfig,
 ) -> f64 {
-    let embeddings: Vec<Vec<f32>> = graphs
-        .par_iter()
-        .map(|g| encoder.encode(g.borrow()))
-        .collect();
+    let embeddings: Vec<Vec<f32>> = encoder.encode_batch(graphs);
     let (pairs, sims) = pair_sets_with_sims(labels, cfg.tau);
     match cfg.loss {
         LossKind::Weighted => {

@@ -170,14 +170,24 @@ impl Dense {
 
     /// Inference-only forward (no caches touched).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
-        for r in 0..y.rows {
-            for (v, &b) in y.row_mut(r).iter_mut().zip(&self.b) {
+        // Start empty: infer_into reshapes and fills the buffer itself.
+        let mut y = Matrix::zeros(0, 0);
+        self.infer_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free inference forward: reshapes `out` (reusing its
+    /// buffer) and overwrites it with `act(x·W + b)`. Bit-identical to
+    /// [`Self::infer`] — the workspace-pool variant for taped training
+    /// forwards and the stacked serving path.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        for r in 0..out.rows {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(&self.b) {
                 *v += b;
             }
         }
-        self.activation.apply(&mut y);
-        y
+        self.activation.apply(out);
     }
 
     /// Backward pass: accumulates weight gradients and returns the gradient
@@ -356,6 +366,16 @@ mod tests {
                 gin.data[i]
             );
         }
+    }
+
+    #[test]
+    fn infer_into_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Dense::new(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::xavier(6, 4, &mut rng);
+        let mut out = Matrix::xavier(1, 1, &mut rng);
+        layer.infer_into(&x, &mut out);
+        assert_eq!(out, layer.infer(&x));
     }
 
     #[test]

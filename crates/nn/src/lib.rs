@@ -13,7 +13,7 @@
 //!   the GIN encoder in `ce-gnn`, autoregressive heads in `ce-models`) can be
 //!   wired together manually;
 //! * [`loss`]: MSE and softmax cross-entropy with gradients;
-//! * [`kmeans`]: plain k-means (the row-clustering step of DeepDB's SPN
+//! * [`mod@kmeans`]: plain k-means (the row-clustering step of DeepDB's SPN
 //!   learner).
 //!
 //! Everything is deterministic given a seeded `StdRng`.

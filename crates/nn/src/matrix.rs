@@ -8,7 +8,7 @@
 //! features) multiplied against small square-ish weight matrices. The
 //! matmul uses an i-k-j loop order — the innermost loop streams one row of
 //! `b` into one row of `out` with no branches, which vectorizes — and
-//! blocks the `k` dimension in panels of [`KERNEL_BLOCK`] so a panel of
+//! blocks the `k` dimension in panels of `KERNEL_BLOCK` so a panel of
 //! `b` rows stays in L1 across successive `i` rows when `a` has many rows.
 //! `k` advances in ascending order within and across panels, so the
 //! accumulation order (and hence the exact floating-point result) is
@@ -94,18 +94,83 @@ fn simd_level() -> u8 {
 }
 
 simd_kernel!(matmul_kernel, (a: &[f32], b: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize), {
-    // Cache-blocked branchless i-k-j product. Four `k` steps are fused per
-    // pass over the output row (one load/store of `out` instead of four);
-    // within each output element the four adds chain in ascending `k`, so
-    // the accumulation order — and hence the exact result — matches the
-    // naive triple loop.
+    // Cache-blocked branchless i-k-j product with a 4×4 register micro-
+    // kernel: four output rows advance together through four fused `k`
+    // steps, so each loaded `b` row feeds four accumulators (4× less `b`
+    // traffic) and the four per-row dependency chains run independently
+    // (4× the ILP of a single-row pass). Each output element still chains
+    // its adds in ascending `k`, so the result is bit-identical to the
+    // naive triple loop at any blocking or fusion width. Row blocking is
+    // why the batch-stacked serving path pays off: a 4-vertex graph's
+    // matmul never fills a row block, a 500-row stacked batch does.
     for k0 in (0..inner).step_by(KERNEL_BLOCK) {
         let k1 = (k0 + KERNEL_BLOCK).min(inner);
-        for i in 0..rows {
+        let klen = k1 - k0;
+        let mut i = 0usize;
+        while i + 4 <= rows {
+            let (a0, a1, a2, a3) = (
+                &a[i * inner + k0..i * inner + k1],
+                &a[(i + 1) * inner + k0..(i + 1) * inner + k1],
+                &a[(i + 2) * inner + k0..(i + 2) * inner + k1],
+                &a[(i + 3) * inner + k0..(i + 3) * inner + k1],
+            );
+            let (o01, o23) = out[i * cols..(i + 4) * cols].split_at_mut(2 * cols);
+            let (o0, o1) = o01.split_at_mut(cols);
+            let (o2, o3) = o23.split_at_mut(cols);
+            let mut k = 0usize;
+            while k + 4 <= klen {
+                let base = (k0 + k) * cols;
+                let b0 = &b[base..base + cols];
+                let b1 = &b[base + cols..base + 2 * cols];
+                let b2 = &b[base + 2 * cols..base + 3 * cols];
+                let b3 = &b[base + 3 * cols..base + 4 * cols];
+                for j in 0..cols {
+                    let (w0, w1, w2, w3) = (b0[j], b1[j], b2[j], b3[j]);
+                    let mut v0 = o0[j];
+                    v0 += a0[k] * w0;
+                    v0 += a0[k + 1] * w1;
+                    v0 += a0[k + 2] * w2;
+                    v0 += a0[k + 3] * w3;
+                    o0[j] = v0;
+                    let mut v1 = o1[j];
+                    v1 += a1[k] * w0;
+                    v1 += a1[k + 1] * w1;
+                    v1 += a1[k + 2] * w2;
+                    v1 += a1[k + 3] * w3;
+                    o1[j] = v1;
+                    let mut v2 = o2[j];
+                    v2 += a2[k] * w0;
+                    v2 += a2[k + 1] * w1;
+                    v2 += a2[k + 2] * w2;
+                    v2 += a2[k + 3] * w3;
+                    o2[j] = v2;
+                    let mut v3 = o3[j];
+                    v3 += a3[k] * w0;
+                    v3 += a3[k + 1] * w1;
+                    v3 += a3[k + 2] * w2;
+                    v3 += a3[k + 3] * w3;
+                    o3[j] = v3;
+                }
+                k += 4;
+            }
+            while k < klen {
+                let b_row = &b[(k0 + k) * cols..(k0 + k + 1) * cols];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    o0[j] += a0[k] * bv;
+                    o1[j] += a1[k] * bv;
+                    o2[j] += a2[k] * bv;
+                    o3[j] += a3[k] * bv;
+                }
+                k += 1;
+            }
+            i += 4;
+        }
+        // Remainder rows (and any matrix shorter than one row block).
+        while i < rows {
             let a_row = &a[i * inner + k0..i * inner + k1];
             let out_row = &mut out[i * cols..(i + 1) * cols];
             let mut k = 0usize;
-            while k + 4 <= a_row.len() {
+            while k + 4 <= klen {
                 let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
                 let base = (k0 + k) * cols;
                 let b0 = &b[base..base + cols];
@@ -122,7 +187,7 @@ simd_kernel!(matmul_kernel, (a: &[f32], b: &[f32], out: &mut [f32], rows: usize,
                 }
                 k += 4;
             }
-            while k < a_row.len() {
+            while k < klen {
                 let av = a_row[k];
                 let b_row = &b[(k0 + k) * cols..(k0 + k + 1) * cols];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
@@ -130,6 +195,7 @@ simd_kernel!(matmul_kernel, (a: &[f32], b: &[f32], out: &mut [f32], rows: usize,
                 }
                 k += 1;
             }
+            i += 1;
         }
     }
 });
@@ -177,6 +243,22 @@ simd_kernel!(tmatmul_left_kernel, (x: &[f32], g: &[f32], out: &mut [f32], rows: 
 simd_kernel!(add_slices_kernel, (acc: &mut [f32], other: &[f32]), {
     for (a, &b) in acc.iter_mut().zip(other) {
         *a += b;
+    }
+});
+
+simd_kernel!(segsum_kernel, (h: &[f32], offsets: &[usize], out: &mut [f32], cols: usize), {
+    // Per segment, rows accumulate in ascending order — the same chained
+    // adds `sum_rows` performs on a standalone matrix holding just that
+    // segment, so segmented and per-matrix pooling agree bit-for-bit.
+    for s in 0..offsets.len() - 1 {
+        let out_row = &mut out[s * cols..(s + 1) * cols];
+        out_row.iter_mut().for_each(|v| *v = 0.0);
+        for r in offsets[s]..offsets[s + 1] {
+            let h_row = &h[r * cols..(r + 1) * cols];
+            for (o, &v) in out_row.iter_mut().zip(h_row) {
+                *o += v;
+            }
+        }
     }
 });
 
@@ -244,6 +326,28 @@ impl Matrix {
         }
     }
 
+    /// Reshapes this matrix to `rows × cols` with all entries zeroed,
+    /// reusing the existing allocation when it is large enough. This is the
+    /// pool-recycling primitive: checked-out workspace matrices are resized
+    /// into shape without a fresh `Vec` per use.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` reusing the allocation, **without**
+    /// clearing: surviving entries keep stale values (growth is
+    /// zero-filled). Only for outputs a kernel fully overwrites — e.g.
+    /// [`spmm_csr`], which zeroes its output itself — where
+    /// [`Self::reset_zeroed`] would clear the buffer twice.
+    pub fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// A single-row matrix.
     pub fn row_vector(v: &[f32]) -> Self {
         Matrix {
@@ -292,8 +396,19 @@ impl Matrix {
     /// available SIMD level; see the module notes. The result is
     /// bit-identical to the naive ascending-`k` triple loop at any width.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        // Start empty: matmul_into's reset_zeroed performs the only
+        // zero-fill (a pre-sized buffer would be cleared twice).
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::matmul`]: reshapes `out` to
+    /// `self.rows × other.cols` (reusing its buffer) and overwrites it with
+    /// the product. Bit-identical to `matmul` — same kernel, same order.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset_zeroed(self.rows, other.cols);
         matmul_kernel::dispatch(
             &self.data,
             &other.data,
@@ -302,7 +417,6 @@ impl Matrix {
             self.cols,
             other.cols,
         );
-        out
     }
 
     /// Fused product `selfᵀ (k×r) · other (k×c)` without materializing the
@@ -464,6 +578,35 @@ pub fn spmm_csr(
     );
 }
 
+/// Segmented row reduction: `out.row(s) = Σ h.row(r)` for
+/// `r ∈ offsets[s]..offsets[s+1]`, the pooling step of the batch-stacked
+/// embedding service (one vertically stacked activation matrix holding many
+/// graphs, one output row per graph).
+///
+/// `offsets` must be non-decreasing with `offsets[0] == 0` and
+/// `offsets.last() == h.rows`; `out` must be `(offsets.len() - 1) × h.cols`.
+/// Rows accumulate in ascending order within each segment, so every output
+/// row is bit-identical to `Matrix::sum_rows` over that segment alone.
+pub fn segmented_sum_rows(h: &Matrix, offsets: &[usize], out: &mut Matrix) {
+    assert!(
+        !offsets.is_empty(),
+        "offsets must contain at least one entry"
+    );
+    assert_eq!(offsets[0], 0, "offsets must start at 0");
+    assert_eq!(
+        *offsets.last().expect("non-empty"),
+        h.rows,
+        "offsets must cover all rows"
+    );
+    debug_assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "offsets must be sorted"
+    );
+    assert_eq!(out.rows, offsets.len() - 1, "output rows mismatch");
+    assert_eq!(out.cols, h.cols, "output cols mismatch");
+    segsum_kernel::dispatch(&h.data, offsets, &mut out.data, h.cols);
+}
+
 /// Euclidean distance between two equal-length slices.
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
@@ -605,6 +748,55 @@ mod tests {
             out, expect,
             "sparse and dense aggregation agree bit-for-bit"
         );
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::xavier(5, 9, &mut rng);
+        let b = Matrix::xavier(9, 7, &mut rng);
+        // Start from a wrongly-shaped dirty output to prove the reshape.
+        let mut out = Matrix::xavier(2, 3, &mut rng);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn reset_zeroed_reshapes_and_clears() {
+        let mut m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.reset_zeroed(3, 1);
+        assert_eq!((m.rows, m.cols), (3, 1));
+        assert!(m.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn segmented_sum_matches_per_segment_sum_rows() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let h = Matrix::xavier(10, 6, &mut rng);
+        // Segments of mixed width, including an empty one.
+        let offsets = [0usize, 3, 3, 7, 10];
+        let mut out = Matrix::zeros(4, 6);
+        segmented_sum_rows(&h, &offsets, &mut out);
+        for s in 0..4 {
+            let rows: Vec<Vec<f32>> = (offsets[s]..offsets[s + 1])
+                .map(|r| h.row(r).to_vec())
+                .collect();
+            let expect = Matrix::from_row_slices(&rows);
+            let expect = if rows.is_empty() {
+                vec![0.0; 6]
+            } else {
+                expect.sum_rows().data
+            };
+            assert_eq!(out.row(s), expect.as_slice(), "segment {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must cover all rows")]
+    fn segmented_sum_rejects_short_offsets() {
+        let h = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(1, 2);
+        segmented_sum_rows(&h, &[0, 3], &mut out);
     }
 
     #[test]
