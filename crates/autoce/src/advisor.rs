@@ -18,9 +18,11 @@ use ce_models::ModelKind;
 use ce_nn::matrix::euclidean;
 use ce_nn::Matrix;
 use ce_storage::Dataset;
+use ce_testbed::score::best_index;
 use ce_testbed::{DatasetLabel, MetricWeights};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Advisor configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,6 +67,21 @@ pub struct RcsEntry {
 }
 
 impl RcsEntry {
+    /// Builds an entry from a testbed label and a precomputed embedding
+    /// (shared by [`AutoCe::push_rcs_entry`] and the sharded serving
+    /// layer's online adaptation).
+    pub fn from_label(graph: FeatureGraph, label: &DatasetLabel, embedding: Vec<f32>) -> Self {
+        let (sa, se) = label.normalized_components();
+        RcsEntry {
+            name: label.dataset.clone(),
+            graph,
+            embedding,
+            kinds: label.performances.iter().map(|p| p.kind).collect(),
+            sa,
+            se,
+        }
+    }
+
     /// Score vector at a metric weighting (Eq. 2).
     pub fn scores(&self, w: MetricWeights) -> Vec<f64> {
         self.sa
@@ -81,6 +98,44 @@ impl RcsEntry {
         v.extend_from_slice(&self.se);
         v
     }
+}
+
+/// The total order every KNN path ranks `(RCS index, distance)` candidates
+/// by: ascending distance, with **ties broken by ascending RCS index**.
+///
+/// This is a strict total order (indices are unique), so the k nearest
+/// neighbors of a query are a uniquely determined *set* and a uniquely
+/// determined *sequence* — which is what lets a sharded advisor merge
+/// per-shard partial top-k lists and reproduce the flat scan bit for bit
+/// at any shard count.
+pub fn knn_order(a: &(usize, f32), b: &(usize, f32)) -> Ordering {
+    a.1.partial_cmp(&b.1)
+        .expect("finite distances")
+        .then(a.0.cmp(&b.0))
+}
+
+/// The KNN vote of Eq. 13 over an ordered neighbor sequence: score vectors
+/// are averaged **in the given order** (each contribution divided by `k`
+/// before accumulation, matching the flat path's float evaluation order)
+/// and the best model is chosen by [`best_index`] — on equal averaged
+/// scores, the **lowest model index wins**. Both rules are load-bearing:
+/// the sharded serving layer relies on them to match the flat advisor
+/// bitwise, so they are part of the public contract (and unit-tested), not
+/// an accident of `max_by`.
+pub fn knn_vote<'a, I>(neighbors: I, k: usize, w: MetricWeights) -> (ModelKind, Vec<f64>)
+where
+    I: IntoIterator<Item = &'a RcsEntry>,
+{
+    let mut iter = neighbors.into_iter();
+    let first = iter.next().expect("at least one neighbor");
+    let mut avg = vec![0.0f64; first.kinds.len()];
+    for e in std::iter::once(first).chain(iter) {
+        for (s, v) in avg.iter_mut().zip(e.scores(w)) {
+            *s += v / k as f64;
+        }
+    }
+    let best = best_index(&avg);
+    (first.kinds[best], avg)
 }
 
 /// The trained advisor.
@@ -195,6 +250,12 @@ impl AutoCe {
 
     /// KNN prediction that can exclude one RCS index — used by the
     /// leave-one-out cross-validation of Algorithm 2.
+    ///
+    /// Neighbor selection ranks candidates by [`knn_order`] (distance, then
+    /// RCS index) and the vote resolves score ties by the lowest model
+    /// index ([`knn_vote`]) — both rules are explicit so the sharded
+    /// serving layer can merge per-shard partial top-k lists and land on
+    /// the same bits.
     pub fn predict_excluding(
         &self,
         embedding: &[f32],
@@ -214,29 +275,15 @@ impl AutoCe {
             "KNN needs at least one non-excluded RCS entry"
         );
         // Partial selection: only the k nearest need ordering; sorting the
-        // whole RCS per query is wasted work on the serving path.
+        // whole RCS per query is wasted work on the serving path. The
+        // comparator is a strict total order, so the selected prefix is
+        // uniquely determined regardless of input order.
         let k = self.config.k.clamp(1, dists.len());
-        let by_dist =
-            |a: &(usize, f32), b: &(usize, f32)| a.1.partial_cmp(&b.1).expect("finite distances");
         if k < dists.len() {
-            dists.select_nth_unstable_by(k - 1, by_dist);
+            dists.select_nth_unstable_by(k - 1, knn_order);
         }
-        dists[..k].sort_unstable_by(by_dist);
-        let neighbors = &dists[..k];
-        let arity = self.rcs[neighbors[0].0].kinds.len();
-        let mut avg = vec![0.0f64; arity];
-        for &(i, _) in neighbors {
-            for (s, v) in avg.iter_mut().zip(self.rcs[i].scores(w)) {
-                *s += v / k as f64;
-            }
-        }
-        let best = avg
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .map(|(i, _)| i)
-            .expect("non-empty score vector");
-        (self.rcs[neighbors[0].0].kinds[best], avg)
+        dists[..k].sort_unstable_by(knn_order);
+        knn_vote(dists[..k].iter().map(|&(i, _)| &self.rcs[i]), k, w)
     }
 
     /// Full Stage-4 recommendation for a dataset.
@@ -260,16 +307,28 @@ impl AutoCe {
     pub fn push_rcs_entry(&mut self, graph: FeatureGraph, label: &DatasetLabel) {
         // RCS membership changed; the stacked serving chunks are stale.
         self.serving = None;
-        let (sa, se) = label.normalized_components();
         let embedding = self.encoder.encode(&graph);
-        self.rcs.push(RcsEntry {
-            name: label.dataset.clone(),
-            graph,
-            embedding,
-            kinds: label.performances.iter().map(|p| p.kind).collect(),
-            sa,
-            se,
-        });
+        self.rcs.push(RcsEntry::from_label(graph, label, embedding));
+    }
+
+    /// Reassembles an advisor from its parts — the inverse of
+    /// [`Self::into_parts`]. Entries are trusted as-is: their embeddings
+    /// must have been produced by `encoder` (or be about to be refreshed).
+    /// This is the constructor the sharded serving layer and synthetic
+    /// KNN tests build flat reference advisors with.
+    pub fn from_parts(config: AutoCeConfig, encoder: GinEncoder, rcs: Vec<RcsEntry>) -> Self {
+        AutoCe {
+            config,
+            encoder,
+            rcs,
+            serving: None,
+        }
+    }
+
+    /// Decomposes the advisor into configuration, encoder and RCS entries
+    /// (the sharded serving layer redistributes the entries across shards).
+    pub fn into_parts(self) -> (AutoCeConfig, GinEncoder, Vec<RcsEntry>) {
+        (self.config, self.encoder, self.rcs)
     }
 
     /// Splits a mutable encoder borrow from a shared RCS borrow (online
@@ -432,6 +491,42 @@ mod tests {
             assert_eq!(emb, &advisor.embed(ds), "stacked embed must be bitwise");
             assert_eq!(*rec, advisor.recommend(ds, w));
         }
+    }
+
+    /// The documented KNN tie rules: equal distances resolve to the lower
+    /// RCS index, equal averaged scores to the lower model index.
+    #[test]
+    fn knn_tie_breaking_is_by_index() {
+        let mk = |emb: Vec<f32>, sa: Vec<f64>| RcsEntry {
+            name: String::new(),
+            graph: FeatureGraph {
+                vertices: vec![vec![0.0, 0.0]],
+                edges: vec![vec![0.0]],
+            },
+            embedding: emb,
+            kinds: vec![ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn],
+            se: vec![0.0, 0.0, 0.0],
+            sa,
+        };
+        let entries = vec![
+            mk(vec![0.0, 0.0], vec![1.0, 0.0, 0.0]),
+            // Entries 1 and 2 are equidistant from the query; the lower
+            // index must win the second neighbor slot.
+            mk(vec![1.0, 0.0], vec![0.0, 1.0, 0.0]),
+            mk(vec![1.0, 0.0], vec![0.0, 0.0, 1.0]),
+            mk(vec![5.0, 0.0], vec![0.0, 0.0, 0.0]),
+        ];
+        let config = AutoCeConfig {
+            k: 2,
+            incremental: None,
+            ..AutoCeConfig::default()
+        };
+        let advisor = AutoCe::from_parts(config, GinEncoder::new(2, &[4], 2, 0), entries);
+        let (model, avg) = advisor.predict_from_embedding(&[0.0, 0.0], MetricWeights::new(1.0));
+        // Neighbors are entries 0 and 1 (not 2): avg = (sa0 + sa1) / 2.
+        assert_eq!(avg, vec![0.5, 0.5, 0.0]);
+        // Models 0 and 1 tie at 0.5; the lower model index (Postgres) wins.
+        assert_eq!(model, ModelKind::Postgres);
     }
 
     #[test]

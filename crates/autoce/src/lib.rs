@@ -21,7 +21,7 @@ pub mod beta;
 pub mod incremental;
 pub mod online;
 
-pub use advisor::{AutoCe, AutoCeConfig, RcsEntry};
+pub use advisor::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
 pub use baselines::{
     KnnFeatureSelector, LearningAllSelector, MlpSelector, RegressionSelector, RuleSelector,
     SamplingSelector, Selector,

@@ -369,11 +369,257 @@ fn bench_embedding_service(c: &mut Criterion) {
     );
 }
 
+/// The perf gate of the sharded advisor service (`ce-serve`): concurrent
+/// clients served through the micro-batching service — sharded partial
+/// KNN, stacked batch encoding, embedding cache — vs. the same clients
+/// calling the flat advisor per request (one per-graph encode + full KNN
+/// scan each). The gated workload is serving-realistic: clients share a
+/// query pool and re-ask (tenants re-query at different weightings), so
+/// micro-batching amortizes encodes and repeats hit the cache. A cold
+/// all-distinct stream and the pure cache-hit speedup are recorded
+/// alongside, ungated. Answers are verified identical to the flat advisor
+/// first. Emits `BENCH_serve.json` at the workspace root.
+fn bench_advisor_service(c: &mut Criterion) {
+    let names = ["serve_sharded_batched", "serve_flat_per_request"];
+    if !names.iter().any(|n| criterion::filter_allows(n)) {
+        return;
+    }
+    use autoce::{AutoCe, AutoCeConfig, RcsEntry};
+    use ce_serve::{AdvisorService, ServeConfig, ShardedAdvisor};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const RCS: usize = 96;
+    const CLIENTS: usize = 4;
+    const SHARED_POOL: usize = 48; // distinct graphs in the gated workload
+    const PASSES: usize = 3; // each client walks the pool three times
+    const GROUP: usize = 8; // graphs per client submission burst
+    let mut rng = StdRng::seed_from_u64(0x5e57e);
+    // Production-representative schemas (IMDB has 21 tables, TPC-DS 24)
+    // where the per-request path pays one context build (dense n×n edge
+    // scan → CSR) + per-layer kernel dispatch per graph per call.
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo: 10, hi: 16 };
+    let fcfg = FeatureConfig::default();
+    let mut graph =
+        |name: String| extract_features(&generate_dataset(name, &spec, &mut rng), &fcfg);
+    let rcs_graphs: Vec<FeatureGraph> = (0..RCS).map(|i| graph(format!("r{i}"))).collect();
+    let pool: Vec<FeatureGraph> = (0..SHARED_POOL).map(|i| graph(format!("q{i}"))).collect();
+    // Disjoint per-client streams for the cold (cache-free) measurement.
+    let cold: Vec<Vec<FeatureGraph>> = (0..CLIENTS)
+        .map(|t| {
+            (0..SHARED_POOL)
+                .map(|i| graph(format!("c{t}-{i}")))
+                .collect()
+        })
+        .collect();
+
+    let dml = DmlConfig::default();
+    let enc = GinEncoder::new(rcs_graphs[0].vertex_dim(), &dml.hidden, dml.embed_dim, 17);
+    let embeddings = enc.encode_batch(&rcs_graphs);
+    let kinds = [ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn];
+    let entries: Vec<RcsEntry> = rcs_graphs
+        .into_iter()
+        .zip(embeddings)
+        .enumerate()
+        .map(|(i, (g, embedding))| RcsEntry {
+            name: format!("r{i}"),
+            graph: g,
+            embedding,
+            kinds: kinds.to_vec(),
+            sa: (0..3).map(|m| ((i + m) % 4) as f64 / 3.0).collect(),
+            se: (0..3).map(|m| ((i + 2 * m) % 3) as f64 / 2.0).collect(),
+        })
+        .collect();
+    let flat = Arc::new(AutoCe::from_parts(
+        AutoCeConfig {
+            k: 2,
+            incremental: None,
+            dml,
+            ..AutoCeConfig::default()
+        },
+        enc,
+        entries,
+    ));
+    let serve_cfg = ServeConfig {
+        max_batch: 32,
+        batch_deadline: Duration::ZERO,
+        queue_capacity: 256,
+        cache_capacity: 4096,
+        ..ServeConfig::default()
+    };
+    let weights: Vec<MetricWeights> = (0..CLIENTS)
+        .map(|t| MetricWeights::new(0.5 + 0.1 * t as f64))
+        .collect();
+
+    // Answers must be flat-identical before anything is timed.
+    {
+        let service =
+            AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 4), serve_cfg.clone());
+        let handle = service.handle();
+        for g in pool.iter().take(8) {
+            let rec = handle
+                .recommend_graph(g.clone(), weights[0])
+                .expect("running");
+            let x = flat.embed_graph(g);
+            let (model, scores) = flat.predict_from_embedding(&x, weights[0]);
+            assert_eq!(
+                (rec.model, rec.scores),
+                (model, scores),
+                "serve must match flat"
+            );
+        }
+        service.shutdown();
+    }
+
+    /// Drives `CLIENTS` threads through one serving pass; each client
+    /// walks its stream from a different offset so batches mix graphs,
+    /// submitting in bursts of `GROUP` (a tenant asking about several
+    /// datasets at once) so the queue handoff amortizes.
+    fn drive_service(
+        service: &AdvisorService,
+        streams: &[&[FeatureGraph]],
+        weights: &[MetricWeights],
+        passes: usize,
+    ) {
+        std::thread::scope(|scope| {
+            for (t, stream) in streams.iter().enumerate() {
+                let handle = service.handle();
+                let w = weights[t];
+                scope.spawn(move || {
+                    for p in 0..passes {
+                        for start in (0..stream.len()).step_by(GROUP) {
+                            let group: Vec<FeatureGraph> = (start
+                                ..(start + GROUP).min(stream.len()))
+                                .map(|i| stream[(i + t * 7 + p) % stream.len()].clone())
+                                .collect();
+                            black_box(
+                                handle
+                                    .recommend_graphs(group, w)
+                                    .expect("service is running"),
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    fn drive_flat(
+        flat: &Arc<AutoCe>,
+        streams: &[&[FeatureGraph]],
+        weights: &[MetricWeights],
+        passes: usize,
+    ) {
+        std::thread::scope(|scope| {
+            for (t, stream) in streams.iter().enumerate() {
+                let flat = flat.clone();
+                let w = weights[t];
+                scope.spawn(move || {
+                    for p in 0..passes {
+                        for i in 0..stream.len() {
+                            let j = (i + t * 7 + p) % stream.len();
+                            let x = flat.embed_graph(&stream[j]);
+                            black_box(flat.predict_from_embedding(&x, w));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let shared_streams: Vec<&[FeatureGraph]> = (0..CLIENTS).map(|_| pool.as_slice()).collect();
+    let cold_streams: Vec<&[FeatureGraph]> = cold.iter().map(Vec::as_slice).collect();
+    let requests = (CLIENTS * SHARED_POOL * PASSES) as f64;
+
+    c.bench_function("serve_sharded_batched", |b| {
+        b.iter(|| {
+            let service =
+                AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 4), serve_cfg.clone());
+            drive_service(&service, &shared_streams, &weights, PASSES);
+            service.shutdown();
+        })
+    });
+    c.bench_function("serve_flat_per_request", |b| {
+        b.iter(|| drive_flat(&flat, &shared_streams, &weights, PASSES))
+    });
+
+    // Speedup gates, timed in alternating pairs with the median of the
+    // pairwise ratios (one noisy sample cannot move the gate).
+    let mut ratios = Vec::new();
+    let mut cold_ratios = Vec::new();
+    let (mut serve_ns, mut flat_ns) = (f64::INFINITY, f64::INFINITY);
+    let (mut cold_serve_ns, mut cold_flat_ns) = (f64::INFINITY, f64::INFINITY);
+    let mut warm_per_req = f64::INFINITY;
+    let mut hit_rate = 0.0;
+    for _ in 0..7 {
+        let service =
+            AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 4), serve_cfg.clone());
+        let s = time_ns(&mut || drive_service(&service, &shared_streams, &weights, PASSES));
+        // Warm pass on the now-fully-cached service: pure cache-hit serving.
+        let warm = time_ns(&mut || drive_service(&service, &shared_streams, &weights, 1));
+        let stats = service.stats();
+        hit_rate = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64;
+        service.shutdown();
+        let f = time_ns(&mut || drive_flat(&flat, &shared_streams, &weights, PASSES));
+        serve_ns = serve_ns.min(s);
+        flat_ns = flat_ns.min(f);
+        warm_per_req = warm_per_req.min(warm / (requests / PASSES as f64));
+        ratios.push(f / s.max(1.0));
+
+        let cold_service =
+            AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 4), serve_cfg.clone());
+        let cs = time_ns(&mut || drive_service(&cold_service, &cold_streams, &weights, 1));
+        cold_service.shutdown();
+        let cf = time_ns(&mut || drive_flat(&flat, &cold_streams, &weights, 1));
+        cold_serve_ns = cold_serve_ns.min(cs);
+        cold_flat_ns = cold_flat_ns.min(cf);
+        cold_ratios.push(cf / cs.max(1.0));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    cold_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let speedup = ratios[ratios.len() / 2];
+    let cold_speedup = cold_ratios[cold_ratios.len() / 2];
+    // How much faster a fully-cached request is than a cold served one.
+    let cold_per_req = cold_serve_ns / (CLIENTS * SHARED_POOL) as f64;
+    let cache_hit_speedup = cold_per_req / warm_per_req.max(1.0);
+    println!(
+        "advisor service: {speedup:.2}x vs flat per-request ({CLIENTS} clients; cold {cold_speedup:.2}x, \
+         cache-hit pass {cache_hit_speedup:.2}x, hit rate {hit_rate:.2})"
+    );
+
+    let record = serde_json::json!({
+        "rcs_entries": RCS,
+        "shards": 4,
+        "clients": CLIENTS,
+        "requests_per_run": requests as u64,
+        "serve_ns_per_request": serve_ns / requests,
+        "flat_ns_per_request": flat_ns / requests,
+        "serve_speedup": speedup,
+        "cold_serve_ns_per_request": cold_serve_ns / (CLIENTS * SHARED_POOL) as f64,
+        "cold_flat_ns_per_request": cold_flat_ns / (CLIENTS * SHARED_POOL) as f64,
+        "cold_speedup": cold_speedup,
+        "cache_hit_speedup": cache_hit_speedup,
+        "cache_hit_rate": hit_rate,
+        "threads": rayon::current_num_threads()
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Ok(bytes) = serde_json::to_vec_pretty(&record) {
+        let _ = std::fs::write(path, bytes);
+        println!("[bench] wrote {path}");
+    }
+    assert!(
+        speedup >= 1.5,
+        "advisor service speedup gate: {speedup:.2}x < 1.5x under concurrent load"
+    );
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_gnn_engine,
         bench_embedding_service,
+        bench_advisor_service,
         bench_feature_extraction,
         bench_advisor_paths,
         bench_model_inference,

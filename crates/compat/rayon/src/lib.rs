@@ -33,6 +33,15 @@ fn env_num_threads() -> usize {
     })
 }
 
+/// Host parallelism at first use. Cached: `available_parallelism` reads
+/// cgroup/affinity state through syscalls on every call (~10µs on some
+/// containers), which would dominate fine-grained `par_iter` call sites —
+/// and real rayon sizes its global pool exactly once too.
+fn host_num_threads() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
 /// Number of worker threads `collect` will use from this thread.
 pub fn current_num_threads() -> usize {
     let o = POOL_OVERRIDE.with(Cell::get);
@@ -43,7 +52,7 @@ pub fn current_num_threads() -> usize {
     if env != 0 {
         env
     } else {
-        std::thread::available_parallelism().map_or(1, usize::from)
+        host_num_threads()
     }
 }
 

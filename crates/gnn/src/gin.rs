@@ -46,6 +46,7 @@ use rand::SeedableRng;
 
 /// One GINConv layer: parameters and optimizer state only — no activation
 /// caches, so forward/backward are pure with respect to the layer.
+#[derive(Clone)]
 struct GinLayer {
     mlp: Dense,
     eps: f32,
@@ -236,6 +237,22 @@ pub struct GinEncoder {
     // Legacy single-stream training state (compat API only).
     pending: Option<(GraphCtx, ForwardTape)>,
     acc: Option<GinGrads>,
+}
+
+/// Clones parameters and optimizer state only. The legacy single-stream
+/// training scratch (`pending`/`acc`) is transient within one
+/// forward/backward/step cycle and is not carried over — the clone starts
+/// with a clean slate, which is what the serving layer's snapshot swap
+/// needs.
+impl Clone for GinEncoder {
+    fn clone(&self) -> Self {
+        GinEncoder {
+            layers: self.layers.clone(),
+            t: self.t,
+            pending: None,
+            acc: None,
+        }
+    }
 }
 
 impl GinEncoder {

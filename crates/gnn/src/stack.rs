@@ -69,6 +69,7 @@ fn chunk_ranges(row_counts: impl IntoIterator<Item = usize>) -> Vec<Range<usize>
 /// N prepared graphs concatenated for one stacked forward: a tall vertex
 /// matrix, a block-diagonal CSR adjacency, and the row offsets delimiting
 /// each graph's vertex block (length N + 1).
+#[derive(Clone)]
 pub struct StackedCtx {
     h0: Matrix,
     csr: CsrAdjacency,

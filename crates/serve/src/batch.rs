@@ -1,0 +1,626 @@
+//! The concurrent advisor service: micro-batched requests over a snapshot
+//! of the sharded advisor.
+//!
+//! # Design
+//!
+//! * **Micro-batching** — client threads submit `recommend` requests into
+//!   a bounded queue; a single worker drains it into batches of at most
+//!   [`ServeConfig::max_batch`], waiting up to
+//!   [`ServeConfig::batch_deadline`] after the first request for
+//!   stragglers. Each batch's cache-missing graphs run as **one** stacked
+//!   forward ([`ShardedAdvisor::embed_graph_batch`]) — the whole point:
+//!   per-graph kernel dispatch is what makes per-request serving slow.
+//! * **Snapshot reads** — the worker serves from an
+//!   `Arc<ShardedAdvisor>` snapshot. Online adaptation builds a *new*
+//!   advisor value and swaps the `Arc` under a momentary lock; in-flight
+//!   batches keep reading the old snapshot, so serving never blocks behind
+//!   a refresh (requests are answered by whichever snapshot their batch
+//!   started on — the same consistency a flat advisor under a lock would
+//!   give, minus the blocking).
+//! * **Embedding cache** — embeddings are cached by graph fingerprint
+//!   ([`crate::cache`]) and invalidated on snapshot swaps (the cache lock
+//!   is held across the swap and entries are generation-tagged, so a
+//!   racing batch can neither read stale embeddings against a new
+//!   snapshot nor poison a fresh cache with old ones). Cache hits are
+//!   served **on the calling thread** — fingerprint, lookup, KNN vote, no
+//!   queue handoff — so repeat-heavy traffic costs microseconds per
+//!   request and never wakes the worker. Hits skip the encoder entirely;
+//!   every other step is identical, so caching never changes a
+//!   recommendation.
+//!
+//! Responses are bit-identical to calling
+//! [`ShardedAdvisor::recommend_graph`] directly (and hence to the flat
+//! [`autoce::AutoCe::recommend`]): batching, caching and snapshotting all
+//! preserve the underlying bits.
+
+use crate::cache::{graph_fingerprint, EmbeddingCache};
+use crate::reservoir::Reservoir;
+use crate::shard::ShardedAdvisor;
+use autoce::online::DriftDetector;
+use ce_features::{extract_features, FeatureGraph};
+use ce_models::ModelKind;
+use ce_storage::Dataset;
+use ce_testbed::{label_dataset, MetricWeights, TestbedConfig};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests embedded in one stacked forward.
+    pub max_batch: usize,
+    /// How long the batcher waits after the first queued request for more
+    /// to arrive before closing the batch. Zero (the default) is the right
+    /// mode for blocking callers: the worker still yields once and
+    /// re-drains before encoding — enough for concurrent clients to share
+    /// forwards — but never sleeps on speculation. A nonzero deadline
+    /// trades latency for occupancy with open-loop producers (pipelined
+    /// submitters, network frontends).
+    pub batch_deadline: Duration,
+    /// Bounded request-queue capacity; submitters block when it is full
+    /// (backpressure instead of unbounded memory growth).
+    pub queue_capacity: usize,
+    /// Embedding-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Reservoir sample size bounding each online adaptation. Must be at
+    /// least 1 (validated at [`AdvisorService::start`]); unlike
+    /// `cache_capacity` there is no "disabled" mode — adaptation always
+    /// trains on at least the newcomer plus one sampled entry.
+    pub reservoir_capacity: usize,
+    /// Seed for the reservoir's deterministic sampling.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            batch_deadline: Duration::ZERO,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            reservoir_capacity: 64,
+            seed: 0xce5e,
+        }
+    }
+}
+
+/// One served recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended CE model.
+    pub model: ModelKind,
+    /// Averaged KNN score vector (Eq. 13) the model was chosen from.
+    pub scores: Vec<f64>,
+    /// Serving-snapshot generation that answered the request.
+    pub generation: u64,
+    /// True when the embedding came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service is shutting down; the request was not processed.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => f.write_str("advisor service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Lifetime service counters (monotonic; never reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Micro-batches processed. Only cache *misses* ride batches (hits
+    /// are served on the calling thread), so mean batch occupancy is
+    /// `cache_misses / batches`, not `requests / batches`.
+    pub batches: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses (each cost one encoder pass, amortized into
+    /// its batch's stacked forward).
+    pub cache_misses: u64,
+    /// Online adaptations applied (snapshot swaps).
+    pub adaptations: u64,
+}
+
+struct Stats {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    adaptations: AtomicU64,
+}
+
+struct Request {
+    graph: FeatureGraph,
+    fingerprint: u64,
+    w: MetricWeights,
+    reply: mpsc::Sender<Recommendation>,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    /// Mirrors `QueueState::shutdown` for the lock-free fast path.
+    shutting_down: AtomicBool,
+    queue: Mutex<QueueState>,
+    /// Signaled when a request is queued (or shutdown begins).
+    not_empty: Condvar,
+    /// Signaled when queue space frees up.
+    space: Condvar,
+    /// The current serving snapshot; lock held only to clone/replace the
+    /// `Arc`, never across a forward.
+    snapshot: Mutex<Arc<ShardedAdvisor>>,
+    cache: Mutex<EmbeddingCache>,
+    stats: Stats,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<ShardedAdvisor> {
+        self.snapshot.lock().expect("snapshot lock").clone()
+    }
+}
+
+/// A cloneable client handle onto a running [`AdvisorService`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Recommends a model for a dataset: features are extracted
+    /// caller-side (CPU-cheap), then the request rides a micro-batch.
+    /// Blocks until the response arrives; applies backpressure (blocks)
+    /// while the request queue is full.
+    pub fn recommend(&self, ds: &Dataset, w: MetricWeights) -> Result<Recommendation, ServeError> {
+        let feature = self.shared.current().config().feature;
+        self.recommend_graph(extract_features(ds, &feature), w)
+    }
+
+    /// Recommends from a pre-extracted feature graph.
+    pub fn recommend_graph(
+        &self,
+        graph: FeatureGraph,
+        w: MetricWeights,
+    ) -> Result<Recommendation, ServeError> {
+        Ok(self
+            .recommend_graphs(vec![graph], w)?
+            .pop()
+            .expect("one recommendation per graph"))
+    }
+
+    /// Submits a group of graphs as one burst (a tenant asking about
+    /// several datasets, or one dataset across a weighting grid): cache
+    /// hits are served **on the calling thread** against the current
+    /// snapshot (no queue handoff at all — the KNN vote is microseconds,
+    /// so repeat-heavy traffic never wakes the worker), and only cache
+    /// misses ride the micro-batch queue, enqueued together so they share
+    /// stacked forwards. Responses come back in input order; each is
+    /// identical to a separate [`Self::recommend_graph`] call.
+    pub fn recommend_graphs(
+        &self,
+        graphs: Vec<FeatureGraph>,
+        w: MetricWeights,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        let n = graphs.len();
+        // Uniform shutdown semantics: once the service is stopping, even
+        // cache-servable requests are refused (the fast path never touches
+        // the queue, so it must check explicitly).
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let snap = self.shared.current();
+        let fingerprints: Vec<u64> = graphs.iter().map(graph_fingerprint).collect();
+        // Fast path: look every fingerprint up under one brief cache lock
+        // (embeddings are copied out; the KNN votes run unlocked). A
+        // generation mismatch means the snapshot swapped around us — then
+        // nothing is trusted and everything goes through the worker.
+        let mut cached: Vec<Option<Vec<f32>>> = vec![None; n];
+        {
+            let mut cache = self.shared.cache.lock().expect("cache lock");
+            if cache.generation() == snap.generation() {
+                for (slot, &fp) in cached.iter_mut().zip(&fingerprints) {
+                    *slot = cache.get(fp).map(<[f32]>::to_vec);
+                }
+            }
+        }
+        let mut out: Vec<Option<Recommendation>> = (0..n).map(|_| None).collect();
+        let mut graphs: Vec<Option<FeatureGraph>> = graphs.into_iter().map(Some).collect();
+        let mut missed: Vec<usize> = Vec::new();
+        for i in 0..n {
+            match &cached[i] {
+                Some(emb) => {
+                    let (model, scores) = snap.predict_from_embedding(emb, w);
+                    out[i] = Some(Recommendation {
+                        model,
+                        scores,
+                        generation: snap.generation(),
+                        cache_hit: true,
+                    });
+                }
+                None => missed.push(i),
+            }
+        }
+        let hits = (n - missed.len()) as u64;
+        if hits > 0 {
+            self.shared
+                .stats
+                .requests
+                .fetch_add(hits, Ordering::Relaxed);
+            self.shared
+                .stats
+                .cache_hits
+                .fetch_add(hits, Ordering::Relaxed);
+        }
+        if !missed.is_empty() {
+            let mut rxs = Vec::with_capacity(missed.len());
+            {
+                let mut q = self.shared.queue.lock().expect("queue lock");
+                for &i in &missed {
+                    loop {
+                        if q.shutdown {
+                            return Err(ServeError::ShuttingDown);
+                        }
+                        if q.items.len() < self.shared.cfg.queue_capacity {
+                            break;
+                        }
+                        // Backpressure: wake the worker *before* parking —
+                        // a burst larger than the queue fills it mid-push,
+                        // and without this wake the worker (parked on
+                        // `not_empty`, which is otherwise only signaled
+                        // after the full burst) would sleep forever while
+                        // we wait for space: mutual deadlock. The lock is
+                        // released while waiting, so the worker drains
+                        // meanwhile.
+                        self.shared.not_empty.notify_one();
+                        q = self.shared.space.wait(q).expect("queue lock");
+                    }
+                    q.items.push_back(Request {
+                        graph: graphs[i].take().expect("miss graph taken once"),
+                        fingerprint: fingerprints[i],
+                        w,
+                        reply: {
+                            let (tx, rx) = mpsc::channel();
+                            rxs.push(rx);
+                            tx
+                        },
+                    });
+                }
+            }
+            // One wake, after the lock is dropped: notifying per push while
+            // holding the mutex makes the worker wake straight into a held
+            // lock (one futile wake/block cycle per request).
+            self.shared.not_empty.notify_one();
+            // The worker only drops a sender after replying or at shutdown.
+            for (&i, rx) in missed.iter().zip(rxs) {
+                out[i] = Some(rx.recv().map_err(|_| ServeError::ShuttingDown)?);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect())
+    }
+
+    /// The current serving snapshot (for monitoring or direct unbatched
+    /// reads; snapshots are immutable).
+    pub fn snapshot(&self) -> Arc<ShardedAdvisor> {
+        self.shared.current()
+    }
+
+    /// Lifetime service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared.stats;
+        ServiceStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            adaptations: s.adaptations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Guards the admin path (adaptation): one adapter at a time, owning the
+/// drift detector and the reservoir.
+struct AdminState {
+    detector: DriftDetector,
+    reservoir: Reservoir,
+}
+
+/// The running advisor service: a worker thread micro-batching requests
+/// against the current snapshot, plus the serialized admin path for
+/// online adaptation.
+pub struct AdvisorService {
+    shared: Arc<Shared>,
+    admin: Mutex<AdminState>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl AdvisorService {
+    /// Starts the service over a sharded advisor. The drift detector is
+    /// fitted from the advisor's RCS and the reservoir is seeded with the
+    /// current membership.
+    pub fn start(advisor: ShardedAdvisor, cfg: ServeConfig) -> Self {
+        // `cache_capacity: 0` legitimately disables caching, but these two
+        // zeros would hang clients: a 0-batch worker spins popping
+        // nothing, and a 0-capacity queue never admits a request.
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        assert!(
+            cfg.reservoir_capacity >= 1,
+            "reservoir_capacity must be at least 1"
+        );
+        let detector = advisor.drift_detector();
+        let reservoir = Reservoir::over_initial(advisor.len(), cfg.reservoir_capacity, cfg.seed);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(EmbeddingCache::new(
+                cfg.cache_capacity,
+                advisor.generation(),
+            )),
+            cfg,
+            shutting_down: AtomicBool::new(false),
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            snapshot: Mutex::new(Arc::new(advisor)),
+            stats: Stats {
+                requests: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+                adaptations: AtomicU64::new(0),
+            },
+        });
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("ce-serve-batcher".into())
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawn batcher thread");
+        AdvisorService {
+            shared,
+            admin: Mutex::new(AdminState {
+                detector,
+                reservoir,
+            }),
+            worker: Some(worker),
+        }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The current serving snapshot.
+    pub fn snapshot(&self) -> Arc<ShardedAdvisor> {
+        self.shared.current()
+    }
+
+    /// Lifetime service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.handle().stats()
+    }
+
+    /// Online adaptation (§V-E, reservoir-bounded): if `ds` drifts past
+    /// the detector threshold, labels it on the testbed, clones the
+    /// current snapshot, adapts the clone against the reservoir sample,
+    /// refits the detector and swaps the snapshot in. Serving continues on
+    /// the old snapshot throughout; the embedding cache is cleared at the
+    /// swap (a new encoder invalidates every cached embedding). Returns
+    /// `true` if an adaptation happened.
+    pub fn adapt(&self, ds: &Dataset, testbed: &TestbedConfig, seed: u64) -> bool {
+        let mut admin = self.admin.lock().expect("admin lock");
+        let snap = self.shared.current();
+        let graph = extract_features(ds, &snap.config().feature);
+        let x = snap.embed_graph(&graph);
+        if snap.distance_to_embedding(&x) <= admin.detector.threshold() {
+            return false;
+        }
+        let label = label_dataset(ds, testbed, seed);
+        let mut next = (*snap).clone();
+        next.adapt_with_reservoir(graph, &label, &mut admin.reservoir, seed);
+        admin.detector = next.drift_detector();
+        let generation = next.generation();
+        {
+            // Swap and invalidate atomically with respect to readers: the
+            // cache lock is held across the snapshot swap, so no reader
+            // can pair the new snapshot with pre-adaptation cache entries
+            // (readers check cache.generation() against their snapshot,
+            // and late inserts from in-flight batches carry the old
+            // generation and are dropped).
+            let mut cache = self.shared.cache.lock().expect("cache lock");
+            *self.shared.snapshot.lock().expect("snapshot lock") = Arc::new(next);
+            cache.clear_for(generation);
+        }
+        self.shared
+            .stats
+            .adaptations
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Stops the worker: no new requests are accepted, already-queued
+    /// requests are answered, then the thread exits and is joined.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.space.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for AdvisorService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The batcher: drain → deadline-wait → one stacked forward → respond.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch);
+        {
+            let mut q = shared.queue.lock().expect("queue lock");
+            while q.items.is_empty() {
+                if q.shutdown {
+                    return;
+                }
+                q = shared.not_empty.wait(q).expect("queue lock");
+            }
+            while batch.len() < shared.cfg.max_batch {
+                match q.items.pop_front() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+        }
+        shared.space.notify_all();
+        // Straggler pickup, cheapest first: yield once so clients that
+        // were about to enqueue (closed-loop callers just woken by the
+        // previous batch's responses) get scheduled, then re-drain. Only
+        // after that spend the configured deadline in a timed wait — with
+        // a zero deadline the worker never sleeps while work exists, which
+        // is the right mode for blocking callers (their next request
+        // arrives only after this batch answers, so waiting is pure idle).
+        if batch.len() < shared.cfg.max_batch {
+            std::thread::yield_now();
+            let mut q = shared.queue.lock().expect("queue lock");
+            while batch.len() < shared.cfg.max_batch {
+                match q.items.pop_front() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+            drop(q);
+            shared.space.notify_all();
+        }
+        if !shared.cfg.batch_deadline.is_zero() {
+            let deadline = Instant::now() + shared.cfg.batch_deadline;
+            while batch.len() < shared.cfg.max_batch {
+                let mut q = shared.queue.lock().expect("queue lock");
+                while q.items.is_empty() {
+                    if q.shutdown {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .not_empty
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue lock");
+                    q = guard;
+                }
+                if q.items.is_empty() {
+                    break;
+                }
+                while batch.len() < shared.cfg.max_batch {
+                    match q.items.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                drop(q);
+                shared.space.notify_all();
+            }
+        }
+        process_batch(shared, batch);
+    }
+}
+
+/// Serves one micro-batch: cache lookups, one stacked forward over the
+/// misses, cache fill, then the KNN vote per request.
+fn process_batch(shared: &Shared, batch: Vec<Request>) {
+    let snap = shared.current();
+    let mut embeddings: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        // Entries are only valid for the snapshot they were computed
+        // under; after a swap the batch recomputes everything.
+        if cache.generation() == snap.generation() {
+            for (slot, r) in embeddings.iter_mut().zip(&batch) {
+                *slot = cache.get(r.fingerprint).map(<[f32]>::to_vec);
+            }
+        }
+    }
+    let was_hit: Vec<bool> = embeddings.iter().map(Option::is_some).collect();
+    let miss_idx: Vec<usize> = (0..batch.len()).filter(|&i| !was_hit[i]).collect();
+    let hits = batch.len() - miss_idx.len();
+    if !miss_idx.is_empty() {
+        // Duplicate graphs within one batch (N clients asking about the
+        // same dataset in lockstep) are encoded once and fanned back out.
+        let mut unique: Vec<usize> = Vec::with_capacity(miss_idx.len());
+        let mut pos_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for &i in &miss_idx {
+            pos_of.entry(batch[i].fingerprint).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+        }
+        let graphs: Vec<&FeatureGraph> = unique.iter().map(|&i| &batch[i].graph).collect();
+        let fresh = snap.embed_graph_batch(&graphs);
+        {
+            let mut cache = shared.cache.lock().expect("cache lock");
+            for (&i, emb) in unique.iter().zip(&fresh) {
+                cache.insert(snap.generation(), batch[i].fingerprint, emb.clone());
+            }
+        }
+        for &i in &miss_idx {
+            embeddings[i] = Some(fresh[pos_of[&batch[i].fingerprint]].clone());
+        }
+    }
+    let stats = &shared.stats;
+    stats
+        .requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
+    stats
+        .cache_misses
+        .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+    for (i, (r, emb)) in batch.iter().zip(&embeddings).enumerate() {
+        let emb = emb.as_deref().expect("every request embedded");
+        let (model, scores) = snap.predict_from_embedding(emb, r.w);
+        // A dropped receiver (client gave up) is not an error.
+        let _ = r.reply.send(Recommendation {
+            model,
+            scores,
+            generation: snap.generation(),
+            cache_hit: was_hit[i],
+        });
+    }
+}

@@ -1,0 +1,290 @@
+//! Embedding cache: feature-graph fingerprints → embeddings, with LRU
+//! eviction.
+//!
+//! The serving path embeds the *same* datasets over and over (a tenant
+//! re-asks at different metric weightings, monitoring re-checks drift, a
+//! load balancer retries) — and the embedding is by far the expensive part
+//! of a recommendation. The cache keys on a structural fingerprint of the
+//! feature graph (every vertex/edge float's exact bit pattern), so a hit
+//! returns the exact bits the encoder would produce and recommendations
+//! are unchanged by caching.
+//!
+//! The cache is cleared whenever the serving snapshot is swapped (online
+//! adaptation updates the encoder, invalidating every cached embedding) —
+//! see [`AdvisorService::adapt`](crate::AdvisorService::adapt).
+
+use ce_features::FeatureGraph;
+use std::collections::HashMap;
+
+/// Structural fingerprint of a feature graph: a word-at-a-time multiply-
+/// rotate mix (FxHash-style) over the graph shape and the exact bit
+/// pattern of every vertex feature and edge weight. Equal graphs always
+/// collide (same bits in, same bits out, across runs and platforms);
+/// distinct graphs collide with probability ≈ 2⁻⁶⁴ — and keys are not
+/// adversarial (they come from the feature extractor), so a fast
+/// non-cryptographic mix is the right trade: one multiply per float keeps
+/// the fingerprint far below the cost of the encoder pass it saves.
+pub fn graph_fingerprint(g: &FeatureGraph) -> u64 {
+    const PRIME: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        h = (h.rotate_left(25) ^ v).wrapping_mul(PRIME);
+    };
+    eat(g.vertices.len() as u64);
+    for row in &g.vertices {
+        eat(row.len() as u64);
+        for &v in row {
+            eat(v.to_bits() as u64);
+        }
+    }
+    eat(g.edges.len() as u64);
+    for row in &g.edges {
+        eat(row.len() as u64);
+        for &v in row {
+            eat(v.to_bits() as u64);
+        }
+    }
+    // Final avalanche so low-entropy tails still spread over all 64 bits.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 29)
+}
+
+/// Slot of the intrusive LRU list.
+struct Slot {
+    key: u64,
+    value: Vec<f32>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity LRU cache from graph fingerprints to embeddings.
+///
+/// O(1) get/insert via a `HashMap` into an intrusive doubly-linked recency
+/// list over a slot arena. Capacity 0 disables the cache (every lookup
+/// misses, inserts are dropped).
+pub struct EmbeddingCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot (the eviction victim).
+    tail: usize,
+    /// Serving-snapshot generation the entries were computed under.
+    /// Readers must check it against their snapshot before trusting a hit,
+    /// and inserts carrying a stale generation are dropped — otherwise a
+    /// snapshot swap racing an in-flight batch could poison the fresh
+    /// cache with pre-adaptation embeddings.
+    generation: u64,
+}
+
+impl EmbeddingCache {
+    /// Creates a cache holding at most `capacity` embeddings, tagged with
+    /// the starting snapshot generation.
+    pub fn new(capacity: usize, generation: u64) -> Self {
+        EmbeddingCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(4096)),
+            slots: Vec::with_capacity(capacity.min(4096)),
+            head: NIL,
+            tail: NIL,
+            generation,
+        }
+    }
+
+    /// The snapshot generation the cached embeddings belong to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Unlinks a slot from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links a slot at the most-recently-used end.
+    fn link_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Looks up an embedding, refreshing its recency on a hit. Hit/miss
+    /// accounting lives in the service's atomic counters
+    /// ([`ServiceStats`](crate::ServiceStats)), not here — one source of
+    /// truth.
+    pub fn get(&mut self, key: u64) -> Option<&[f32]> {
+        let i = self.map.get(&key).copied()?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts (or refreshes) an embedding computed under snapshot
+    /// `generation`, evicting the least recently used entry when at
+    /// capacity. Inserts from a stale generation are dropped (see the
+    /// `generation` field).
+    pub fn insert(&mut self, generation: u64, key: u64, value: Vec<f32>) {
+        if self.capacity == 0 || generation != self.generation {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Reuse the LRU victim's slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        } else {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+
+    /// Drops every entry and advances to snapshot `generation`. Called on
+    /// snapshot swaps — a new encoder invalidates every cached embedding.
+    pub fn clear_for(&mut self, generation: u64) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.generation = generation;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_is_stable() {
+        let a = FeatureGraph {
+            vertices: vec![vec![0.1, 0.2]],
+            edges: vec![vec![0.0]],
+        };
+        let b = FeatureGraph {
+            vertices: vec![vec![0.1, 0.2000001]],
+            edges: vec![vec![0.0]],
+        };
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a.clone()));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        // Shape changes alter the fingerprint even with identical values.
+        let c = FeatureGraph {
+            vertices: vec![vec![0.1], vec![0.2]],
+            edges: vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+        };
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&c));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = EmbeddingCache::new(2, 0);
+        c.insert(0, 1, vec![1.0]);
+        c.insert(0, 2, vec![2.0]);
+        assert_eq!(c.get(1), Some(&[1.0f32][..])); // 1 is now most recent.
+        c.insert(0, 3, vec![3.0]); // Evicts 2.
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1), Some(&[1.0f32][..]));
+        assert_eq!(c.get(3), Some(&[3.0f32][..]));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = EmbeddingCache::new(2, 0);
+        c.insert(0, 1, vec![1.0]);
+        c.insert(0, 2, vec![2.0]);
+        c.insert(0, 1, vec![1.5]); // Refresh: 2 is now the LRU victim.
+        c.insert(0, 3, vec![3.0]);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1), Some(&[1.5f32][..]));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = EmbeddingCache::new(0, 0);
+        c.insert(0, 1, vec![1.0]);
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_advances_generation_and_stays_usable() {
+        let mut c = EmbeddingCache::new(4, 0);
+        c.insert(0, 1, vec![1.0]);
+        c.clear_for(1);
+        assert!(c.is_empty());
+        // Reusable after clear (inserts must carry the new generation).
+        c.insert(1, 1, vec![1.0]);
+        assert_eq!(c.get(1), Some(&[1.0f32][..]));
+    }
+
+    #[test]
+    fn stale_generation_inserts_are_dropped() {
+        let mut c = EmbeddingCache::new(4, 0);
+        c.insert(0, 1, vec![1.0]);
+        c.clear_for(1);
+        // An in-flight batch from generation 0 must not poison gen 1.
+        c.insert(0, 2, vec![2.0]);
+        assert!(c.get(2).is_none());
+        c.insert(1, 3, vec![3.0]);
+        assert_eq!(c.get(3), Some(&[3.0f32][..]));
+        assert_eq!(c.generation(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        let mut c = EmbeddingCache::new(8, 0);
+        for i in 0..100u64 {
+            c.insert(0, i, vec![i as f32]);
+            assert!(c.len() <= 8);
+        }
+        // The eight most recent survive.
+        for i in 92..100u64 {
+            assert_eq!(c.get(i), Some(&[i as f32][..]));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # ce-serve — the sharded advisor service
+//!
+//! The Stage-4 serving path of AutoCE (embed → KNN over the RCS, Eq. 13)
+//! scaled to heavy multi-user traffic:
+//!
+//! * [`shard`]: the RCS distributed across [`AdvisorShard`]s — each shard
+//!   owns its entries and packed stacked-serving chunks and answers
+//!   partial-KNN top-k queries; a fixed-order merge reproduces the flat
+//!   advisor **bit-identically for any shard count** (explicit distance-
+//!   and score-tie-breaking, same neighbor order, same float evaluation
+//!   order).
+//! * [`batch`]: the concurrent service — requests from any number of
+//!   client threads are micro-batched (bounded queue + batch deadline)
+//!   into single stacked forwards, served from immutable snapshots so a
+//!   refresh never blocks a read.
+//! * [`cache`]: an LRU embedding cache keyed by feature-graph fingerprint;
+//!   hits skip the encoder entirely and never change a recommendation.
+//! * [`reservoir`]: online adaptation (§V-E) bounded by reservoir
+//!   sampling — a drifted dataset triggers an incremental DML update
+//!   against a fixed-size deterministic sample of the RCS instead of the
+//!   full set, with the embedding refresh routed per shard.
+//!
+//! ```no_run
+//! use autoce::AutoCe;
+//! use ce_serve::{AdvisorService, ServeConfig, ShardedAdvisor};
+//! # fn advisor() -> AutoCe { unimplemented!() }
+//! let sharded = ShardedAdvisor::from_advisor(&advisor(), 4);
+//! let service = AdvisorService::start(sharded, ServeConfig::default());
+//! let handle = service.handle(); // Clone one per client thread.
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod reservoir;
+pub mod shard;
+
+pub use batch::{
+    AdvisorService, Recommendation, ServeConfig, ServeError, ServeHandle, ServiceStats,
+};
+pub use cache::{graph_fingerprint, EmbeddingCache};
+pub use reservoir::{adapt_online_bounded, Reservoir};
+pub use shard::{AdvisorShard, ShardedAdvisor};

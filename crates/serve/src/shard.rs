@@ -1,0 +1,478 @@
+//! The sharded RCS: entries distributed across [`AdvisorShard`]s, each
+//! owning its packed serving chunks and answering partial-KNN top-k
+//! queries; a fixed-order merge reproduces the flat scan bit for bit.
+//!
+//! # Flat equivalence
+//!
+//! [`ShardedAdvisor::predict_excluding`] is **bit-identical** to
+//! [`AutoCe::predict_excluding`] for every shard count, because each step
+//! is either shard-local with unchanged float evaluation or resolved by a
+//! strict total order:
+//!
+//! * distances are computed by the same [`euclidean`] call on the same
+//!   embedding bits — shard membership never changes a distance;
+//! * candidates are ranked by [`autoce::knn_order`] (ascending distance,
+//!   ties by ascending **global** RCS index), a strict total order, so the
+//!   k nearest form a uniquely determined sequence. Each shard returns its
+//!   own top-`min(k, |shard|)` under that order; every global top-k
+//!   neighbor is necessarily inside its shard's partial list, so sorting
+//!   the merged candidates and truncating to `k` yields exactly the flat
+//!   sequence;
+//! * the vote ([`autoce::knn_vote`]) accumulates neighbor scores in that
+//!   sequence order with the same `/ k` evaluation, and breaks score ties
+//!   by the lowest model index.
+//!
+//! Thread counts cannot change any of this: per-shard top-k lists are
+//! merged under a strict total order, so any collection order (the serial
+//! per-request scan here, or a parallel fan-out) yields the same bits.
+
+use autoce::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
+use ce_features::{extract_features, FeatureGraph};
+use ce_gnn::{GinEncoder, StackedCtx};
+use ce_models::ModelKind;
+use ce_nn::matrix::euclidean;
+use ce_nn::Matrix;
+use ce_storage::Dataset;
+use ce_testbed::{DatasetLabel, MetricWeights};
+use rayon::prelude::*;
+
+/// One shard of the RCS: a subset of entries (tagged with their global
+/// indices), the packed stacked-serving chunks over the subset's graphs,
+/// and the partial-KNN scan over them.
+#[derive(Clone)]
+pub struct AdvisorShard {
+    /// Global RCS index of each entry, aligned with `entries`.
+    ids: Vec<usize>,
+    pub(crate) entries: Vec<RcsEntry>,
+    /// Cached stacked chunks over `entries`' graphs (rebuilt lazily when
+    /// membership changes; encoder updates never invalidate them).
+    chunks: Vec<StackedCtx>,
+    dirty: bool,
+}
+
+impl AdvisorShard {
+    fn new(ids: Vec<usize>, entries: Vec<RcsEntry>) -> Self {
+        AdvisorShard {
+            ids,
+            entries,
+            chunks: Vec::new(),
+            dirty: true,
+        }
+    }
+
+    /// Number of entries this shard owns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the shard owns no entries (possible when there are more
+    /// shards than RCS entries).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Global indices of the entries this shard owns.
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// The shard's partial top-k: up to `k` nearest non-excluded entries as
+    /// `(global index, distance)`, sorted by [`knn_order`].
+    fn partial_topk(&self, x: &[f32], k: usize, exclude: usize) -> Vec<(usize, f32)> {
+        let mut dists: Vec<(usize, f32)> = self
+            .ids
+            .iter()
+            .zip(&self.entries)
+            .filter(|(&id, _)| id != exclude)
+            .map(|(&id, e)| (id, euclidean(x, &e.embedding)))
+            .collect();
+        let k = k.min(dists.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k < dists.len() {
+            dists.select_nth_unstable_by(k - 1, knn_order);
+        }
+        dists.truncate(k);
+        dists.sort_unstable_by(knn_order);
+        dists
+    }
+
+    /// Distance from `x` to the nearest entry of this shard.
+    fn min_distance(&self, x: &[f32]) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| euclidean(x, &e.embedding))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    fn rebuild_chunks(&mut self) {
+        if self.dirty {
+            let graphs: Vec<&FeatureGraph> = self.entries.iter().map(|e| &e.graph).collect();
+            self.chunks = StackedCtx::pack_graphs(&graphs);
+            self.dirty = false;
+        }
+    }
+}
+
+/// The sharded advisor: the Stage-4 serving path of [`AutoCe`] with the
+/// RCS distributed across [`AdvisorShard`]s.
+///
+/// Recommendations are bit-identical to the flat advisor at any shard
+/// count (see the module docs); online adaptation routes new entries to
+/// the least-loaded shard and refreshes embeddings per shard over each
+/// shard's cached stacked chunks.
+#[derive(Clone)]
+pub struct ShardedAdvisor {
+    config: AutoCeConfig,
+    pub(crate) encoder: GinEncoder,
+    pub(crate) shards: Vec<AdvisorShard>,
+    /// Global index → `(shard, slot)`; one entry per RCS member, appended
+    /// in global-index order (global ids are never reused).
+    pub(crate) directory: Vec<(usize, usize)>,
+    generation: u64,
+}
+
+impl ShardedAdvisor {
+    /// Distributes a flat advisor's RCS across `num_shards` shards in
+    /// contiguous, balanced ranges (global index order is preserved, so a
+    /// 1-shard instance is layout-identical to the flat advisor). The flat
+    /// advisor is left untouched; entries and encoder are cloned.
+    pub fn from_advisor(advisor: &AutoCe, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let entries = advisor.rcs();
+        let n = entries.len();
+        let base = n / num_shards;
+        let rem = n % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut directory = Vec::with_capacity(n);
+        let mut next = 0usize;
+        for s in 0..num_shards {
+            let take = base + usize::from(s < rem);
+            let ids: Vec<usize> = (next..next + take).collect();
+            for (slot, &id) in ids.iter().enumerate() {
+                debug_assert_eq!(id, directory.len());
+                let _ = id;
+                directory.push((s, slot));
+            }
+            shards.push(AdvisorShard::new(ids, entries[next..next + take].to_vec()));
+            next += take;
+        }
+        ShardedAdvisor {
+            config: advisor.config.clone(),
+            encoder: advisor.encoder().clone(),
+            shards,
+            directory,
+            generation: 0,
+        }
+    }
+
+    /// Advisor configuration (featurization, DML, `k`).
+    pub fn config(&self) -> &AutoCeConfig {
+        &self.config
+    }
+
+    /// Shared encoder access.
+    pub fn encoder(&self) -> &GinEncoder {
+        &self.encoder
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards (read-only).
+    pub fn shards(&self) -> &[AdvisorShard] {
+        &self.shards
+    }
+
+    /// Total RCS entries across all shards.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// True when no shard owns any entry.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Monotonic adaptation counter: bumped on every online adaptation so
+    /// snapshot consumers (embedding caches, stats) can detect refreshes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// The RCS entry at a global index.
+    pub fn entry(&self, global: usize) -> &RcsEntry {
+        let (s, slot) = self.directory[global];
+        &self.shards[s].entries[slot]
+    }
+
+    /// Encodes a dataset into its embedding (identical to
+    /// [`AutoCe::embed`]).
+    pub fn embed(&self, ds: &Dataset) -> Vec<f32> {
+        self.embed_graph(&extract_features(ds, &self.config.feature))
+    }
+
+    /// Encodes a feature graph.
+    pub fn embed_graph(&self, g: &FeatureGraph) -> Vec<f32> {
+        self.encoder.encode(g)
+    }
+
+    /// Batch-embeds feature graphs through the stacked service (one tall
+    /// forward per chunk) — the micro-batcher's encoding entry point.
+    pub fn embed_graph_batch(&self, graphs: &[&FeatureGraph]) -> Vec<Vec<f32>> {
+        self.encoder.encode_batch(graphs)
+    }
+
+    /// KNN prediction from an embedding, bit-identical to
+    /// [`AutoCe::predict_from_embedding`] at any shard count.
+    pub fn predict_from_embedding(
+        &self,
+        embedding: &[f32],
+        w: MetricWeights,
+    ) -> (ModelKind, Vec<f64>) {
+        self.predict_excluding(embedding, w, usize::MAX)
+    }
+
+    /// KNN prediction excluding one global RCS index: per-shard partial
+    /// top-k, then a fixed-order merge (see the module docs for why this
+    /// matches the flat scan bitwise).
+    ///
+    /// Shards are scanned **serially**: this is the per-request hot path,
+    /// a shard's scan is microseconds of work, and the rayon shim backs
+    /// `par_iter` with scoped OS threads (no persistent pool) — per-call
+    /// thread spawns would dwarf the scan on multi-core hosts. The big
+    /// jobs ([`Self::refresh_embeddings`], detector fitting) keep the
+    /// parallel fan-out. Results are order-merged either way, so this is
+    /// purely a latency choice.
+    pub fn predict_excluding(
+        &self,
+        embedding: &[f32],
+        w: MetricWeights,
+        exclude: usize,
+    ) -> (ModelKind, Vec<f64>) {
+        assert!(!self.is_empty(), "empty RCS");
+        let candidates = self.len() - usize::from(exclude < self.len());
+        assert!(
+            candidates > 0,
+            "KNN needs at least one non-excluded RCS entry"
+        );
+        let k = self.config.k.clamp(1, candidates);
+        let mut merged: Vec<(usize, f32)> = Vec::with_capacity(k * self.shards.len());
+        for s in &self.shards {
+            merged.extend(s.partial_topk(embedding, k, exclude));
+        }
+        // `knn_order` is a strict total order, so the sorted prefix is the
+        // unique global top-k regardless of shard count or merge order.
+        merged.sort_unstable_by(knn_order);
+        merged.truncate(k);
+        knn_vote(merged.iter().map(|&(id, _)| self.entry(id)), k, w)
+    }
+
+    /// Full Stage-4 recommendation, bit-identical to [`AutoCe::recommend`].
+    pub fn recommend(&self, ds: &Dataset, w: MetricWeights) -> ModelKind {
+        let x = self.embed(ds);
+        self.predict_from_embedding(&x, w).0
+    }
+
+    /// Recommendation from a pre-extracted feature graph.
+    pub fn recommend_graph(&self, g: &FeatureGraph, w: MetricWeights) -> ModelKind {
+        let x = self.embed_graph(g);
+        self.predict_from_embedding(&x, w).0
+    }
+
+    /// Distance from an embedding to the nearest RCS entry (drift check).
+    pub fn distance_to_embedding(&self, x: &[f32]) -> f32 {
+        // Serial over shards for the same reason as `predict_excluding`.
+        self.shards
+            .iter()
+            .map(|s| s.min_distance(x))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Fits a drift detector over all entries in global-index order —
+    /// the same threshold [`autoce::online::DriftDetector::fit`] computes
+    /// on the equivalent flat advisor.
+    pub fn drift_detector(&self) -> autoce::online::DriftDetector {
+        let embs: Vec<&[f32]> = (0..self.len())
+            .map(|i| self.entry(i).embedding.as_slice())
+            .collect();
+        autoce::online::DriftDetector::from_embeddings(&embs)
+    }
+
+    /// Adds a freshly labeled dataset, routed to the least-loaded shard
+    /// (ties to the lowest shard index). Returns the new global index. The
+    /// receiving shard's chunks are marked stale; embeddings are written by
+    /// the next [`Self::refresh_embeddings`].
+    pub fn push_entry(&mut self, graph: FeatureGraph, label: &DatasetLabel) -> usize {
+        let embedding = self.encoder.encode(&graph);
+        let global = self.directory.len();
+        let target = (0..self.shards.len())
+            .min_by_key(|&s| (self.shards[s].len(), s))
+            .expect("at least one shard");
+        let shard = &mut self.shards[target];
+        shard.ids.push(global);
+        shard
+            .entries
+            .push(RcsEntry::from_label(graph, label, embedding));
+        shard.dirty = true;
+        self.directory.push((target, shard.entries.len() - 1));
+        global
+    }
+
+    /// Recomputes every entry's embedding after an encoder update, routed
+    /// per shard: each shard re-encodes its own cached stacked chunks
+    /// (rebuilt only where membership changed) with the refresh fanned out
+    /// over the rayon pool. Bit-identical to per-graph encoding.
+    pub fn refresh_embeddings(&mut self) {
+        for shard in &mut self.shards {
+            shard.rebuild_chunks();
+        }
+        let encoder = &self.encoder;
+        let pooled: Vec<Vec<Matrix>> = self
+            .shards
+            .par_iter()
+            .map(|s| {
+                s.chunks
+                    .iter()
+                    .map(|c| {
+                        let mut m = Matrix::zeros(0, 0);
+                        encoder.encode_stacked_into(c, &mut m);
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+        for (shard, mats) in self.shards.iter_mut().zip(pooled) {
+            let mut rows = mats.iter().flat_map(|m| (0..m.rows).map(move |r| m.row(r)));
+            for e in &mut shard.entries {
+                let row = rows.next().expect("one pooled row per shard entry");
+                e.embedding.clear();
+                e.embedding.extend_from_slice(row);
+            }
+            assert!(rows.next().is_none(), "pooled rows must match shard size");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_gnn::DmlConfig;
+
+    fn synthetic_flat(n: usize, k: usize) -> AutoCe {
+        let entries: Vec<RcsEntry> = (0..n)
+            .map(|i| {
+                let v = i as f32 * 0.25;
+                RcsEntry {
+                    name: format!("e{i}"),
+                    graph: FeatureGraph {
+                        vertices: vec![vec![v, 1.0 - v, 0.5, 0.25]],
+                        edges: vec![vec![0.0]],
+                    },
+                    embedding: vec![v, v * v, 1.0 - v],
+                    kinds: vec![ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn],
+                    sa: vec![(i % 3) as f64 / 2.0, ((i + 1) % 3) as f64 / 2.0, 0.5],
+                    se: vec![0.5, (i % 2) as f64, 1.0 - (i % 2) as f64],
+                }
+            })
+            .collect();
+        let config = AutoCeConfig {
+            k,
+            incremental: None,
+            dml: DmlConfig {
+                hidden: vec![8],
+                embed_dim: 3,
+                ..DmlConfig::default()
+            },
+            ..AutoCeConfig::default()
+        };
+        AutoCe::from_parts(config, GinEncoder::new(4, &[8], 3, 7), entries)
+    }
+
+    #[test]
+    fn sharded_predictions_match_flat_for_every_shard_count() {
+        let flat = synthetic_flat(11, 3);
+        let w = MetricWeights::new(0.7);
+        let queries = [
+            vec![0.0f32, 0.0, 0.0],
+            vec![1.3, 0.4, -0.2],
+            vec![2.5, 6.25, -1.5],
+        ];
+        for shards in 1..=5 {
+            let sharded = ShardedAdvisor::from_advisor(&flat, shards);
+            assert_eq!(sharded.num_shards(), shards);
+            assert_eq!(sharded.len(), 11);
+            for x in &queries {
+                for exclude in [usize::MAX, 0, 5, 10] {
+                    let a = flat.predict_excluding(x, w, exclude);
+                    let b = sharded.predict_excluding(x, w, exclude);
+                    assert_eq!(a, b, "shards={shards} exclude={exclude}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_entries_leaves_empty_shards_working() {
+        let flat = synthetic_flat(2, 2);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 4);
+        assert_eq!(sharded.num_shards(), 4);
+        assert!(sharded.shards()[2].is_empty() && sharded.shards()[3].is_empty());
+        let x = vec![0.1f32, 0.0, 0.9];
+        let w = MetricWeights::new(0.5);
+        assert_eq!(
+            flat.predict_from_embedding(&x, w),
+            sharded.predict_from_embedding(&x, w)
+        );
+    }
+
+    #[test]
+    fn push_routes_to_least_loaded_shard_and_refresh_restores_embeddings() {
+        let flat = synthetic_flat(5, 2);
+        let mut sharded = ShardedAdvisor::from_advisor(&flat, 2);
+        // 5 entries over 2 shards: sizes [3, 2] — the push must land on
+        // shard 1.
+        let label = DatasetLabel {
+            dataset: "new".into(),
+            performances: flat.rcs()[0]
+                .kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| ce_testbed::ModelPerformance {
+                    kind,
+                    qerror_mean: 1.0 + i as f64,
+                    qerror_p50: 1.0,
+                    qerror_p95: 1.0,
+                    qerror_p99: 1.0,
+                    latency_mean_us: 10.0 * (i + 1) as f64,
+                    train_time_ms: 1.0,
+                })
+                .collect(),
+        };
+        let graph = FeatureGraph {
+            vertices: vec![vec![0.3, 0.3, 0.3, 0.3]],
+            edges: vec![vec![0.0]],
+        };
+        let id = sharded.push_entry(graph, &label);
+        assert_eq!(id, 5);
+        assert_eq!(sharded.shards()[1].len(), 3);
+        assert_eq!(sharded.entry(5).name, "new");
+        // Refresh rewrites every embedding from the (unchanged) encoder:
+        // the pushed entry keeps its encode-time embedding and the rest
+        // keep encoder-consistent values.
+        let before: Vec<Vec<f32>> = (0..sharded.len())
+            .map(|i| sharded.encoder().encode(&sharded.entry(i).graph))
+            .collect();
+        sharded.refresh_embeddings();
+        for (i, expect) in before.iter().enumerate() {
+            assert_eq!(&sharded.entry(i).embedding, expect);
+        }
+    }
+}

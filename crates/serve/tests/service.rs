@@ -1,0 +1,204 @@
+//! End-to-end service tests: concurrent micro-batched serving must match
+//! the flat advisor exactly; online adaptation must be reservoir-bounded
+//! and swap snapshots without disturbing concurrent readers.
+
+mod common;
+
+use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
+use ce_features::extract_features;
+use ce_serve::{AdvisorService, Reservoir, ServeConfig, ServeError, ShardedAdvisor};
+use ce_testbed::MetricWeights;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(2),
+        queue_capacity: 64,
+        cache_capacity: 128,
+        reservoir_capacity: 4,
+        seed: 99,
+    }
+}
+
+#[test]
+fn concurrent_clients_get_flat_identical_answers() {
+    let (datasets, flat) = common::trained_advisor(10, 0x5eb5);
+    let w = MetricWeights::new(0.9);
+    let expected: Vec<_> = datasets
+        .iter()
+        .map(|ds| {
+            let x = flat.embed(ds);
+            flat.predict_from_embedding(&x, w)
+        })
+        .collect();
+    let graphs: Vec<_> = datasets
+        .iter()
+        .map(|ds| extract_features(ds, &flat.config.feature))
+        .collect();
+
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 3), serve_config());
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let handle = service.handle();
+            let graphs = &graphs;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Each client walks the datasets from a different offset so
+                // batches mix distinct graphs.
+                for i in 0..graphs.len() {
+                    let j = (i + t * 3) % graphs.len();
+                    let rec = handle
+                        .recommend_graph(graphs[j].clone(), w)
+                        .expect("service is running");
+                    assert_eq!(rec.model, expected[j].0, "client {t} dataset {j}");
+                    assert_eq!(rec.scores, expected[j].1, "client {t} dataset {j}");
+                    assert_eq!(rec.generation, 0);
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.requests, 40);
+    assert!(stats.batches >= 1, "micro-batching must engage");
+    assert_eq!(stats.cache_hits + stats.cache_misses, 40);
+    assert!(
+        stats.cache_misses >= 10,
+        "each distinct graph must be encoded at least once"
+    );
+
+    // A second, single-threaded pass is fully cache-served and still
+    // answers with identical bits.
+    let handle = service.handle();
+    for (g, expect) in graphs.iter().zip(&expected) {
+        let rec = handle.recommend_graph(g.clone(), w).expect("running");
+        assert!(rec.cache_hit, "second pass must hit the embedding cache");
+        assert_eq!((rec.model, rec.scores), (expect.0, expect.1.clone()));
+    }
+    service.shutdown();
+}
+
+#[test]
+fn adaptation_is_reservoir_bounded_and_swaps_snapshots() {
+    let (datasets, flat) = common::trained_advisor(16, 0xada2);
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 3), serve_config());
+    let testbed = common::testbed();
+    let w = MetricWeights::new(0.5);
+
+    // In-distribution datasets do not adapt.
+    assert!(!service.adapt(&datasets[0], &testbed, 1));
+    assert_eq!(service.snapshot().generation(), 0);
+
+    // A wildly different dataset (5 tables vs the single-table corpus)
+    // must drift, adapt, and swap the snapshot.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo: 5, hi: 5 };
+    let odd = generate_dataset("odd", &spec, &mut rng);
+    let before = service.snapshot();
+    assert!(service.adapt(&odd, &testbed, 7));
+    let after = service.snapshot();
+    assert_eq!(after.generation(), 1);
+    assert_eq!(after.len(), before.len() + 1);
+    // The old snapshot is untouched (readers that held it keep consistent
+    // data).
+    assert_eq!(before.generation(), 0);
+    assert_eq!(before.len(), 16);
+    assert_eq!(service.stats().adaptations, 1);
+
+    // Post-adaptation, the odd dataset is close to the RCS and servable.
+    let x = after.embed(&odd);
+    assert!(after.distance_to_embedding(&x) < 1e-3);
+    let rec = service
+        .handle()
+        .recommend(&odd, w)
+        .expect("service is running");
+    assert_eq!(rec.generation, 1);
+    assert!(!rec.cache_hit, "cache must be cleared on snapshot swap");
+    service.shutdown();
+}
+
+#[test]
+fn adapt_with_reservoir_trains_on_bounded_subset() {
+    let (_, flat) = common::trained_advisor(16, 0xb0b);
+    let mut sharded = ShardedAdvisor::from_advisor(&flat, 2);
+    let mut reservoir = Reservoir::over_initial(sharded.len(), 4, 5);
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo: 5, hi: 5 };
+    let odd = generate_dataset("odd2", &spec, &mut rng);
+    let detector = sharded.drift_detector();
+    let adapted = ce_serve::adapt_online_bounded(
+        &mut sharded,
+        &detector,
+        &odd,
+        &common::testbed(),
+        &mut reservoir,
+        13,
+    );
+    assert!(adapted, "5-table dataset should drift off a 1-table corpus");
+    assert_eq!(sharded.len(), 17);
+    assert_eq!(sharded.generation(), 1);
+    // The bound: reservoir capacity (4) plus the newcomer.
+    assert!(reservoir.sample().len() <= 4);
+    assert_eq!(reservoir.seen(), 17);
+    // Every embedding is consistent with the updated encoder.
+    for i in 0..sharded.len() {
+        assert_eq!(
+            sharded.entry(i).embedding,
+            sharded.encoder().encode(&sharded.entry(i).graph),
+            "entry {i} embedding stale after refresh"
+        );
+    }
+}
+
+/// A burst with more cache misses than the queue holds must still
+/// complete: the submitter wakes the worker before parking on the space
+/// condvar (regression test for a mutual deadlock where the worker was
+/// only notified after the full burst was enqueued).
+#[test]
+fn burst_larger_than_queue_capacity_completes() {
+    let (datasets, flat) = common::trained_advisor(8, 0xb157);
+    let cfg = ServeConfig {
+        queue_capacity: 3,
+        cache_capacity: 0, // every request is a miss and rides the queue
+        max_batch: 2,
+        ..serve_config()
+    };
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), cfg);
+    let w = MetricWeights::new(0.6);
+    // 16 misses through a 3-slot queue in one burst.
+    let burst: Vec<_> = (0..16)
+        .map(|i| extract_features(&datasets[i % datasets.len()], &flat.config.feature))
+        .collect();
+    let recs = service
+        .handle()
+        .recommend_graphs(burst, w)
+        .expect("burst completes without deadlock");
+    assert_eq!(recs.len(), 16);
+    for (i, rec) in recs.iter().enumerate() {
+        let x = flat.embed(&datasets[i % datasets.len()]);
+        let (model, scores) = flat.predict_from_embedding(&x, w);
+        assert_eq!(rec.model, model);
+        assert_eq!(rec.scores, scores);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_rejects_new_requests() {
+    let (datasets, flat) = common::trained_advisor(6, 0xdead);
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), serve_config());
+    let handle = service.handle();
+    let g = extract_features(&datasets[0], &flat.config.feature);
+    assert!(handle
+        .recommend_graph(g.clone(), MetricWeights::new(0.5))
+        .is_ok());
+    service.shutdown();
+    assert_eq!(
+        handle.recommend_graph(g, MetricWeights::new(0.5)),
+        Err(ServeError::ShuttingDown)
+    );
+}

@@ -76,18 +76,36 @@ pub fn d_error(scores: &[f64], chosen: usize) -> f64 {
 }
 
 /// Index of the optimal model under a score vector.
+///
+/// On equal scores the **lowest index wins** — an explicit, documented rule
+/// (not `max_by`'s last-wins accident) that the sharded serving layer's
+/// flat-equivalence guarantee depends on. Every selection path (KNN vote,
+/// feedback collection, label argmax) shares this function, so ties resolve
+/// identically everywhere.
 pub fn best_index(scores: &[f64]) -> usize {
-    scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
-        .map(|(i, _)| i)
-        .expect("non-empty score vector")
+    assert!(!scores.is_empty(), "non-empty score vector");
+    assert!(!scores[0].is_nan(), "scores are finite");
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        assert!(!s.is_nan(), "scores are finite");
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn best_index_breaks_ties_by_lowest_index() {
+        assert_eq!(best_index(&[0.5, 1.0, 1.0, 0.3]), 1);
+        assert_eq!(best_index(&[1.0, 1.0, 1.0]), 0);
+        assert_eq!(best_index(&[0.0]), 0);
+        assert_eq!(best_index(&[0.1, 0.7, 0.2]), 1);
+    }
 
     #[test]
     fn weights_grid() {

@@ -11,6 +11,7 @@ pub use ce_gnn as gnn;
 pub use ce_models as models;
 pub use ce_nn as nn;
 pub use ce_optsim as optsim;
+pub use ce_serve as serve;
 pub use ce_storage as storage;
 pub use ce_testbed as testbed;
 pub use ce_workload as workload;
