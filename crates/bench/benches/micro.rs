@@ -7,7 +7,7 @@ use ce_bench::harness::{build_corpus, train_default_advisor, Scale};
 use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
 use ce_features::{extract_features, FeatureConfig, FeatureGraph};
 use ce_gnn::reference::{train_encoder_reference, ReferenceEncoder};
-use ce_gnn::{train_encoder, DmlConfig, GinEncoder, StackedCtx};
+use ce_gnn::{train_encoder, train_encoder_per_graph, DmlConfig, GinEncoder, StackedCtx};
 use ce_models::{build_model, ModelKind, TrainContext};
 use ce_optsim::{optimize_query, DatasetIndexes, TrueCardEstimator};
 use ce_testbed::MetricWeights;
@@ -132,7 +132,8 @@ fn bench_optimizer(c: &mut Criterion) {
 /// track the perf trajectory.
 fn bench_gnn_engine(c: &mut Criterion) {
     let names = [
-        "train_encoder_parallel_sparse",
+        "train_encoder_stacked",
+        "train_encoder_per_graph",
         "train_encoder_reference_dense",
         "encode_parallel_sparse",
         "encode_reference_dense",
@@ -176,9 +177,19 @@ fn bench_gnn_engine(c: &mut Criterion) {
             "embeddings must match"
         );
     }
+    // Gate: stacked training must be bit-identical to the per-graph taped
+    // path before either side is timed.
+    assert_eq!(
+        train_encoder(&graphs, &labels, &cfg, 9).flat_params(),
+        train_encoder_per_graph(&graphs, &labels, &cfg, 9).flat_params(),
+        "stacked training must match per-graph training bit for bit"
+    );
 
-    c.bench_function("train_encoder_parallel_sparse", |b| {
+    c.bench_function("train_encoder_stacked", |b| {
         b.iter(|| black_box(train_encoder(&graphs, &labels, &cfg, 9)))
+    });
+    c.bench_function("train_encoder_per_graph", |b| {
+        b.iter(|| black_box(train_encoder_per_graph(&graphs, &labels, &cfg, 9)))
     });
     c.bench_function("train_encoder_reference_dense", |b| {
         b.iter(|| black_box(train_encoder_reference(&graphs, &labels, &cfg, 9)))
@@ -198,13 +209,17 @@ fn bench_gnn_engine(c: &mut Criterion) {
         })
     });
 
-    // Speedup gate: engines timed in alternating pairs (minimum of the
-    // pairs) so slow container-noise drift hits both sides equally.
-    let (mut train_new, mut train_ref) = (f64::INFINITY, f64::INFINITY);
+    // Speedup gate: engines timed in alternating tuples (minimum of the
+    // rounds) so slow container-noise drift hits every side equally.
+    let (mut train_new, mut train_pg, mut train_ref) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     let (mut encode_new, mut encode_ref) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..5 {
         train_new = train_new.min(time_ns(&mut || {
             black_box(train_encoder(&graphs, &labels, &cfg, 9));
+        }));
+        train_pg = train_pg.min(time_ns(&mut || {
+            black_box(train_encoder_per_graph(&graphs, &labels, &cfg, 9));
         }));
         train_ref = train_ref.min(time_ns(&mut || {
             black_box(train_encoder_reference(&graphs, &labels, &cfg, 9));
@@ -221,17 +236,21 @@ fn bench_gnn_engine(c: &mut Criterion) {
         }));
     }
     let train_speedup = train_ref / train_new.max(1.0);
+    let stacked_train_speedup = train_pg / train_new.max(1.0);
     let encode_speedup = encode_ref / encode_new.max(1.0);
     println!(
-        "gnn engine: train {train_speedup:.2}x, encode {encode_speedup:.2}x vs sequential dense reference"
+        "gnn engine: train {train_speedup:.2}x vs sequential dense reference \
+         (stacked {stacked_train_speedup:.2}x vs per-graph taped), encode {encode_speedup:.2}x"
     );
 
     let record = serde_json::json!({
         "workload_graphs": GRAPHS,
         "workload_config": "DmlConfig::default",
         "train_ns_per_graph": train_new / GRAPHS as f64,
+        "per_graph_train_ns_per_graph": train_pg / GRAPHS as f64,
         "train_reference_ns_per_graph": train_ref / GRAPHS as f64,
         "train_speedup": train_speedup,
+        "stacked_train_speedup": stacked_train_speedup,
         "encode_ns_per_graph": encode_new / GRAPHS as f64,
         "encode_reference_ns_per_graph": encode_ref / GRAPHS as f64,
         "encode_speedup": encode_speedup,
@@ -251,6 +270,23 @@ fn bench_gnn_engine(c: &mut Criterion) {
     assert!(
         train_speedup >= required,
         "train_encoder speedup gate: {train_speedup:.2}x < {required}x ({threads} worker threads)"
+    );
+    // Gate: the stacked training path must at least hold parity with the
+    // per-graph taped path (0.85 = parity minus shared-runner noise; see
+    // `profile_stacked_train` for the phase attribution). A 1.3x single-
+    // core win was the design target, but measurement says no: bit-
+    // identity pins the parameter-gradient association to per-graph
+    // partials (the dominant backward cost, identical work in both paths),
+    // and PR 1-2's workspace pools already removed the per-graph
+    // allocation overhead that serving-side stacking amortized away. What
+    // stacking buys training is the tall-forward dispatch savings
+    // (~1.0-1.1x measured end-to-end on one core, larger with idle cores
+    // since chunks are coarser rayon tasks than 3-vertex graphs), plus
+    // zero-vertex trainability. The ratio is recorded in `BENCH_gnn.json`
+    // and trended by the trajectory gate so a real regression still fails.
+    assert!(
+        stacked_train_speedup >= 0.85,
+        "stacked training speedup gate: {stacked_train_speedup:.2}x < 0.85x of per-graph tapes"
     );
 }
 
@@ -475,7 +511,8 @@ fn bench_advisor_service(c: &mut Criterion) {
     /// Drives `CLIENTS` threads through one serving pass; each client
     /// walks its stream from a different offset so batches mix graphs,
     /// submitting in bursts of `GROUP` (a tenant asking about several
-    /// datasets at once) so the queue handoff amortizes.
+    /// datasets at once) through the borrowed-burst API — clients retain
+    /// their graphs, exactly as the flat baseline below does.
     fn drive_service(
         service: &AdvisorService,
         streams: &[&[FeatureGraph]],
@@ -489,13 +526,13 @@ fn bench_advisor_service(c: &mut Criterion) {
                 scope.spawn(move || {
                     for p in 0..passes {
                         for start in (0..stream.len()).step_by(GROUP) {
-                            let group: Vec<FeatureGraph> = (start
+                            let group: Vec<&FeatureGraph> = (start
                                 ..(start + GROUP).min(stream.len()))
-                                .map(|i| stream[(i + t * 7 + p) % stream.len()].clone())
+                                .map(|i| &stream[(i + t * 7 + p) % stream.len()])
                                 .collect();
                             black_box(
                                 handle
-                                    .recommend_graphs(group, w)
+                                    .recommend_graph_refs(&group, w)
                                     .expect("service is running"),
                             );
                         }

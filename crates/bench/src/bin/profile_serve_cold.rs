@@ -1,0 +1,155 @@
+//! Phase-attribution profiler for the cold (all-miss) serving path.
+//!
+//! Not a paper experiment: times one client's all-distinct burst stream
+//! through the inline-burst service path against the flat per-request
+//! advisor, single-threaded, and attributes the gap (fingerprint, cache
+//! ops, stacked encode, votes) so serving perf work knows where cold
+//! requests spend their time.
+
+use autoce::{AutoCe, AutoCeConfig, RcsEntry};
+use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
+use ce_features::{extract_features, FeatureConfig, FeatureGraph};
+use ce_gnn::{DmlConfig, GinEncoder};
+use ce_models::ModelKind;
+use ce_serve::{graph_fingerprint, AdvisorService, ServeConfig, ShardedAdvisor};
+use ce_testbed::MetricWeights;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    const RCS: usize = 96;
+    const POOL: usize = 48;
+    const GROUP: usize = 8;
+    let mut rng = StdRng::seed_from_u64(0x5e57e);
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo: 10, hi: 16 };
+    let fcfg = FeatureConfig::default();
+    let mut graph =
+        |name: String| extract_features(&generate_dataset(name, &spec, &mut rng), &fcfg);
+    let rcs_graphs: Vec<FeatureGraph> = (0..RCS).map(|i| graph(format!("r{i}"))).collect();
+    let pool: Vec<FeatureGraph> = (0..POOL).map(|i| graph(format!("q{i}"))).collect();
+    let dml = DmlConfig::default();
+    let enc = GinEncoder::new(rcs_graphs[0].vertex_dim(), &dml.hidden, dml.embed_dim, 17);
+    let embeddings = enc.encode_batch(&rcs_graphs);
+    let kinds = [ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn];
+    let entries: Vec<RcsEntry> = rcs_graphs
+        .into_iter()
+        .zip(embeddings)
+        .enumerate()
+        .map(|(i, (g, embedding))| RcsEntry {
+            name: format!("r{i}"),
+            graph: g,
+            embedding,
+            kinds: kinds.to_vec(),
+            sa: (0..3).map(|m| ((i + m) % 4) as f64 / 3.0).collect(),
+            se: (0..3).map(|m| ((i + 2 * m) % 3) as f64 / 2.0).collect(),
+        })
+        .collect();
+    let flat = Arc::new(AutoCe::from_parts(
+        AutoCeConfig {
+            k: 2,
+            incremental: None,
+            dml,
+            ..AutoCeConfig::default()
+        },
+        enc,
+        entries,
+    ));
+    let w = MetricWeights::new(0.7);
+    let reps = 200;
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t.elapsed().as_secs_f64() * 1e6 / (reps * POOL) as f64
+    };
+    // Flat per-request baseline.
+    let flat_t = time(&mut || {
+        for g in &pool {
+            let x = flat.embed_graph(g);
+            black_box(flat.predict_from_embedding(&x, w));
+        }
+    });
+    // Phase: fingerprints only.
+    let fp = time(&mut || {
+        for g in &pool {
+            black_box(graph_fingerprint(g));
+        }
+    });
+    // Phase: stacked encode of GROUP-bursts (the inline path's forward).
+    let sharded = ShardedAdvisor::from_advisor(&flat, 4);
+    let enc_t = time(&mut || {
+        for c in pool.chunks(GROUP) {
+            let refs: Vec<&FeatureGraph> = c.iter().collect();
+            black_box(sharded.embed_graph_batch(&refs));
+        }
+    });
+    // Phase: votes only (on precomputed embeddings).
+    let xs: Vec<Vec<f32>> = pool.iter().map(|g| flat.embed_graph(g)).collect();
+    let vote_t = time(&mut || {
+        for x in &xs {
+            black_box(sharded.predict_from_embedding(x, w));
+        }
+    });
+    // Full inline service path, single client (fresh service per rep so
+    // the cache never hits; the service cost includes its construction
+    // amortized over POOL requests — printed separately).
+    let cfg = ServeConfig {
+        max_batch: 32,
+        cache_capacity: 4096,
+        ..ServeConfig::default()
+    };
+    let mut drive = 0.0f64;
+    for _ in 0..reps {
+        // Construction and shutdown stay outside the timer, exactly as
+        // the gated bench measures its cold stream.
+        let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 4), cfg.clone());
+        let handle = service.handle();
+        let t = Instant::now();
+        for c in pool.chunks(GROUP) {
+            let refs: Vec<&FeatureGraph> = c.iter().collect();
+            black_box(handle.recommend_graph_refs(&refs, w).expect("running"));
+        }
+        drive += t.elapsed().as_secs_f64();
+        service.shutdown();
+    }
+    let serve_t = drive * 1e6 / (reps * POOL) as f64;
+    // Manual replica of the inline path (fingerprint + dedup + stacked
+    // encode + cache insert + vote) without the service plumbing.
+    let mut cache = ce_serve::EmbeddingCache::new(4096, 0);
+    let manual_t = time(&mut || {
+        cache = ce_serve::EmbeddingCache::new(4096, 0);
+        for c in pool.chunks(GROUP) {
+            let refs: Vec<&FeatureGraph> = c.iter().collect();
+            let fps: Vec<u64> = refs.iter().map(|g| graph_fingerprint(g)).collect();
+            let mut unique: Vec<usize> = Vec::with_capacity(refs.len());
+            let mut pos_of: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
+            for (i, &fp) in fps.iter().enumerate() {
+                pos_of.entry(fp).or_insert_with(|| {
+                    unique.push(i);
+                    unique.len() - 1
+                });
+            }
+            let ug: Vec<&FeatureGraph> = unique.iter().map(|&i| refs[i]).collect();
+            let fresh = sharded.embed_graph_batch(&ug);
+            for (&i, emb) in unique.iter().zip(&fresh) {
+                cache.insert(0, fps[i], emb.clone());
+            }
+            for i in 0..refs.len() {
+                let emb = &fresh[pos_of[&fps[i]]];
+                black_box(sharded.predict_from_embedding(emb, w));
+            }
+        }
+    });
+    println!("manual inline replica: {manual_t:.1}µs/req");
+    println!(
+        "cold per-request µs: flat {flat_t:.1} | inline-serve {serve_t:.1} (ratio {:.2}x) | \
+         phases: fingerprint {fp:.2}, stacked-encode {enc_t:.1}, vote {vote_t:.1}",
+        flat_t / serve_t
+    );
+}

@@ -1,0 +1,150 @@
+//! Shape-attribution profiler for the stacked training engine.
+//!
+//! Not a paper experiment: times the stacked batch engine against the
+//! per-graph taped engine across schema shapes so perf work knows where
+//! the stacking win lives (small graphs = dispatch-bound, large graphs =
+//! flop-bound). Pass `small` (2-5 tables, the serving/adaptation shape),
+//! `big` (8-12) or `huge` (15-20); default runs all three.
+
+use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
+use ce_features::{extract_features, FeatureConfig, FeatureGraph};
+use ce_gnn::{train_encoder, train_encoder_per_graph, DmlConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn run_shape(name: &str, lo: usize, hi: usize, count: usize) {
+    let mut rng = StdRng::seed_from_u64(0x57ac4);
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo, hi };
+    let fcfg = FeatureConfig::default();
+    let graphs: Vec<FeatureGraph> = (0..count)
+        .map(|i| extract_features(&generate_dataset(format!("g{i}"), &spec, &mut rng), &fcfg))
+        .collect();
+    let labels: Vec<Vec<f64>> = (0..count)
+        .map(|i| {
+            if i % 2 == 0 {
+                vec![1.0, 0.2, 0.1 * (i % 5) as f64]
+            } else {
+                vec![0.1 * (i % 5) as f64, 0.2, 1.0]
+            }
+        })
+        .collect();
+    let cfg = DmlConfig::default();
+    let rows: usize = graphs.iter().map(FeatureGraph::num_vertices).sum();
+    assert_eq!(
+        train_encoder(&graphs, &labels, &cfg, 9).flat_params(),
+        train_encoder_per_graph(&graphs, &labels, &cfg, 9).flat_params(),
+        "stacked and per-graph training must agree before timing"
+    );
+    let (mut stacked, mut per_graph) = (f64::INFINITY, f64::INFINITY);
+    for r in 0..5u64 {
+        let t = Instant::now();
+        black_box(train_encoder(&graphs, &labels, &cfg, 9 + r));
+        stacked = stacked.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(train_encoder_per_graph(&graphs, &labels, &cfg, 9 + r));
+        per_graph = per_graph.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "{name:>5} ({count} graphs, {:.1} vertices avg): stacked {:.1}ms, per-graph {:.1}ms, speedup {:.2}x",
+        rows as f64 / count as f64,
+        stacked * 1e3,
+        per_graph * 1e3,
+        per_graph / stacked
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("phases") {
+        phases();
+        return;
+    }
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("small", 2, 5, 120),
+        ("big", 8, 12, 50),
+        ("huge", 15, 20, 30),
+    ];
+    for &(name, lo, hi, count) in shapes {
+        if arg.as_deref().is_none_or(|a| a == name) {
+            run_shape(name, lo, hi, count);
+        }
+    }
+}
+// Phase probe (invoked with `phases <lo> <hi> <count>`): attributes one
+// batch-sized pass to forward / backward / workspace phases on both paths.
+#[allow(dead_code)]
+fn phases() {
+    use ce_gnn::{GinEncoder, GraphCtx, StackedCtx, WorkspacePools};
+    let lo = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let hi = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let count: usize = std::env::args()
+        .nth(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let mut rng = StdRng::seed_from_u64(0x57ac4);
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo, hi };
+    let fcfg = FeatureConfig::default();
+    let graphs: Vec<FeatureGraph> = (0..count)
+        .map(|i| extract_features(&generate_dataset(format!("g{i}"), &spec, &mut rng), &fcfg))
+        .collect();
+    let cfg = DmlConfig::default();
+    let enc = GinEncoder::new(graphs[0].vertex_dim(), &cfg.hidden, cfg.embed_dim, 9);
+    let ctxs: Vec<GraphCtx> = graphs.iter().map(GraphCtx::from_graph).collect();
+    let pools = WorkspacePools::new();
+    let reps = 2000usize;
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+    // Per-graph forward (pooled tapes).
+    let pg_fwd = time(&mut || {
+        for ctx in &ctxs {
+            let mut tape = pools.tapes.checkout();
+            enc.forward_tape_into(ctx, &mut tape);
+            pools.tapes.restore(tape);
+        }
+    });
+    // Stacked forward including the per-batch context build.
+    let refs: Vec<&GraphCtx> = ctxs.iter().collect();
+    let st_build = time(&mut || {
+        black_box(StackedCtx::from_ctxs(&refs));
+    });
+    let sctx = StackedCtx::from_ctxs(&refs);
+    let st_fwd = time(&mut || {
+        let mut tape = pools.stacked.checkout();
+        enc.forward_stacked_tape_into(&sctx, &mut tape);
+        pools.stacked.restore(tape);
+    });
+    // Backwards: uniform nonzero gradient for every graph.
+    let grads_in: Vec<Vec<f32>> = (0..count).map(|_| vec![0.1; cfg.embed_dim]).collect();
+    let plan = enc.backward_plan();
+    let tapes: Vec<_> = ctxs.iter().map(|c| enc.forward_tape(c)).collect();
+    let pg_bwd = time(&mut || {
+        for (i, ctx) in ctxs.iter().enumerate() {
+            let mut acc = pools.grads.checkout(&enc);
+            enc.backward_tape(ctx, &tapes[i], &grads_in[i], &mut acc, &plan);
+            pools.grads.restore(acc);
+        }
+    });
+    let stape = enc.forward_stacked_tape(&sctx);
+    let st_bwd = time(&mut || {
+        let accs = enc.backward_stacked_tape(&sctx, &stape, &grads_in, &plan, &pools.grads);
+        pools.grads.restore_all(accs.into_iter().flatten());
+    });
+    println!(
+        "{count} graphs of {lo}-{hi} tables (µs/batch): fwd per-graph {pg_fwd:.1} vs stacked {st_fwd:.1} (+build {st_build:.1}); bwd per-graph {pg_bwd:.1} vs segmented {st_bwd:.1}"
+    );
+}

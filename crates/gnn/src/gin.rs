@@ -46,10 +46,12 @@ use rand::SeedableRng;
 
 /// One GINConv layer: parameters and optimizer state only — no activation
 /// caches, so forward/backward are pure with respect to the layer.
+/// Crate-visible so the stacked training path (`crate::stack`) can run the
+/// same aggregation/dense kernels over tall batch matrices.
 #[derive(Clone)]
-struct GinLayer {
-    mlp: Dense,
-    eps: f32,
+pub(crate) struct GinLayer {
+    pub(crate) mlp: Dense,
+    pub(crate) eps: f32,
     // Adam state for eps.
     eps_m: f32,
     eps_v: f32,
@@ -66,7 +68,7 @@ impl GinLayer {
     }
 
     /// Aggregation `M = (1+ε)·H + A·H` via the shared CSR adjacency.
-    fn aggregate(&self, h: &Matrix, csr: &CsrAdjacency, out: &mut Matrix) {
+    pub(crate) fn aggregate(&self, h: &Matrix, csr: &CsrAdjacency, out: &mut Matrix) {
         spmm_csr(
             &csr.indptr,
             &csr.indices,
@@ -157,15 +159,22 @@ pub struct BackwardPlan {
     wts: Vec<Matrix>,
 }
 
+impl BackwardPlan {
+    /// Layer `l`'s pre-materialized `Wᵀ`.
+    pub(crate) fn wt(&self, l: usize) -> &Matrix {
+        &self.wts[l]
+    }
+}
+
 /// Gradient accumulator for every encoder parameter. One per concurrent
 /// training stream; reduced in fixed batch order before the Adam step.
 pub struct GinGrads {
     layers: Vec<LayerGrad>,
 }
 
-struct LayerGrad {
-    dense: DenseGrad,
-    eps: f32,
+pub(crate) struct LayerGrad {
+    pub(crate) dense: DenseGrad,
+    pub(crate) eps: f32,
 }
 
 impl GinGrads {
@@ -195,6 +204,25 @@ impl GinGrads {
     /// ε-gradient of each layer (exposed for tests).
     pub fn epsilon_grads(&self) -> Vec<f32> {
         self.layers.iter().map(|l| l.eps).collect()
+    }
+
+    /// Every accumulated gradient flattened in a stable order (weights,
+    /// biases, ε per layer) — the bit-exactness witness the stacked-vs-
+    /// per-graph backward equivalence tests compare.
+    pub fn flat(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(&l.dense.gw.data);
+            out.extend_from_slice(&l.dense.gb);
+            out.push(l.eps);
+        }
+        out
+    }
+
+    /// Mutable access to one layer's accumulator slot (for the segmented
+    /// backward in `crate::stack`).
+    pub(crate) fn layer_mut(&mut self, l: usize) -> &mut LayerGrad {
+        &mut self.layers[l]
     }
 
     /// Resets every accumulated gradient to exactly zero. Pool checkouts
@@ -425,8 +453,25 @@ impl GinEncoder {
         }
     }
 
-    /// One Adam step from a reduced gradient accumulator.
+    /// The layer stack (for the stacked training path in `crate::stack`).
+    pub(crate) fn layers(&self) -> &[GinLayer] {
+        &self.layers
+    }
+
+    /// One Adam step from a reduced gradient accumulator. A mismatched
+    /// accumulator (e.g. pooled for a differently-shaped encoder and never
+    /// re-checked out) must fail here rather than silently truncate the
+    /// update to the shorter layer list.
     pub fn step_with(&mut self, grads: &GinGrads, lr: f32) {
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "gradient accumulator layer count mismatch"
+        );
+        debug_assert!(
+            grads.shape_matches(self),
+            "gradient accumulator shaped for a different encoder"
+        );
         self.t += 1;
         for (layer, grad) in self.layers.iter_mut().zip(&grads.layers) {
             layer.step(grad, lr, self.t);

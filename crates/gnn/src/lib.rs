@@ -11,12 +11,17 @@
 //!   assignment (Def. 3).
 //! * [`train`]: Algorithm 1 — batched DML training of the encoder from
 //!   labeled feature graphs.
-//! * [`stack`]: the batch-stacked embedding service — N graphs concatenated
-//!   into one tall vertex matrix + block-diagonal CSR, encoded in one pass
-//!   through the SIMD kernels, bit-identical to per-graph encoding.
-//! * [`pool`]: reusable training workspaces (forward tapes and gradient
-//!   accumulators) recycled across batches; pooled gradient buffers are
-//!   zeroed on checkout, never trusted on return.
+//! * [`stack`]: the batch-stacked engine — N graphs concatenated into one
+//!   tall vertex matrix + block-diagonal CSR. Serving side, one stacked
+//!   forward encodes the whole chunk bit-identically to per-graph
+//!   encoding; training side, [`StackedTape`] records the tall taped
+//!   forward and a **segmented backward** routes gradients through the
+//!   same block-diagonal structure, splitting per-graph contributions at
+//!   segment boundaries so the fixed-order reduction stays bit-identical
+//!   to per-graph training.
+//! * [`pool`]: reusable training workspaces (per-graph and stacked tapes,
+//!   gradient accumulators) recycled across batches; pooled gradient
+//!   buffers are zeroed on checkout, never trusted on return.
 
 pub mod gin;
 pub mod loss;
@@ -27,6 +32,6 @@ pub mod train;
 
 pub use gin::{BackwardPlan, ForwardTape, GinEncoder, GinGrads, GraphCtx};
 pub use loss::{basic_contrastive, performance_similarity, weighted_contrastive, PairSets};
-pub use pool::{GradPool, TapePool, WorkspacePools};
-pub use stack::{StackedCtx, STACK_CHUNK_ROWS};
-pub use train::{train_encoder, DmlConfig, LossKind};
+pub use pool::{GradPool, StackedTapePool, TapePool, WorkspacePools};
+pub use stack::{StackedCtx, StackedTape, STACK_CHUNK_ROWS};
+pub use train::{train_encoder, train_encoder_per_graph, DmlConfig, LossKind};

@@ -26,6 +26,7 @@
 //!   or without pooling.
 
 use crate::gin::{ForwardTape, GinEncoder, GinGrads};
+use crate::stack::StackedTape;
 use std::sync::Mutex;
 
 /// Recycling pool for [`ForwardTape`]s. A checked-out tape may hold stale
@@ -61,6 +62,50 @@ impl TapePool {
     /// Returns a batch of tapes to the pool.
     pub fn restore_all(&self, tapes: impl IntoIterator<Item = ForwardTape>) {
         self.slots.lock().expect("tape pool poisoned").extend(tapes);
+    }
+}
+
+/// Recycling pool for [`StackedTape`]s — the stacked-training counterpart
+/// of [`TapePool`], with the same discipline: checked-out tapes hold stale
+/// contents and every consumer fully overwrites them via
+/// [`GinEncoder::forward_stacked_tape_into`], so which physical buffer a
+/// chunk gets can never change a value.
+#[derive(Default)]
+pub struct StackedTapePool {
+    slots: Mutex<Vec<StackedTape>>,
+}
+
+impl StackedTapePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        StackedTapePool::default()
+    }
+
+    /// Pops a pooled stacked tape (or builds an empty one). The returned
+    /// tape's contents are unspecified — it must be filled with
+    /// [`GinEncoder::forward_stacked_tape_into`] before use.
+    pub fn checkout(&self) -> StackedTape {
+        self.slots
+            .lock()
+            .expect("stacked tape pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns one stacked tape to the pool.
+    pub fn restore(&self, tape: StackedTape) {
+        self.slots
+            .lock()
+            .expect("stacked tape pool poisoned")
+            .push(tape);
+    }
+
+    /// Returns a batch of stacked tapes to the pool.
+    pub fn restore_all(&self, tapes: impl IntoIterator<Item = StackedTape>) {
+        self.slots
+            .lock()
+            .expect("stacked tape pool poisoned")
+            .extend(tapes);
     }
 }
 
@@ -111,10 +156,12 @@ impl GradPool {
 /// The pair of pools one training run threads through every batch.
 #[derive(Default)]
 pub struct WorkspacePools {
-    /// Forward-tape recycling.
+    /// Per-graph forward-tape recycling (legacy per-graph batch path).
     pub tapes: TapePool,
     /// Gradient-accumulator recycling.
     pub grads: GradPool,
+    /// Stacked-tape recycling (one tape per ≈`STACK_CHUNK_ROWS` chunk).
+    pub stacked: StackedTapePool,
 }
 
 impl WorkspacePools {
@@ -169,6 +216,64 @@ mod tests {
         let g = pool.checkout(&big);
         assert!(g.shape_matches(&big));
         assert!(!g.shape_matches(&small));
+    }
+
+    /// A stacked-tape checkout recycled from a differently-shaped encoder
+    /// (the pool outliving an encoder resize) must be fully overwritten —
+    /// never serve stale activations or embeddings.
+    #[test]
+    fn pooled_stacked_tape_matches_fresh_after_encoder_resize() {
+        use crate::stack::StackedCtx;
+        let graphs = [toy_graph(), toy_graph()];
+        let ctxs: Vec<GraphCtx> = graphs.iter().map(GraphCtx::from_graph).collect();
+        let stacked = StackedCtx::from_ctxs(&ctxs);
+        let pool = StackedTapePool::new();
+        // Dirty the pool with a tape shaped for a larger encoder.
+        let big = GinEncoder::new(2, &[16, 16], 9, 3);
+        pool.restore(big.forward_stacked_tape(&stacked));
+        // Check out for a smaller encoder: contents must be bit-identical
+        // to a fresh tape, not a stale reshape.
+        let small = GinEncoder::new(2, &[4], 3, 46);
+        let fresh = small.forward_stacked_tape(&stacked);
+        let mut tape = pool.checkout();
+        small.forward_stacked_tape_into(&stacked, &mut tape);
+        assert_eq!(tape.embeddings(), fresh.embeddings());
+        // And it must back an identical segmented backward.
+        let plan = small.backward_plan();
+        let grads_in = vec![vec![1.0f32, -0.5, 0.25]; 2];
+        let gp = GradPool::new();
+        let a = small.backward_stacked_tape(&stacked, &fresh, &grads_in, &plan, &gp);
+        let b = small.backward_stacked_tape(&stacked, &tape, &grads_in, &plan, &gp);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.as_ref().map(GinGrads::flat),
+                y.as_ref().map(GinGrads::flat)
+            );
+        }
+    }
+
+    /// After an encoder resize, a pooled gradient accumulator restored
+    /// under the old shape must never reach `step_with` — the layer-count
+    /// assertion fires instead of silently truncating the Adam update.
+    #[test]
+    #[should_panic(expected = "gradient accumulator layer count mismatch")]
+    fn stale_grads_after_encoder_resize_panic_in_step() {
+        let old = GinEncoder::new(2, &[4, 4], 3, 1);
+        let stale = GinGrads::zeros_like(&old);
+        let mut resized = GinEncoder::new(2, &[4], 3, 1);
+        resized.step_with(&stale, 0.01);
+    }
+
+    /// Same-layer-count, different widths: the debug shape assertion must
+    /// catch what the count check cannot.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "shaped for a different encoder")]
+    fn stale_grads_with_mismatched_widths_panic_in_debug() {
+        let old = GinEncoder::new(2, &[8], 5, 1);
+        let stale = GinGrads::zeros_like(&old);
+        let mut resized = GinEncoder::new(2, &[4], 3, 1);
+        resized.step_with(&stale, 0.01);
     }
 
     #[test]

@@ -28,9 +28,12 @@
 //! all-zero embedding (the empty sum); the per-graph path cannot encode
 //! them at all, so the stacked service strictly extends it.
 
-use crate::gin::{GinEncoder, GraphCtx};
+use crate::gin::{BackwardPlan, GinEncoder, GinGrads, GraphCtx};
+use crate::pool::GradPool;
 use ce_features::{CsrAdjacency, FeatureGraph};
-use ce_nn::matrix::segmented_sum_rows;
+use ce_nn::matrix::{
+    segmented_broadcast_rows, segmented_sum_rows, spmm_csr, tmatmul_left_segment_into,
+};
 use ce_nn::Matrix;
 use rayon::prelude::*;
 use std::borrow::Borrow;
@@ -46,7 +49,8 @@ pub const STACK_CHUNK_ROWS: usize = 64;
 
 /// Greedy contiguous packing: close a chunk once it holds at least
 /// [`STACK_CHUNK_ROWS`] rows. Zero-row items never force a chunk break.
-fn chunk_ranges(row_counts: impl IntoIterator<Item = usize>) -> Vec<Range<usize>> {
+/// Crate-visible so `train::train_batch` packs its batches the same way.
+pub(crate) fn chunk_ranges(row_counts: impl IntoIterator<Item = usize>) -> Vec<Range<usize>> {
     let mut ranges = Vec::new();
     let mut start = 0usize;
     let mut rows = 0usize;
@@ -196,6 +200,217 @@ impl GinEncoder {
     }
 }
 
+/// Activations of one **stacked training forward**: per layer the tall
+/// aggregated input `M` and post-activation output `Y` across every graph
+/// of the chunk, plus the segment-pooled embeddings (one row per graph).
+/// The stacked analogue of [`crate::gin::ForwardTape`], serving both the
+/// loss embeddings and the segmented backward from a single pass.
+///
+/// Pooled instances (see [`crate::pool::StackedTapePool`]) keep their
+/// buffers across checkouts; [`GinEncoder::forward_stacked_tape_into`]
+/// fully overwrites them, so recycling can never change values.
+pub struct StackedTape {
+    steps: Vec<StackedStep>,
+    pooled: Matrix,
+}
+
+struct StackedStep {
+    m: Matrix,
+    y: Matrix,
+}
+
+impl StackedTape {
+    /// An empty tape, ready for [`GinEncoder::forward_stacked_tape_into`].
+    pub fn new() -> Self {
+        StackedTape {
+            steps: Vec::new(),
+            pooled: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Number of graphs the last forward stacked.
+    pub fn num_graphs(&self) -> usize {
+        self.pooled.rows
+    }
+
+    /// Graph `i`'s embedding — bit-identical to the per-graph
+    /// [`crate::gin::ForwardTape::embedding`] of the same graph.
+    pub fn embedding(&self, i: usize) -> &[f32] {
+        self.pooled.row(i)
+    }
+
+    /// All embeddings, one row per stacked graph.
+    pub fn embeddings(&self) -> &Matrix {
+        &self.pooled
+    }
+}
+
+impl Default for StackedTape {
+    fn default() -> Self {
+        StackedTape::new()
+    }
+}
+
+impl GinEncoder {
+    /// Training forward over a whole stacked chunk: records the tall
+    /// per-layer activations the segmented backward needs and pools each
+    /// graph's embedding. One kernel dispatch per layer for N graphs —
+    /// embeddings and tape contents are bit-identical per block to N
+    /// per-graph [`Self::forward_tape`] calls (every kernel is row-local
+    /// or block-local with preserved order; see the module docs).
+    pub fn forward_stacked_tape(&self, stacked: &StackedCtx) -> StackedTape {
+        let mut tape = StackedTape::new();
+        self.forward_stacked_tape_into(stacked, &mut tape);
+        tape
+    }
+
+    /// Allocation-recycling variant of [`Self::forward_stacked_tape`]:
+    /// overwrites `tape` in place (reshaping its matrices), bit-identical
+    /// to a freshly allocated tape. This is what a
+    /// [`StackedTapePool`](crate::pool::StackedTapePool) checkout runs.
+    pub fn forward_stacked_tape_into(&self, stacked: &StackedCtx, tape: &mut StackedTape) {
+        if stacked.num_vertices() == 0 {
+            // All-empty stacks (or empty batches) pool to all-zero
+            // embeddings and need no activations.
+            tape.steps.clear();
+            tape.pooled
+                .reset_zeroed(stacked.num_graphs(), self.embed_dim());
+            return;
+        }
+        let layers = self.layers();
+        tape.steps.resize_with(layers.len(), || StackedStep {
+            m: Matrix::zeros(0, 0),
+            y: Matrix::zeros(0, 0),
+        });
+        for (l, layer) in layers.iter().enumerate() {
+            let (done, rest) = tape.steps.split_at_mut(l);
+            let step = &mut rest[0];
+            let h = if l == 0 { &stacked.h0 } else { &done[l - 1].y };
+            // The SpMM inside `aggregate` zeroes its output itself.
+            step.m.reshape_for_overwrite(h.rows, h.cols);
+            layer.aggregate(h, &stacked.csr, &mut step.m);
+            layer.mlp.infer_into(&step.m, &mut step.y);
+        }
+        let h = tape.steps.last().map_or(&stacked.h0, |s| &s.y);
+        tape.pooled.reset_zeroed(stacked.num_graphs(), h.cols);
+        segmented_sum_rows(h, &stacked.offsets, &mut tape.pooled);
+    }
+
+    /// Segmented backward of one stacked chunk: backpropagates all N
+    /// graphs through the block-diagonal CSR in a single tall pass and
+    /// returns one gradient accumulator per graph (checked out of `pool`,
+    /// `None` for graphs whose embedding gradient is exactly zero — the
+    /// same skip the per-graph batch step applies).
+    ///
+    /// # Bit-identity to the per-graph backward
+    ///
+    /// The *propagated* gradient is row-local at every step — the
+    /// activation backward is elementwise, `g·Wᵀ` computes each row
+    /// independently, and the block-diagonal SpMM visits only same-block
+    /// neighbors in preserved order — so each graph's rows carry exactly
+    /// the bits its standalone backward would. The *parameter* gradients
+    /// are **split at segment boundaries**: each graph's `gw`/`gb`/`ε`
+    /// contribution is accumulated from its own row block into its own
+    /// accumulator (per-segment chained sums from zero), which the caller
+    /// reduces in fixed batch order — the identical association the
+    /// per-graph path uses. A single tall `Xᵀ·G` would instead chain the
+    /// whole batch into one float sum and change the bits.
+    pub fn backward_stacked_tape(
+        &self,
+        stacked: &StackedCtx,
+        tape: &StackedTape,
+        grad_embeddings: &[Vec<f32>],
+        plan: &BackwardPlan,
+        pool: &GradPool,
+    ) -> Vec<Option<GinGrads>> {
+        let n = stacked.num_graphs();
+        assert_eq!(grad_embeddings.len(), n, "one gradient per stacked graph");
+        let mut accs: Vec<Option<GinGrads>> = grad_embeddings
+            .iter()
+            .map(|g| g.iter().any(|&v| v != 0.0).then(|| pool.checkout(self)))
+            .collect();
+        let layers = self.layers();
+        if stacked.num_vertices() == 0 || layers.is_empty() || accs.iter().all(Option::is_none) {
+            return accs;
+        }
+        let d = self.embed_dim();
+        let offsets = &stacked.offsets;
+        // Sum pooling broadcasts each embedding gradient to every vertex
+        // of its segment (rows of skipped graphs stay exactly zero and,
+        // being block-local, never reach another graph's propagation).
+        let mut src = Matrix::zeros(n, d);
+        for (i, ge) in grad_embeddings.iter().enumerate() {
+            assert_eq!(ge.len(), d, "embedding gradient dimension mismatch");
+            src.row_mut(i).copy_from_slice(ge);
+        }
+        // Scratch matrices hoisted out of the layer loop: each grows to the
+        // widest layer once and is then reused (`reshape_for_overwrite`
+        // skips the redundant zero-fill of buffers the broadcast/SpMM
+        // kernels fully overwrite themselves).
+        let mut g = Matrix::zeros(0, 0);
+        g.reshape_for_overwrite(stacked.num_vertices(), d);
+        segmented_broadcast_rows(&src, offsets, &mut g);
+        let mut gm = Matrix::zeros(0, 0);
+        let mut gh = Matrix::zeros(0, 0);
+        for (l, layer) in layers.iter().enumerate().rev() {
+            let step = &tape.steps[l];
+            let h = if l == 0 {
+                &stacked.h0
+            } else {
+                &tape.steps[l - 1].y
+            };
+            // Row-local, elementwise: identical per row to each per-graph
+            // activation backward.
+            layer.mlp.activation.backward(&step.y, &mut g);
+            // dL/dM for the whole chunk in one tall row-local product (it
+            // only reads `g` and `Wᵀ`, so running it before the parameter
+            // accumulation below changes no value — but lets each
+            // accumulator be visited once per layer, not twice).
+            g.matmul_into(plan.wt(l), &mut gm);
+            // Parameter gradients, split at segment boundaries: each
+            // graph's `gw += Mᵀ·g` / `gb` / `ε` contribution comes from
+            // its own row block, exactly as its per-graph backward would
+            // compute it (per-segment chained sums in the same order).
+            for (s, acc) in accs.iter_mut().enumerate() {
+                let Some(acc) = acc.as_mut() else { continue };
+                let seg = offsets[s]..offsets[s + 1];
+                let la = acc.layer_mut(l);
+                tmatmul_left_segment_into(&step.m, &g, seg.clone(), &mut la.dense.gw);
+                for r in seg {
+                    for (b, &v) in la.dense.gb.iter_mut().zip(g.row(r)) {
+                        *b += v;
+                    }
+                }
+                // dL/dε = Σ_i <gm_i, h_i> over the segment's elements in
+                // row-major order — the order the per-graph loop walks.
+                let (lo, hi) = (offsets[s] * gm.cols, offsets[s + 1] * gm.cols);
+                for (a, b) in gm.data[lo..hi].iter().zip(&h.data[lo..hi]) {
+                    la.eps += a * b;
+                }
+            }
+            if l == 0 {
+                // The input-feature gradient is never consumed.
+                break;
+            }
+            // dL/dH = (1+ε)·gm + A·gm over the block-diagonal CSR: the
+            // same symmetric structure that routed the forward routes
+            // every graph's gradient, block-locally. The SpMM zeroes its
+            // output itself.
+            gh.reshape_for_overwrite(h.rows, h.cols);
+            spmm_csr(
+                &stacked.csr.indptr,
+                &stacked.csr.indices,
+                &stacked.csr.weights,
+                1.0 + layer.eps,
+                &gm,
+                &mut gh,
+            );
+            std::mem::swap(&mut g, &mut gh);
+        }
+        accs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +521,81 @@ mod tests {
         assert_eq!(*offsets.last().expect("non-empty"), stacked.num_vertices());
         for (i, g) in graphs.iter().enumerate() {
             assert_eq!(offsets[i + 1] - offsets[i], g.vertices.len());
+        }
+    }
+
+    #[test]
+    fn stacked_tape_embeddings_match_per_graph_tapes_bitwise() {
+        let dim = 4;
+        let enc = GinEncoder::new(dim, &[10, 6], 5, 81);
+        let graphs = random_graphs(17, dim, 0x7a9e);
+        let ctxs: Vec<GraphCtx> = graphs.iter().map(GraphCtx::from_graph).collect();
+        let stacked = StackedCtx::from_ctxs(&ctxs);
+        let tape = enc.forward_stacked_tape(&stacked);
+        assert_eq!(tape.num_graphs(), graphs.len());
+        for (i, ctx) in ctxs.iter().enumerate() {
+            let per_graph = enc.forward_tape(ctx);
+            assert_eq!(tape.embedding(i), per_graph.embedding(), "graph {i}");
+        }
+    }
+
+    /// The segmented backward must reproduce every per-graph accumulator
+    /// bit for bit — including the zero-gradient skip, empty graphs
+    /// (zero-height blocks) and single-vertex graphs.
+    #[test]
+    fn segmented_backward_matches_per_graph_backward_bitwise() {
+        use crate::gin::GinGrads;
+        use crate::pool::GradPool;
+        let dim = 3;
+        let enc = GinEncoder::new(dim, &[9, 7], 4, 82);
+        let mut rng = StdRng::seed_from_u64(0xbac);
+        let mut graphs = random_graphs(11, dim, 0x1d5);
+        // Splice in empty and single-vertex graphs.
+        let empty = FeatureGraph {
+            vertices: vec![],
+            edges: vec![],
+        };
+        let single = FeatureGraph {
+            vertices: vec![(0..dim).map(|j| 0.1 * j as f32).collect()],
+            edges: vec![vec![0.0]],
+        };
+        graphs.insert(0, empty.clone());
+        graphs.insert(4, single);
+        graphs.push(empty);
+        let ctxs: Vec<GraphCtx> = graphs.iter().map(GraphCtx::from_graph).collect();
+        let stacked = StackedCtx::from_ctxs(&ctxs);
+        let tape = enc.forward_stacked_tape(&stacked);
+        // Random embedding gradients; some exactly zero to exercise the
+        // skip, including a zero gradient on an empty graph and a nonzero
+        // one on the other (whose accumulator must still come back zeroed
+        // but present).
+        let grads_in: Vec<Vec<f32>> = (0..graphs.len())
+            .map(|i| {
+                if i % 5 == 2 || i == 0 {
+                    vec![0.0; enc.embed_dim()]
+                } else {
+                    (0..enc.embed_dim())
+                        .map(|_| rng.gen_range(-1.0f32..=1.0))
+                        .collect()
+                }
+            })
+            .collect();
+        let plan = enc.backward_plan();
+        let pool = GradPool::new();
+        let accs = enc.backward_stacked_tape(&stacked, &tape, &grads_in, &plan, &pool);
+        assert_eq!(accs.len(), graphs.len());
+        for (i, (ctx, acc)) in ctxs.iter().zip(&accs).enumerate() {
+            if grads_in[i].iter().all(|&v| v == 0.0) {
+                assert!(acc.is_none(), "zero-grad graph {i} must be skipped");
+                continue;
+            }
+            let acc = acc.as_ref().expect("active graph has an accumulator");
+            let mut expect = GinGrads::zeros_like(&enc);
+            if ctx.num_vertices() > 0 {
+                let per_tape = enc.forward_tape(ctx);
+                enc.backward_tape(ctx, &per_tape, &grads_in[i], &mut expect, &plan);
+            }
+            assert_eq!(acc.flat(), expect.flat(), "graph {i} grads must match");
         }
     }
 

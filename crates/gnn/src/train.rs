@@ -7,19 +7,26 @@
 //! loss yields per-embedding gradients, and per-graph backward passes
 //! accumulate into independent [`GinGrads`] before a single Adam step.
 //!
-//! # Parallel execution & determinism
+//! # Stacked batches, parallel execution & determinism
 //!
 //! Graph contexts ([`GraphCtx`]: vertex matrix + CSR adjacency) are
-//! prepared once per training run. Inside a batch, forwards and backwards
-//! fan out over the rayon pool — the encoder is `&self` for both — and the
-//! per-graph gradient accumulators are reduced **in fixed batch order**
-//! before the step. Floating-point reduction order therefore never depends
-//! on scheduling: training is bit-for-bit deterministic across runs and
-//! thread counts (`tests::parallel_training_is_bit_deterministic`).
+//! prepared once per training run. Inside a batch, the graphs are packed
+//! (in batch order) into chunks of ≈[`crate::stack::STACK_CHUNK_ROWS`]
+//! vertex rows; each rayon task stacks its chunk into one tall matrix and
+//! runs **one taped forward** ([`GinEncoder::forward_stacked_tape`]) and
+//! one segmented backward ([`GinEncoder::backward_stacked_tape`]) for the
+//! whole chunk — the encoder is `&self` for both. The segmented backward
+//! splits parameter-gradient contributions at segment boundaries into
+//! per-graph accumulators, which are reduced **in fixed batch order**
+//! before the step, so training is bit-for-bit identical to the per-graph
+//! taped path ([`train_encoder_per_graph`], retained as the equivalence
+//! baseline) at any chunk size — and deterministic across runs and thread
+//! counts (`tests::parallel_training_is_bit_deterministic`).
 
 use crate::gin::{ForwardTape, GinEncoder, GinGrads, GraphCtx};
 use crate::loss::{basic_contrastive, pair_sets_with_sims, weighted_contrastive_presim};
 use crate::pool::WorkspacePools;
+use crate::stack::{chunk_ranges, StackedCtx, StackedTape};
 use ce_features::FeatureGraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -92,20 +99,44 @@ pub fn train_encoder<G: Borrow<FeatureGraph> + Sync>(
         return encoder;
     }
     let ctxs = prepare_ctxs(graphs);
-    let pools = WorkspacePools::new();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xd31);
-    let mut order: Vec<usize> = (0..graphs.len()).collect();
-    for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
-        for chunk in order.chunks(cfg.batch_size) {
-            train_batch(&mut encoder, &ctxs, labels, chunk, cfg, &pools);
-        }
+    run_epochs(&mut encoder, &ctxs, labels, cfg, seed ^ 0xd31, train_batch);
+    encoder
+}
+
+/// The pre-stacking batch engine: one taped forward and backward **per
+/// graph**, fanned out over the rayon pool. Bit-identical to
+/// [`train_encoder`] at every step (proptested, including across thread
+/// counts) — retained as the equivalence baseline the stacked path is
+/// gated against, and as the measured side of the
+/// `stacked_train_speedup` benchmark.
+pub fn train_encoder_per_graph<G: Borrow<FeatureGraph> + Sync>(
+    graphs: &[G],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+    seed: u64,
+) -> GinEncoder {
+    assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
+    let input_dim = graphs.first().map_or(1, |g| g.borrow().vertex_dim());
+    let mut encoder = GinEncoder::new(input_dim, &cfg.hidden, cfg.embed_dim, seed);
+    if graphs.is_empty() {
+        return encoder;
     }
+    let ctxs = prepare_ctxs(graphs);
+    run_epochs(
+        &mut encoder,
+        &ctxs,
+        labels,
+        cfg,
+        seed ^ 0xd31,
+        train_batch_per_graph,
+    );
     encoder
 }
 
 /// Continues training an existing encoder on (possibly augmented) data —
-/// the incremental-learning entry point (Algorithm 2, step 3).
+/// the incremental-learning entry point (Algorithm 2, step 3), used by the
+/// serving layer's reservoir-bounded online adaptation. Batches run
+/// through the same stacked engine as [`train_encoder`].
 pub fn train_encoder_incremental<G: Borrow<FeatureGraph> + Sync>(
     encoder: &mut GinEncoder,
     graphs: &[G],
@@ -117,13 +148,30 @@ pub fn train_encoder_incremental<G: Borrow<FeatureGraph> + Sync>(
         return;
     }
     let ctxs = prepare_ctxs(graphs);
+    run_epochs(encoder, &ctxs, labels, cfg, seed ^ 0x1c2, train_batch);
+}
+
+/// A batch engine: one gradient step over the chunk's graph indices.
+type BatchFn = fn(&mut GinEncoder, &[GraphCtx], &[Vec<f64>], &[usize], &DmlConfig, &WorkspacePools);
+
+/// Shared epoch loop: shuffle, batch, step — parameterized over the batch
+/// engine so the stacked path and the per-graph baseline stay in lockstep
+/// (identical shuffles, identical batches).
+fn run_epochs(
+    encoder: &mut GinEncoder,
+    ctxs: &[GraphCtx],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+    shuffle_seed: u64,
+    batch_fn: BatchFn,
+) {
     let pools = WorkspacePools::new();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x1c2);
-    let mut order: Vec<usize> = (0..graphs.len()).collect();
+    let mut rng = StdRng::seed_from_u64(shuffle_seed);
+    let mut order: Vec<usize> = (0..ctxs.len()).collect();
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.batch_size) {
-            train_batch(encoder, &ctxs, labels, chunk, cfg, &pools);
+            batch_fn(encoder, ctxs, labels, chunk, cfg, &pools);
         }
     }
 }
@@ -136,7 +184,84 @@ fn prepare_ctxs<G: Borrow<FeatureGraph> + Sync>(graphs: &[G]) -> Vec<GraphCtx> {
         .collect()
 }
 
+/// The stacked batch engine: the batch's graphs are packed (in batch
+/// order) into ≈`STACK_CHUNK_ROWS`-row stacks, one rayon task per stack —
+/// **one** taped tall forward and one segmented backward per stack instead
+/// of one per graph. The segmented backward hands back per-graph
+/// accumulators split at segment boundaries, so the fixed-batch-order
+/// reduction below — and therefore every Adam step — is bit-identical to
+/// [`train_batch_per_graph`] at any chunk size and thread count.
 fn train_batch(
+    encoder: &mut GinEncoder,
+    ctxs: &[GraphCtx],
+    labels: &[Vec<f64>],
+    chunk: &[usize],
+    cfg: &DmlConfig,
+    pools: &WorkspacePools,
+) {
+    let enc: &GinEncoder = encoder;
+    let ranges = chunk_ranges(chunk.iter().map(|&i| ctxs[i].num_vertices()));
+    // One stacked taped forward per chunk. Stacked contexts are rebuilt
+    // per batch (shuffling recomposes them), but the tall tapes come from
+    // the workspace pool and the build cost is a fraction of the kernel
+    // dispatches it replaces.
+    let stacks: Vec<(StackedCtx, StackedTape)> = ranges
+        .par_iter()
+        .map(|r| {
+            let refs: Vec<&GraphCtx> = chunk[r.clone()].iter().map(|&i| &ctxs[i]).collect();
+            let sctx = StackedCtx::from_ctxs(&refs);
+            let mut tape = pools.stacked.checkout();
+            enc.forward_stacked_tape_into(&sctx, &mut tape);
+            (sctx, tape)
+        })
+        .collect();
+    let embeddings: Vec<Vec<f32>> = stacks
+        .iter()
+        .flat_map(|(_, t)| (0..t.num_graphs()).map(move |i| t.embedding(i).to_vec()))
+        .collect();
+    let batch_labels: Vec<Vec<f64>> = chunk.iter().map(|&i| labels[i].clone()).collect();
+    let (pairs, sims) = pair_sets_with_sims(&batch_labels, cfg.tau);
+    let lg = match cfg.loss {
+        LossKind::Weighted => weighted_contrastive_presim(&embeddings, &sims, &pairs, cfg.gamma),
+        LossKind::Basic => basic_contrastive(&embeddings, &pairs, cfg.gamma),
+    };
+    // One segmented backward per stack, fanned out over the pool; each
+    // returns per-graph accumulators (pooled, zeroed on checkout; `None`
+    // for zero-gradient graphs, matching the per-graph skip)...
+    let plan = enc.backward_plan();
+    let slots: Vec<usize> = (0..stacks.len()).collect();
+    let grads: Vec<Vec<Option<GinGrads>>> = slots
+        .par_iter()
+        .map(|&s| {
+            let (sctx, tape) = &stacks[s];
+            enc.backward_stacked_tape(
+                sctx,
+                tape,
+                &lg.grads[ranges[s].clone()],
+                &plan,
+                &pools.grads,
+            )
+        })
+        .collect();
+    // ...reduced per graph in fixed batch order, then one Adam step.
+    let mut total = pools.grads.checkout(enc);
+    for g in grads.iter().flatten().flatten() {
+        total.add_assign(g);
+    }
+    encoder.step_with(&total, cfg.lr);
+    // Workspaces go back dirty; the next checkout re-zeroes what it needs.
+    pools.grads.restore(total);
+    pools
+        .grads
+        .restore_all(grads.into_iter().flatten().flatten());
+    pools
+        .stacked
+        .restore_all(stacks.into_iter().map(|(_, t)| t));
+}
+
+/// The per-graph batch engine (pre-stacking): one taped forward and
+/// backward per graph. See [`train_encoder_per_graph`].
+fn train_batch_per_graph(
     encoder: &mut GinEncoder,
     ctxs: &[GraphCtx],
     labels: &[Vec<f64>],
@@ -363,6 +488,35 @@ mod tests {
         let refs: Vec<&FeatureGraph> = graphs.iter().collect();
         let borrowed = train_encoder(&refs, &labels, &cfg, 11);
         assert_eq!(owned.flat_params(), borrowed.flat_params());
+    }
+
+    /// The stacked batch engine must be bit-identical to the per-graph
+    /// taped engine: same shuffles, same batches, and the segmented
+    /// backward's per-graph split + fixed-order reduction reproduces the
+    /// per-graph association exactly.
+    #[test]
+    fn stacked_training_matches_per_graph_training_bitwise() {
+        for (seed, (graphs, labels)) in [(51u64, toy_data()), (52, toy_multivertex_data())] {
+            let cfg = DmlConfig {
+                epochs: 8,
+                // Small batches so batches span multiple stack chunks only
+                // sometimes — both packings must agree regardless.
+                batch_size: 5,
+                hidden: vec![12],
+                embed_dim: 6,
+                ..DmlConfig::default()
+            };
+            let stacked = train_encoder(&graphs, &labels, &cfg, seed);
+            let per_graph = train_encoder_per_graph(&graphs, &labels, &cfg, seed);
+            assert_eq!(
+                stacked.flat_params(),
+                per_graph.flat_params(),
+                "stacked and per-graph training must be bit-identical (seed {seed})"
+            );
+            let loss_stacked = evaluate_loss(&stacked, &graphs, &labels, &cfg);
+            let loss_per_graph = evaluate_loss(&per_graph, &graphs, &labels, &cfg);
+            assert_eq!(loss_stacked, loss_per_graph);
+        }
     }
 
     /// The rayon-fanned engine must be bit-for-bit deterministic across

@@ -22,6 +22,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// `k`-panel size of the blocked matmul (rows of `b` kept hot in L1).
 const KERNEL_BLOCK: usize = 64;
@@ -227,16 +228,58 @@ simd_kernel!(tmatmul_left_kernel, (x: &[f32], g: &[f32], out: &mut [f32], rows: 
         }
         k += 4;
     }
-    while k < rows {
-        let x_row = &x[k * xc..(k + 1) * xc];
-        let g_row = &g[k * gc..(k + 1) * gc];
-        for (i, &xv) in x_row.iter().enumerate() {
-            let out_row = &mut out[i * gc..(i + 1) * gc];
-            for (o, &gv) in out_row.iter_mut().zip(g_row) {
-                *o += xv * gv;
+    // Fused k-tails: a 2- or 3-row remainder (the whole matrix, for a
+    // 2-3-vertex graph) makes one pass over `out` instead of one per row —
+    // per-element adds still chain in ascending `k`, so the result is
+    // bit-identical to the one-at-a-time loop. Tiny-graph weight gradients
+    // are accumulator-traffic-bound, so this is the kernel's hot tail.
+    match rows - k {
+        3 => {
+            let x0 = &x[k * xc..(k + 1) * xc];
+            let x1 = &x[(k + 1) * xc..(k + 2) * xc];
+            let x2 = &x[(k + 2) * xc..(k + 3) * xc];
+            let g0 = &g[k * gc..(k + 1) * gc];
+            let g1 = &g[(k + 1) * gc..(k + 2) * gc];
+            let g2 = &g[(k + 2) * gc..(k + 3) * gc];
+            for i in 0..xc {
+                let (v0, v1, v2) = (x0[i], x1[i], x2[i]);
+                let out_row = &mut out[i * gc..(i + 1) * gc];
+                for j in 0..gc {
+                    let mut v = out_row[j];
+                    v += v0 * g0[j];
+                    v += v1 * g1[j];
+                    v += v2 * g2[j];
+                    out_row[j] = v;
+                }
             }
         }
-        k += 1;
+        2 => {
+            let x0 = &x[k * xc..(k + 1) * xc];
+            let x1 = &x[(k + 1) * xc..(k + 2) * xc];
+            let g0 = &g[k * gc..(k + 1) * gc];
+            let g1 = &g[(k + 1) * gc..(k + 2) * gc];
+            for i in 0..xc {
+                let (v0, v1) = (x0[i], x1[i]);
+                let out_row = &mut out[i * gc..(i + 1) * gc];
+                for j in 0..gc {
+                    let mut v = out_row[j];
+                    v += v0 * g0[j];
+                    v += v1 * g1[j];
+                    out_row[j] = v;
+                }
+            }
+        }
+        1 => {
+            let x_row = &x[k * xc..(k + 1) * xc];
+            let g_row = &g[k * gc..(k + 1) * gc];
+            for (i, &xv) in x_row.iter().enumerate() {
+                let out_row = &mut out[i * gc..(i + 1) * gc];
+                for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                    *o += xv * gv;
+                }
+            }
+        }
+        _ => {}
     }
 });
 
@@ -258,6 +301,19 @@ simd_kernel!(segsum_kernel, (h: &[f32], offsets: &[usize], out: &mut [f32], cols
             for (o, &v) in out_row.iter_mut().zip(h_row) {
                 *o += v;
             }
+        }
+    }
+});
+
+simd_kernel!(segbroadcast_kernel, (src: &[f32], offsets: &[usize], out: &mut [f32], cols: usize), {
+    // Pure row copies (no arithmetic): every vertex row of segment `s`
+    // receives an exact bit copy of source row `s`, the same bits the
+    // per-graph backward writes when it broadcasts one embedding gradient
+    // over that graph's vertices.
+    for s in 0..offsets.len() - 1 {
+        let src_row = &src[s * cols..(s + 1) * cols];
+        for r in offsets[s]..offsets[s + 1] {
+            out[r * cols..(r + 1) * cols].copy_from_slice(src_row);
         }
     }
 });
@@ -607,6 +663,62 @@ pub fn segmented_sum_rows(h: &Matrix, offsets: &[usize], out: &mut Matrix) {
     segsum_kernel::dispatch(&h.data, offsets, &mut out.data, h.cols);
 }
 
+/// Segmented row broadcast — the scatter dual of [`segmented_sum_rows`]:
+/// `out.row(r) = src.row(s)` for every `r ∈ offsets[s]..offsets[s+1]`. This
+/// seeds the segmented backward of stacked training: each graph's embedding
+/// gradient is replicated onto all of its vertex rows with the exact bits
+/// the per-graph backward would write (the kernel only copies).
+///
+/// `offsets` must be non-decreasing with `offsets[0] == 0` and
+/// `offsets.last() == out.rows`; `src` must be `(offsets.len() - 1) × out.cols`.
+/// Rows of `out` outside every segment cannot exist by construction; empty
+/// segments copy nothing.
+pub fn segmented_broadcast_rows(src: &Matrix, offsets: &[usize], out: &mut Matrix) {
+    assert!(
+        !offsets.is_empty(),
+        "offsets must contain at least one entry"
+    );
+    assert_eq!(offsets[0], 0, "offsets must start at 0");
+    assert_eq!(
+        *offsets.last().expect("non-empty"),
+        out.rows,
+        "offsets must cover all output rows"
+    );
+    debug_assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "offsets must be sorted"
+    );
+    assert_eq!(src.rows, offsets.len() - 1, "one source row per segment");
+    assert_eq!(src.cols, out.cols, "column mismatch");
+    segbroadcast_kernel::dispatch(&src.data, offsets, &mut out.data, src.cols);
+}
+
+/// Per-segment accumulating transposed product — the split half of the
+/// segmented backward: `out += x[seg]ᵀ · g[seg]` over the row range `seg`
+/// of both operands. The kernel sees exactly the segment's rows starting
+/// at its own `k = 0`, so the chained accumulation order per output entry
+/// is identical to [`Matrix::matmul_transposed_left_into`] called on that
+/// graph's standalone matrices — splitting a stacked batch's weight
+/// gradients at segment boundaries and reducing per graph in fixed batch
+/// order therefore reproduces per-graph training bit for bit.
+pub fn tmatmul_left_segment_into(x: &Matrix, g: &Matrix, seg: Range<usize>, out: &mut Matrix) {
+    assert_eq!(x.rows, g.rows, "segment operand row mismatch");
+    assert!(
+        seg.start <= seg.end && seg.end <= x.rows,
+        "segment out of bounds"
+    );
+    assert_eq!(out.rows, x.cols, "output rows mismatch");
+    assert_eq!(out.cols, g.cols, "output cols mismatch");
+    tmatmul_left_kernel::dispatch(
+        &x.data[seg.start * x.cols..seg.end * x.cols],
+        &g.data[seg.start * g.cols..seg.end * g.cols],
+        &mut out.data,
+        seg.end - seg.start,
+        x.cols,
+        g.cols,
+    );
+}
+
 /// Euclidean distance between two equal-length slices.
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
@@ -788,6 +900,68 @@ mod tests {
                 expect.sum_rows().data
             };
             assert_eq!(out.row(s), expect.as_slice(), "segment {s}");
+        }
+    }
+
+    #[test]
+    fn segmented_broadcast_replicates_rows_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let src = Matrix::xavier(4, 5, &mut rng);
+        // Mixed-width segments, including an empty one.
+        let offsets = [0usize, 2, 2, 5, 9];
+        let mut out = Matrix::xavier(9, 5, &mut rng); // dirty: must be overwritten
+        segmented_broadcast_rows(&src, &offsets, &mut out);
+        for s in 0..4 {
+            for r in offsets[s]..offsets[s + 1] {
+                assert_eq!(out.row(r), src.row(s), "segment {s} row {r}");
+            }
+        }
+        // Round trip through the sum: broadcasting then segment-summing
+        // scales each source row by its segment width.
+        let mut pooled = Matrix::zeros(4, 5);
+        segmented_sum_rows(&out, &offsets, &mut pooled);
+        for s in 0..4 {
+            let width = (offsets[s + 1] - offsets[s]) as f32;
+            for (p, &v) in pooled.row(s).iter().zip(src.row(s)) {
+                assert!((p - width * v).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one source row per segment")]
+    fn segmented_broadcast_rejects_mismatched_source() {
+        let src = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(4, 3);
+        segmented_broadcast_rows(&src, &[0, 1, 2, 4], &mut out);
+    }
+
+    #[test]
+    fn segment_tmatmul_matches_standalone_transposed_product() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = Matrix::xavier(11, 5, &mut rng);
+        let g = Matrix::xavier(11, 4, &mut rng);
+        for seg in [0usize..3, 3..3, 3..10, 10..11] {
+            // Standalone per-graph reference: copy the segment rows out and
+            // run the full-matrix accumulating product.
+            let xs = Matrix::from_row_slices(
+                &seg.clone().map(|r| x.row(r).to_vec()).collect::<Vec<_>>(),
+            );
+            let gs = Matrix::from_row_slices(
+                &seg.clone().map(|r| g.row(r).to_vec()).collect::<Vec<_>>(),
+            );
+            let mut expect = Matrix::xavier(5, 4, &mut rng);
+            let mut got = expect.clone();
+            if seg.is_empty() {
+                // Zero-row matrices carry cols = 0; the accumulating kernel
+                // is a no-op either way.
+                tmatmul_left_segment_into(&x, &g, seg.clone(), &mut got);
+                assert_eq!(got, expect, "empty segment must not touch out");
+                continue;
+            }
+            xs.matmul_transposed_left_into(&gs, &mut expect);
+            tmatmul_left_segment_into(&x, &g, seg.clone(), &mut got);
+            assert_eq!(got, expect, "segment {seg:?} must match bitwise");
         }
     }
 

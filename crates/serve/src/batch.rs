@@ -27,6 +27,14 @@
 //!   request and never wakes the worker. Hits skip the encoder entirely;
 //!   every other step is identical, so caching never changes a
 //!   recommendation.
+//! * **Inline burst serving** — a submission carrying at least
+//!   [`ServeConfig::inline_burst_misses`] cache misses is already its own
+//!   micro-batch, so the calling thread encodes it directly (one stacked
+//!   forward + cache fill + votes, the worker's exact code path) instead
+//!   of paying the enqueue/park/wake round trip. Cold all-distinct
+//!   streams — previously *slower* than the flat advisor because every
+//!   request bought a handoff — now beat it; lockstep single-graph
+//!   clients still share worker batches.
 //!
 //! Responses are bit-identical to calling
 //! [`ShardedAdvisor::recommend_graph`] directly (and hence to the flat
@@ -41,6 +49,7 @@ use ce_features::{extract_features, FeatureGraph};
 use ce_models::ModelKind;
 use ce_storage::Dataset;
 use ce_testbed::{label_dataset, MetricWeights, TestbedConfig};
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -66,6 +75,16 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Embedding-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Minimum cache-missing graphs in one submission for the **calling
+    /// thread** to encode the burst itself — one stacked forward against
+    /// its snapshot, no queue handoff, no worker wake. Smaller miss sets
+    /// still ride the micro-batch queue so lockstep single-graph clients
+    /// keep sharing forwards. Inline serving uses the same encode, cache
+    /// and vote code as the worker, so it never changes a bit; what it
+    /// removes is the enqueue/park/wake round trip that made cold
+    /// (all-distinct) request streams slower than the flat advisor.
+    /// `usize::MAX` disables inline serving entirely.
+    pub inline_burst_misses: usize,
     /// Reservoir sample size bounding each online adaptation. Must be at
     /// least 1 (validated at [`AdvisorService::start`]); unlike
     /// `cache_capacity` there is no "disabled" mode — adaptation always
@@ -82,6 +101,7 @@ impl Default for ServeConfig {
             batch_deadline: Duration::ZERO,
             queue_capacity: 256,
             cache_capacity: 1024,
+            inline_burst_misses: 2,
             reservoir_capacity: 64,
             seed: 0xce5e,
         }
@@ -123,9 +143,11 @@ impl std::error::Error for ServeError {}
 pub struct ServiceStats {
     /// Requests answered.
     pub requests: u64,
-    /// Micro-batches processed. Only cache *misses* ride batches (hits
-    /// are served on the calling thread), so mean batch occupancy is
-    /// `cache_misses / batches`, not `requests / batches`.
+    /// Micro-batches processed: worker batches plus client-side inline
+    /// bursts (see [`ServeConfig::inline_burst_misses`]). Only cache
+    /// *misses* ride batches (hits are served individually on the calling
+    /// thread), so mean batch occupancy is `cache_misses / batches`, not
+    /// `requests / batches`.
     pub batches: u64,
     /// Embedding-cache hits.
     pub cache_hits: u64,
@@ -210,13 +232,36 @@ impl ServeHandle {
     /// several datasets, or one dataset across a weighting grid): cache
     /// hits are served **on the calling thread** against the current
     /// snapshot (no queue handoff at all — the KNN vote is microseconds,
-    /// so repeat-heavy traffic never wakes the worker), and only cache
-    /// misses ride the micro-batch queue, enqueued together so they share
+    /// so repeat-heavy traffic never wakes the worker), bursts with at
+    /// least [`ServeConfig::inline_burst_misses`] misses are encoded
+    /// inline (one stacked forward, no handoff), and remaining misses
+    /// ride the micro-batch queue, enqueued together so they share
     /// stacked forwards. Responses come back in input order; each is
     /// identical to a separate [`Self::recommend_graph`] call.
     pub fn recommend_graphs(
         &self,
         graphs: Vec<FeatureGraph>,
+        w: MetricWeights,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        self.recommend_cows(graphs.into_iter().map(Cow::Owned).collect(), w)
+    }
+
+    /// Borrowed-burst form of [`Self::recommend_graphs`]: callers that
+    /// keep their graphs alive pay **zero clones** on cache hits and
+    /// inline-encoded bursts — a graph is copied only if its request
+    /// actually rides the queue to the worker (which must outlive the
+    /// borrow). Answers are identical to the owned form.
+    pub fn recommend_graph_refs(
+        &self,
+        graphs: &[&FeatureGraph],
+        w: MetricWeights,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        self.recommend_cows(graphs.iter().map(|&g| Cow::Borrowed(g)).collect(), w)
+    }
+
+    fn recommend_cows(
+        &self,
+        graphs: Vec<Cow<'_, FeatureGraph>>,
         w: MetricWeights,
     ) -> Result<Vec<Recommendation>, ServeError> {
         let n = graphs.len();
@@ -227,7 +272,7 @@ impl ServeHandle {
             return Err(ServeError::ShuttingDown);
         }
         let snap = self.shared.current();
-        let fingerprints: Vec<u64> = graphs.iter().map(graph_fingerprint).collect();
+        let fingerprints: Vec<u64> = graphs.iter().map(|g| graph_fingerprint(g)).collect();
         // Fast path: look every fingerprint up under one brief cache lock
         // (embeddings are copied out; the KNN votes run unlocked). A
         // generation mismatch means the snapshot swapped around us — then
@@ -242,7 +287,7 @@ impl ServeHandle {
             }
         }
         let mut out: Vec<Option<Recommendation>> = (0..n).map(|_| None).collect();
-        let mut graphs: Vec<Option<FeatureGraph>> = graphs.into_iter().map(Some).collect();
+        let mut graphs: Vec<Option<Cow<'_, FeatureGraph>>> = graphs.into_iter().map(Some).collect();
         let mut missed: Vec<usize> = Vec::new();
         for i in 0..n {
             match &cached[i] {
@@ -269,7 +314,54 @@ impl ServeHandle {
                 .cache_hits
                 .fetch_add(hits, Ordering::Relaxed);
         }
-        if !missed.is_empty() {
+        if missed.len() >= self.shared.cfg.inline_burst_misses.max(1) {
+            // Inline burst serving: a burst with enough misses is its own
+            // micro-batch — encode it here with the same stacked forward,
+            // cache fill and votes the worker would run, skipping the
+            // enqueue/park/wake round trip entirely. Duplicates within the
+            // burst are encoded once, exactly as in `process_batch`.
+            let mut unique: Vec<usize> = Vec::with_capacity(missed.len());
+            let mut pos_of: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
+            for &i in &missed {
+                pos_of.entry(fingerprints[i]).or_insert_with(|| {
+                    unique.push(i);
+                    unique.len() - 1
+                });
+            }
+            let unique_graphs: Vec<&FeatureGraph> = unique
+                .iter()
+                .map(|&i| graphs[i].as_deref().expect("miss graph present"))
+                .collect();
+            let fresh = snap.embed_graph_batch(&unique_graphs);
+            {
+                // Inserts are generation-tagged: if a snapshot swap raced
+                // this burst, the cache drops them (same rule as worker
+                // batches).
+                let mut cache = self.shared.cache.lock().expect("cache lock");
+                for (&i, emb) in unique.iter().zip(&fresh) {
+                    cache.insert(snap.generation(), fingerprints[i], emb.clone());
+                }
+            }
+            for &i in &missed {
+                let emb = &fresh[pos_of[&fingerprints[i]]];
+                let (model, scores) = snap.predict_from_embedding(emb, w);
+                out[i] = Some(Recommendation {
+                    model,
+                    scores,
+                    generation: snap.generation(),
+                    cache_hit: false,
+                });
+            }
+            let stats = &self.shared.stats;
+            stats
+                .requests
+                .fetch_add(missed.len() as u64, Ordering::Relaxed);
+            stats
+                .cache_misses
+                .fetch_add(missed.len() as u64, Ordering::Relaxed);
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+        } else if !missed.is_empty() {
             let mut rxs = Vec::with_capacity(missed.len());
             {
                 let mut q = self.shared.queue.lock().expect("queue lock");
@@ -293,7 +385,13 @@ impl ServeHandle {
                         q = self.shared.space.wait(q).expect("queue lock");
                     }
                     q.items.push_back(Request {
-                        graph: graphs[i].take().expect("miss graph taken once"),
+                        // Owned submissions move their graph into the
+                        // request; borrowed ones clone here — the only
+                        // point where the worker must outlive the borrow.
+                        graph: graphs[i]
+                            .take()
+                            .expect("miss graph taken once")
+                            .into_owned(),
                         fingerprint: fingerprints[i],
                         w,
                         reply: {

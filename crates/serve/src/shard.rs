@@ -158,12 +158,27 @@ impl ShardedAdvisor {
             shards.push(AdvisorShard::new(ids, entries[next..next + take].to_vec()));
             next += take;
         }
-        ShardedAdvisor {
+        let mut sharded = ShardedAdvisor {
             config: advisor.config.clone(),
             encoder: advisor.encoder().clone(),
             shards,
             directory,
             generation: 0,
+        };
+        // Pre-warm the serving chunks at construction: packing is pure
+        // data movement (no floats change), and doing it here keeps the
+        // first refresh/adaptation — and cold request streams racing it —
+        // from paying the packing cost at serving time.
+        sharded.prewarm_chunks();
+        sharded
+    }
+
+    /// Packs every shard's stacked serving chunks now instead of lazily at
+    /// the next refresh. Idempotent; shards whose membership changed since
+    /// the last packing are rebuilt, clean shards are untouched.
+    pub fn prewarm_chunks(&mut self) {
+        for shard in &mut self.shards {
+            shard.rebuild_chunks();
         }
     }
 

@@ -18,6 +18,7 @@ fn serve_config() -> ServeConfig {
         batch_deadline: Duration::from_millis(2),
         queue_capacity: 64,
         cache_capacity: 128,
+        inline_burst_misses: 2,
         reservoir_capacity: 4,
         seed: 99,
     }
@@ -163,8 +164,11 @@ fn burst_larger_than_queue_capacity_completes() {
     let (datasets, flat) = common::trained_advisor(8, 0xb157);
     let cfg = ServeConfig {
         queue_capacity: 3,
-        cache_capacity: 0, // every request is a miss and rides the queue
+        cache_capacity: 0, // every request is a miss
         max_batch: 2,
+        // Force the queue path: this test is specifically about the
+        // submitter/worker handoff, which inline burst serving would skip.
+        inline_burst_misses: usize::MAX,
         ..serve_config()
     };
     let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), cfg);
@@ -184,6 +188,45 @@ fn burst_larger_than_queue_capacity_completes() {
         assert_eq!(rec.model, model);
         assert_eq!(rec.scores, scores);
     }
+    service.shutdown();
+}
+
+/// A burst with enough misses is encoded on the calling thread (no worker
+/// handoff) and must still answer flat-identically, fill the cache, and
+/// count as one batch.
+#[test]
+fn inline_burst_misses_serve_flat_identical_without_worker() {
+    let (datasets, flat) = common::trained_advisor(8, 0x1a7e);
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), serve_config());
+    let w = MetricWeights::new(0.7);
+    let burst: Vec<_> = datasets
+        .iter()
+        .map(|ds| extract_features(ds, &flat.config.feature))
+        .collect();
+    let recs = service
+        .handle()
+        .recommend_graphs(burst.clone(), w)
+        .expect("service is running");
+    assert_eq!(recs.len(), 8);
+    for (i, (rec, ds)) in recs.iter().zip(&datasets).enumerate() {
+        let x = flat.embed(ds);
+        let (model, scores) = flat.predict_from_embedding(&x, w);
+        assert_eq!((rec.model, &rec.scores), (model, &scores), "graph {i}");
+        assert!(!rec.cache_hit);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.cache_misses, 8);
+    assert_eq!(stats.batches, 1, "one inline burst = one batch");
+    // The inline pass must have filled the cache: a repeat burst is all
+    // hits served per request, adding no batch.
+    let again = service
+        .handle()
+        .recommend_graphs(burst, w)
+        .expect("service is running");
+    assert!(again.iter().all(|r| r.cache_hit));
+    assert_eq!(service.stats().batches, 1);
+    assert_eq!(service.stats().cache_hits, 8);
     service.shutdown();
 }
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare freshly measured BENCH_*.json speedups against the committed
+baseline copies.
+
+Usage: bench_trajectory.py [BASELINE_DIR]
+
+BASELINE_DIR (default: bench-baseline) holds the artifacts as committed on
+the branch, preserved before `cargo bench` overwrites them in the work
+tree. Regressions of a speedup ratio >15% below the committed trajectory
+point are advisory (::warning) — shared CI runners are too noisy for hard
+perf gates — but a *missing* artifact is a wiring bug (a bench stopped
+emitting, or the file was never committed) and fails the job (::error,
+nonzero exit) instead of silently skipping the diff.
+"""
+
+import json
+import os
+import sys
+
+# Keys are the gated/recorded speedup ratios of each artifact. A key
+# missing from the committed baseline is reported but not fatal (it has no
+# trajectory point yet — the first run on a branch records it); a key
+# missing from both sides is a typo and fails.
+PAIRS = [
+    ("BENCH_gnn.json", ["train_speedup", "stacked_train_speedup", "encode_speedup"]),
+    ("BENCH_embed.json", ["stacked_speedup"]),
+    ("BENCH_serve.json", ["serve_speedup", "cold_speedup", "cache_hit_speedup"]),
+]
+
+# Warn when measured/baseline drops below this.
+REGRESSION_RATIO = 0.85
+
+
+def main() -> int:
+    baseline_dir = sys.argv[1] if len(sys.argv) > 1 else "bench-baseline"
+    failed = False
+    for path, keys in PAIRS:
+        base_path = os.path.join(baseline_dir, path)
+        missing = [p for p in (path, base_path) if not os.path.exists(p)]
+        if missing:
+            for m in missing:
+                print(f"::error::required bench artifact {m} is missing")
+            failed = True
+            continue
+        with open(path) as f:
+            new = json.load(f)
+        with open(base_path) as f:
+            base = json.load(f)
+        for key in keys:
+            if key not in new and key not in base:
+                print(f"::error::{path}:{key} missing from both measurement and baseline")
+                failed = True
+                continue
+            if key not in base:
+                print(f"::notice::{path}:{key} = {float(new[key]):.2f}x (no trajectory point yet)")
+                continue
+            if key not in new:
+                print(f"::error::{path}:{key} vanished from the fresh measurement")
+                failed = True
+                continue
+            got, want = float(new[key]), float(base[key])
+            ratio = got / want if want else 1.0
+            line = f"{path}:{key} = {got:.2f}x (baseline {want:.2f}x)"
+            if ratio < REGRESSION_RATIO:
+                print(f"::warning::perf trajectory regression >15%: {line}")
+            else:
+                print(f"ok: {line}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
