@@ -1,0 +1,176 @@
+//! Cluster-serving profiler: the cross-process coordinator path (loopback
+//! TCP, 2 ranges × 2 replicas, real shard-server processes re-executed
+//! from this binary) against the in-process [`ShardedAdvisor`], plus the
+//! degraded-mode path with one replica hard-killed. Emits
+//! `BENCH_cluster.json` at the workspace root with the two trajectory
+//! ratios the CI gate tracks:
+//!
+//! * `cluster_vs_inproc` — in-process ns / cluster ns per request: the
+//!   price of crossing process boundaries (expected < 1; a drop means the
+//!   wire path got more expensive);
+//! * `failover_vs_healthy` — healthy cluster ns / degraded cluster ns: how
+//!   much the steady-state degraded mode (dead primary retried and failed
+//!   over on every request) costs relative to a healthy cluster.
+//!
+//! Answers are verified bit-identical to the in-process advisor on every
+//! path before anything is timed.
+
+use autoce::{AutoCe, AutoCeConfig, RcsEntry};
+use ce_cluster::{
+    maybe_run_shard_server_from_args, spawn_shard_process, ClusterConfig, ClusterCoordinator,
+    Connector, ShardedAdvisor, TcpConnector, PROTOCOL_VERSION,
+};
+use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
+use ce_features::{extract_features, FeatureConfig, FeatureGraph};
+use ce_gnn::{DmlConfig, GinEncoder};
+use ce_models::ModelKind;
+use ce_testbed::MetricWeights;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const RANGES: usize = 2;
+const REPLICAS_PER_RANGE: usize = 2;
+const RCS: usize = 96;
+const QUERIES: usize = 48;
+const REPS: usize = 50;
+
+fn main() {
+    // Children of this binary become shard servers and never return.
+    maybe_run_shard_server_from_args();
+
+    let mut rng = StdRng::seed_from_u64(0x5e57e);
+    let mut spec = DatasetSpec::small().multi_table();
+    spec.tables = SpecRange { lo: 10, hi: 16 };
+    let fcfg = FeatureConfig::default();
+    let mut graph =
+        |name: String| extract_features(&generate_dataset(name, &spec, &mut rng), &fcfg);
+    let rcs_graphs: Vec<FeatureGraph> = (0..RCS).map(|i| graph(format!("r{i}"))).collect();
+    let pool: Vec<FeatureGraph> = (0..QUERIES).map(|i| graph(format!("q{i}"))).collect();
+    let dml = DmlConfig::default();
+    let enc = GinEncoder::new(rcs_graphs[0].vertex_dim(), &dml.hidden, dml.embed_dim, 17);
+    let embeddings = enc.encode_batch(&rcs_graphs);
+    let kinds = [ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn];
+    let entries: Vec<RcsEntry> = rcs_graphs
+        .into_iter()
+        .zip(embeddings)
+        .enumerate()
+        .map(|(i, (g, embedding))| RcsEntry {
+            name: format!("r{i}"),
+            graph: g,
+            embedding,
+            kinds: kinds.to_vec(),
+            sa: (0..3).map(|m| ((i + m) % 4) as f64 / 3.0).collect(),
+            se: (0..3).map(|m| ((i + 2 * m) % 3) as f64 / 2.0).collect(),
+        })
+        .collect();
+    let flat = AutoCe::from_parts(
+        AutoCeConfig {
+            k: 2,
+            incremental: None,
+            dml,
+            ..AutoCeConfig::default()
+        },
+        enc,
+        entries,
+    );
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let w = MetricWeights::new(0.7);
+    let xs: Vec<Vec<f32>> = pool.iter().map(|g| flat.embed_graph(g)).collect();
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut children = Vec::new();
+    let mut connectors: Vec<Vec<Box<dyn Connector>>> = Vec::new();
+    for _range in 0..RANGES {
+        let mut row: Vec<Box<dyn Connector>> = Vec::new();
+        for _r in 0..REPLICAS_PER_RANGE {
+            let (child, addr) = spawn_shard_process(&exe).expect("spawn shard server");
+            row.push(Box::new(TcpConnector::new(addr, Duration::from_secs(2))));
+            children.push(child);
+        }
+        connectors.push(row);
+    }
+    let mut coord = ClusterCoordinator::new(sharded.clone(), connectors, ClusterConfig::no_sleep());
+    coord.bootstrap().expect("bootstrap over loopback");
+
+    // Correctness before timing: every path answers flat-identically.
+    for x in &xs {
+        assert_eq!(
+            sharded.predict_from_embedding(x, w),
+            coord.predict_from_embedding(x, w).expect("healthy predict"),
+            "cluster answer differs from in-process"
+        );
+    }
+
+    let requests = (REPS * QUERIES) as f64;
+    let time_ns = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        t.elapsed().as_secs_f64() * 1e9 / requests
+    };
+    let inproc_ns = time_ns(&mut || {
+        for x in &xs {
+            black_box(sharded.predict_from_embedding(x, w));
+        }
+    });
+    let healthy_ns = time_ns(&mut || {
+        for x in &xs {
+            black_box(coord.predict_from_embedding(x, w).expect("healthy"));
+        }
+    });
+
+    // Degraded mode: hard-kill the primary of range 0. Every subsequent
+    // request pays the dead replica's refused dials before failing over —
+    // the honest steady-state cost of running degraded.
+    children[0].kill().expect("kill primary");
+    children[0].wait().expect("reap");
+    for x in &xs {
+        assert_eq!(
+            sharded.predict_from_embedding(x, w),
+            coord
+                .predict_from_embedding(x, w)
+                .expect("degraded predict"),
+            "failover answer differs from in-process"
+        );
+    }
+    let failover_ns = time_ns(&mut || {
+        for x in &xs {
+            black_box(coord.predict_from_embedding(x, w).expect("degraded"));
+        }
+    });
+    let health = coord.health();
+    assert!(health.degraded() && !health.any_range_dark());
+
+    coord.shutdown_cluster();
+    for mut child in children.into_iter().skip(1) {
+        let _ = child.wait();
+    }
+
+    let cluster_vs_inproc = inproc_ns / healthy_ns.max(1.0);
+    let failover_vs_healthy = healthy_ns / failover_ns.max(1.0);
+    println!(
+        "cluster per-request ns: inproc {inproc_ns:.0} | healthy {healthy_ns:.0} \
+         (cluster_vs_inproc {cluster_vs_inproc:.3}x) | degraded {failover_ns:.0} \
+         (failover_vs_healthy {failover_vs_healthy:.3}x)"
+    );
+
+    let record = serde_json::json!({
+        "protocol_version": PROTOCOL_VERSION,
+        "rcs_entries": RCS,
+        "ranges": RANGES,
+        "replicas_per_range": REPLICAS_PER_RANGE,
+        "requests_per_run": requests as u64,
+        "inproc_ns_per_request": inproc_ns,
+        "cluster_ns_per_request": healthy_ns,
+        "failover_ns_per_request": failover_ns,
+        "cluster_vs_inproc": cluster_vs_inproc,
+        "failover_vs_healthy": failover_vs_healthy,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let bytes = serde_json::to_vec_pretty(&record).expect("serializable record");
+    std::fs::write(path, bytes).expect("write BENCH_cluster.json");
+    println!("[bench] wrote {path}");
+}

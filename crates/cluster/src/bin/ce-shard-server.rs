@@ -1,0 +1,14 @@
+//! Standalone shard-server binary: binds a loopback port (first argument,
+//! `0` or absent = ephemeral), prints `CE-SHARD-LISTENING <addr>` on
+//! stdout, and serves the cluster protocol until a shutdown frame.
+
+fn main() {
+    let port = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0u16);
+    if let Err(e) = ce_cluster::shard_server_main(port) {
+        eprintln!("shard server failed: {e}");
+        std::process::exit(1);
+    }
+}

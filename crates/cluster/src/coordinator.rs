@@ -1,0 +1,748 @@
+//! The cluster coordinator: the authority copy of the sharded advisor
+//! plus the replicated wire fan-out.
+//!
+//! # Authority-first discipline
+//!
+//! The coordinator owns a full [`ShardedAdvisor`] (the *authority*):
+//! every mutation — push, embedding refresh, epoch advance — applies to
+//! the authority first, and remote shard tables are pure derived state
+//! (`(ids, embeddings)` projections of one authority range). Any replica
+//! inconsistency, however it arose (missed push, restart, torn frame), is
+//! repaired the same way: reload the authority's current table. That one
+//! rule makes failure handling boring, which is the point.
+//!
+//! # Bit-identity under failure
+//!
+//! Partial top-k answers come off the wire, but every float they carry
+//! was computed by the same `euclidean` over embedding bits that traveled
+//! bit-exactly, in the same slot order, under the same
+//! [`knn_order`]-based select/truncate/sort as the in-process
+//! [`ShardedAdvisor`]. The merge and [`knn_vote`] run coordinator-side on
+//! authority metadata. Replicas of a range hold identical tables (they
+//! NACK rather than serve stale ones), so *which* replica answers — first
+//! choice, retry, or failover — cannot change a single bit of the
+//! recommendation. With 0, 1, or R−1 replicas of every range down, the
+//! answer equals the flat advisor's; only when every replica of some
+//! range is unreachable does the coordinator fail, explicitly, with
+//! [`ClusterError::RangeUnavailable`].
+
+use crate::health::{ClusterHealth, ReplicaHealth};
+use crate::protocol::{
+    EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong, Push, PushAck,
+    Query, SnapshotEpoch, Step, TopK,
+};
+use crate::transport::{Conn, Connector, WireError};
+use autoce::{knn_order, knn_vote};
+use ce_features::FeatureGraph;
+use ce_models::ModelKind;
+use ce_serve::ShardedAdvisor;
+use ce_testbed::{DatasetLabel, MetricWeights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Robustness knobs for the wire fan-out.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-request round-trip deadline.
+    pub request_deadline: Duration,
+    /// Attempts per replica before failing over to the next one.
+    pub max_attempts_per_replica: u32,
+    /// Base of the exponential backoff between retries.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed for backoff jitter (jitter is deterministic given the seed
+    /// and the failure sequence — it never appears in the event trace).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            request_deadline: Duration::from_secs(2),
+            max_attempts_per_replica: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(100),
+            seed: 0xc105,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with zero backoff sleeps — what the deterministic
+    /// gauntlet uses so fault sweeps run at memory speed.
+    pub fn no_sleep() -> Self {
+        ClusterConfig {
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::ZERO,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// A terminal cluster failure (retries and failover already exhausted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Every replica of `range` is unreachable or unusable.
+    RangeUnavailable {
+        /// The dark range.
+        range: usize,
+    },
+    /// A peer answered something protocol-violating that retries cannot
+    /// fix.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::RangeUnavailable { range } => {
+                write!(f, "no live replica for shard range {range}")
+            }
+            ClusterError::Protocol(d) => write!(f, "protocol violation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+struct Replica {
+    connector: Box<dyn Connector>,
+    conn: Option<Box<dyn Conn>>,
+    health: ReplicaHealth,
+}
+
+/// The coordinator. Single-threaded by design: one coordinator instance
+/// serves one request at a time (the concurrency story lives a layer up,
+/// in `ce-serve`'s micro-batcher), which keeps retries, failover and the
+/// event trace strictly ordered — and therefore reproducible.
+pub struct ClusterCoordinator {
+    authority: ShardedAdvisor,
+    cfg: ClusterConfig,
+    /// Current serving epoch (the generation tag extended to the wire).
+    epoch: u64,
+    /// `replicas[range][r]`, fixed preference order within a range.
+    replicas: Vec<Vec<Replica>>,
+    rng: StdRng,
+    ping_nonce: u64,
+    trace: Vec<String>,
+}
+
+impl ClusterCoordinator {
+    /// Builds a coordinator over `authority` with `connectors[range][r]`
+    /// dialing the replicas of each authority shard range. Call
+    /// [`Self::bootstrap`] before serving.
+    pub fn new(
+        authority: ShardedAdvisor,
+        connectors: Vec<Vec<Box<dyn Connector>>>,
+        cfg: ClusterConfig,
+    ) -> Self {
+        assert_eq!(
+            connectors.len(),
+            authority.num_shards(),
+            "one replica set per authority shard range"
+        );
+        assert!(
+            connectors.iter().all(|r| !r.is_empty()),
+            "every range needs at least one replica"
+        );
+        let replicas = connectors
+            .into_iter()
+            .map(|range| {
+                range
+                    .into_iter()
+                    .map(|connector| Replica {
+                        health: ReplicaHealth::new(connector.label()),
+                        connector,
+                        conn: None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let seed = cfg.seed;
+        ClusterCoordinator {
+            authority,
+            cfg,
+            epoch: 0,
+            replicas,
+            rng: StdRng::seed_from_u64(seed),
+            ping_nonce: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Convenience: a coordinator over a [`crate::sim::SimNet`] with
+    /// `replicas_per_range` replicas per authority range, numbered
+    /// `range * replicas_per_range + r` on the net (the flat numbering
+    /// [`crate::fault::FaultEvent::replica`] uses).
+    pub fn over_sim(
+        authority: ShardedAdvisor,
+        net: &crate::sim::SimNet,
+        replicas_per_range: usize,
+        cfg: ClusterConfig,
+    ) -> Self {
+        let ranges = authority.num_shards();
+        let connectors = (0..ranges)
+            .map(|range| {
+                (0..replicas_per_range)
+                    .map(|r| {
+                        Box::new(net.connector(range * replicas_per_range + r))
+                            as Box<dyn Connector>
+                    })
+                    .collect()
+            })
+            .collect();
+        ClusterCoordinator::new(authority, connectors, cfg)
+    }
+
+    /// The authority advisor (read-only).
+    pub fn authority(&self) -> &ShardedAdvisor {
+        &self.authority
+    }
+
+    /// Current serving epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The ordered event trace so far (wall-clock free: dials, failures,
+    /// reloads, failovers, snapshots — same seed and same fault plan give
+    /// the same trace, byte for byte).
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Drains the event trace.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Point-in-time health snapshot.
+    pub fn health(&self) -> ClusterHealth {
+        ClusterHealth {
+            ranges: self
+                .replicas
+                .iter()
+                .map(|range| range.iter().map(|r| r.health.clone()).collect())
+                .collect(),
+        }
+    }
+
+    fn make_table(&self, range: usize) -> EpochTable {
+        let shard = &self.authority.shards()[range];
+        EpochTable {
+            epoch: self.epoch,
+            ids: shard.ids().iter().map(|&id| id as u64).collect(),
+            embeddings: shard
+                .entries()
+                .iter()
+                .map(|e| e.embedding.clone())
+                .collect(),
+        }
+    }
+
+    /// One transport round trip to `replicas[range][r]`, dialing if
+    /// needed. Any failure poisons the connection and is recorded in the
+    /// replica's health; NACK frames come back as `Ok` (they are protocol
+    /// answers, not transport failures).
+    fn raw_call(&mut self, range: usize, r: usize, frame: &Frame) -> Result<Frame, WireError> {
+        let deadline = self.cfg.request_deadline;
+        let replica = &mut self.replicas[range][r];
+        if replica.conn.is_none() {
+            match replica.connector.connect() {
+                Ok(conn) => replica.conn = Some(conn),
+                Err(e) => {
+                    replica.health.record_failure();
+                    self.trace
+                        .push(format!("dial-err range={range} r={r}: {e}"));
+                    return Err(e);
+                }
+            }
+        }
+        let conn = replica.conn.as_mut().expect("dialed above");
+        match conn.call(frame, deadline) {
+            Ok(reply) => {
+                replica.health.record_success();
+                Ok(reply)
+            }
+            Err(e) => {
+                replica.conn = None;
+                replica.health.record_failure();
+                self.trace
+                    .push(format!("call-err range={range} r={r}: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Reloads one replica with the authority's current table for its
+    /// range. This is both bootstrap and *the* repair action.
+    fn load_replica(&mut self, range: usize, r: usize) -> Result<(), WireError> {
+        let table = self.make_table(range);
+        let (epoch, version) = (table.epoch, table.version());
+        let reply = self.raw_call(range, r, &Load(table).into_frame())?;
+        let ack = LoadAck::from_frame(&reply).map_err(|e| WireError::Frame(e.to_string()))?;
+        if (ack.epoch, ack.version) != (epoch, version) {
+            return Err(WireError::Frame(format!(
+                "load ack mismatch: want ({epoch},{version}), got ({},{})",
+                ack.epoch, ack.version
+            )));
+        }
+        let replica = &mut self.replicas[range][r];
+        replica.health.record_reload();
+        self.trace.push(format!(
+            "reload range={range} r={r} epoch={epoch} v={version}"
+        ));
+        Ok(())
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.cfg.backoff_base;
+        if base.is_zero() {
+            return;
+        }
+        let exp = base.saturating_mul(1u32 << attempt.min(10));
+        let capped = exp.min(self.cfg.backoff_max);
+        // Up to +50% seeded jitter, deterministic per coordinator.
+        let jitter = self.rng.gen_range(0..256u64) as f64 / 512.0;
+        std::thread::sleep(capped.mul_f64(1.0 + jitter));
+    }
+
+    /// Sends `frame` to range `range`: bounded retries with exponential
+    /// backoff per replica, NACK-triggered reload, then failover to the
+    /// next replica. Returns the first non-NACK answer.
+    fn call_range(&mut self, range: usize, frame: &Frame) -> Result<Frame, ClusterError> {
+        let replicas = self.replicas[range].len();
+        for r in 0..replicas {
+            if r > 0 {
+                self.trace.push(format!("failover range={range} to r={r}"));
+            }
+            for attempt in 0..self.cfg.max_attempts_per_replica {
+                let reply = match self.raw_call(range, r, frame) {
+                    Ok(reply) => reply,
+                    Err(_) => {
+                        // raw_call already traced and recorded the failure.
+                        self.backoff(attempt);
+                        continue;
+                    }
+                };
+                if reply.step != Step::ShardSendNack {
+                    return Ok(reply);
+                }
+                match Nack::from_frame(&reply) {
+                    Ok(nack) => {
+                        self.trace.push(format!(
+                            "nack range={range} r={r} {:?}: {}",
+                            nack.code, nack.detail
+                        ));
+                        match nack.code {
+                            NackCode::StaleTable | NackCode::NoTable => {
+                                // The one repair action; failure counts
+                                // toward this replica's attempts.
+                                let _ = self.load_replica(range, r);
+                            }
+                            NackCode::Malformed => {
+                                // Our request arrived damaged — drop the
+                                // conn and resend over a fresh one.
+                                self.replicas[range][r].conn = None;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.trace
+                            .push(format!("bad-nack range={range} r={r}: {e}"));
+                        self.replicas[range][r].conn = None;
+                    }
+                }
+                self.backoff(attempt);
+            }
+        }
+        self.trace.push(format!("range-dark range={range}"));
+        Err(ClusterError::RangeUnavailable { range })
+    }
+
+    /// Loads every replica with its range's table and verifies at least
+    /// one live replica per range. Idempotent; also usable as a
+    /// whole-cluster resync.
+    pub fn bootstrap(&mut self) -> Result<(), ClusterError> {
+        for range in 0..self.replicas.len() {
+            let mut live = 0usize;
+            for r in 0..self.replicas[range].len() {
+                if self.load_replica(range, r).is_ok() {
+                    live += 1;
+                }
+            }
+            if live == 0 {
+                self.trace.push(format!("range-dark range={range}"));
+                return Err(ClusterError::RangeUnavailable { range });
+            }
+        }
+        Ok(())
+    }
+
+    /// KNN prediction excluding one global RCS index, answered from the
+    /// wire. Bit-identical to [`ShardedAdvisor::predict_excluding`] on
+    /// the authority (see the module docs).
+    pub fn predict_excluding(
+        &mut self,
+        embedding: &[f32],
+        w: MetricWeights,
+        exclude: usize,
+    ) -> Result<(ModelKind, Vec<f64>), ClusterError> {
+        assert!(!self.authority.is_empty(), "empty RCS");
+        let len = self.authority.len();
+        let candidates = len - usize::from(exclude < len);
+        assert!(
+            candidates > 0,
+            "KNN needs at least one non-excluded RCS entry"
+        );
+        let k = self.authority.config().k.clamp(1, candidates);
+        let wire_exclude = if exclude < len {
+            exclude as u64
+        } else {
+            u64::MAX
+        };
+        let ranges = self.replicas.len();
+        let mut merged: Vec<(usize, f32)> = Vec::with_capacity(k * ranges);
+        for range in 0..ranges {
+            let shard_len = self.authority.shards()[range].len() as u64;
+            if shard_len == 0 {
+                // An empty shard's partial top-k is empty; skip the trip.
+                continue;
+            }
+            let query = Query {
+                epoch: self.epoch,
+                version: shard_len,
+                embedding: embedding.to_vec(),
+                k: k as u64,
+                exclude: wire_exclude,
+            };
+            let reply = self.call_range(range, &query.into_frame())?;
+            let topk =
+                TopK::from_frame(&reply).map_err(|e| ClusterError::Protocol(e.to_string()))?;
+            merged.extend(topk.entries.iter().map(|&(id, d)| (id as usize, d)));
+        }
+        merged.sort_unstable_by(knn_order);
+        merged.truncate(k);
+        Ok(knn_vote(
+            merged.iter().map(|&(id, _)| self.authority.entry(id)),
+            k,
+            w,
+        ))
+    }
+
+    /// KNN prediction from an embedding (no exclusion).
+    pub fn predict_from_embedding(
+        &mut self,
+        embedding: &[f32],
+        w: MetricWeights,
+    ) -> Result<(ModelKind, Vec<f64>), ClusterError> {
+        self.predict_excluding(embedding, w, usize::MAX)
+    }
+
+    /// Full recommendation from a feature graph: embed on the authority
+    /// encoder, KNN over the wire.
+    pub fn recommend_graph(
+        &mut self,
+        g: &FeatureGraph,
+        w: MetricWeights,
+    ) -> Result<ModelKind, ClusterError> {
+        let x = self.authority.embed_graph(g);
+        Ok(self.predict_from_embedding(&x, w)?.0)
+    }
+
+    /// Adds a freshly labeled dataset: authority first, then a
+    /// version-guarded [`Push`] to every replica of the receiving range.
+    /// Replicas that miss the push (down, NACK, lost ack) are resynced by
+    /// reload — immediately when possible, otherwise lazily by the next
+    /// query's NACK. Returns the new global RCS index.
+    pub fn push_entry(
+        &mut self,
+        graph: FeatureGraph,
+        label: &DatasetLabel,
+    ) -> Result<usize, ClusterError> {
+        let global = self.authority.push_entry(graph, label);
+        let range = self
+            .authority
+            .shards()
+            .iter()
+            .position(|s| s.ids().last() == Some(&global))
+            .expect("pushed entry must land in some shard");
+        let version_before = (self.authority.shards()[range].len() - 1) as u64;
+        let push = Push {
+            epoch: self.epoch,
+            version: version_before,
+            id: global as u64,
+            embedding: self.authority.entry(global).embedding.clone(),
+        };
+        let frame = push.into_frame();
+        for r in 0..self.replicas[range].len() {
+            let synced = match self.raw_call(range, r, &frame) {
+                Ok(reply) => matches!(
+                    PushAck::from_frame(&reply),
+                    Ok(ack) if ack.epoch == self.epoch && ack.version == version_before + 1
+                ),
+                Err(_) => false,
+            };
+            if synced {
+                self.trace.push(format!(
+                    "push range={range} r={r} id={global} v={}",
+                    version_before + 1
+                ));
+            } else {
+                // A push retry is not idempotent (the shard may have
+                // applied it before losing the ack); reload is.
+                let _ = self.load_replica(range, r);
+            }
+        }
+        Ok(global)
+    }
+
+    /// Refreshes every authority embedding and stages the result as a new
+    /// epoch on all replicas ([`SnapshotEpoch`]): shards keep the previous
+    /// epoch serving while the swap propagates, and the coordinator pins
+    /// queries to the new epoch only once every range has at least one
+    /// replica confirmed on it. Returns the new epoch.
+    pub fn refresh_and_snapshot(&mut self) -> Result<u64, ClusterError> {
+        self.authority.refresh_embeddings();
+        self.epoch += 1;
+        self.trace.push(format!("snapshot-epoch {}", self.epoch));
+        for range in 0..self.replicas.len() {
+            let table = self.make_table(range);
+            let (epoch, version) = (table.epoch, table.version());
+            let frame = SnapshotEpoch(table).into_frame();
+            let mut staged = 0usize;
+            for r in 0..self.replicas[range].len() {
+                let ok = match self.raw_call(range, r, &frame) {
+                    Ok(reply) => matches!(
+                        EpochAck::from_frame(&reply),
+                        Ok(ack) if (ack.epoch, ack.version) == (epoch, version)
+                    ),
+                    Err(_) => false,
+                };
+                if ok {
+                    staged += 1;
+                    self.trace
+                        .push(format!("epoch-ack range={range} r={r} epoch={epoch}"));
+                } else if self.load_replica(range, r).is_ok() {
+                    // Reload carries the new epoch's table, so it counts.
+                    staged += 1;
+                }
+            }
+            if staged == 0 {
+                self.trace.push(format!("range-dark range={range}"));
+                return Err(ClusterError::RangeUnavailable { range });
+            }
+        }
+        Ok(self.epoch)
+    }
+
+    /// Pings every replica once, recording health and proactively
+    /// reloading any replica that answers with a stale or missing table.
+    /// Returns the post-probe health snapshot — callers should surface
+    /// [`ClusterHealth::report`] when it is degraded.
+    pub fn heartbeat(&mut self) -> ClusterHealth {
+        for range in 0..self.replicas.len() {
+            let want_version = self.authority.shards()[range].len() as u64;
+            for r in 0..self.replicas[range].len() {
+                self.ping_nonce += 1;
+                let nonce = self.ping_nonce;
+                // raw_call failures already record health + trace; only a
+                // successful reply needs inspecting here.
+                if let Ok(reply) = self.raw_call(range, r, &Ping { nonce }.into_frame()) {
+                    match Pong::from_frame(&reply) {
+                        Ok(pong)
+                            if pong.nonce == nonce
+                                && pong.epoch == self.epoch
+                                && pong.version == want_version => {}
+                        Ok(_) => {
+                            self.trace.push(format!("stale-pong range={range} r={r}"));
+                            let _ = self.load_replica(range, r);
+                        }
+                        Err(e) => {
+                            self.trace
+                                .push(format!("bad-pong range={range} r={r}: {e}"));
+                            self.replicas[range][r].conn = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.health()
+    }
+
+    /// Sends a clean shutdown to every replica (best effort).
+    pub fn shutdown_cluster(&mut self) {
+        let frame = crate::protocol::Shutdown.into_frame();
+        for range in 0..self.replicas.len() {
+            for r in 0..self.replicas[range].len() {
+                let _ = self.raw_call(range, r, &frame);
+                self.replicas[range][r].conn = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::sim::SimNet;
+    use autoce::{AutoCe, AutoCeConfig, RcsEntry};
+    use ce_gnn::{DmlConfig, GinEncoder};
+
+    fn synthetic_flat(n: usize, k: usize) -> AutoCe {
+        let entries: Vec<RcsEntry> = (0..n)
+            .map(|i| {
+                let v = i as f32 * 0.25;
+                RcsEntry {
+                    name: format!("e{i}"),
+                    graph: FeatureGraph {
+                        vertices: vec![vec![v, 1.0 - v, 0.5, 0.25]],
+                        edges: vec![vec![0.0]],
+                    },
+                    embedding: vec![v, v * v, 1.0 - v],
+                    kinds: vec![ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn],
+                    sa: vec![(i % 3) as f64 / 2.0, ((i + 1) % 3) as f64 / 2.0, 0.5],
+                    se: vec![0.5, (i % 2) as f64, 1.0 - (i % 2) as f64],
+                }
+            })
+            .collect();
+        let config = AutoCeConfig {
+            k,
+            incremental: None,
+            dml: DmlConfig {
+                hidden: vec![8],
+                embed_dim: 3,
+                ..DmlConfig::default()
+            },
+            ..AutoCeConfig::default()
+        };
+        AutoCe::from_parts(config, GinEncoder::new(4, &[8], 3, 7), entries)
+    }
+
+    fn queries() -> Vec<Vec<f32>> {
+        vec![
+            vec![0.0f32, 0.0, 0.0],
+            vec![1.3, 0.4, -0.2],
+            vec![2.5, 6.25, -1.5],
+        ]
+    }
+
+    #[test]
+    fn healthy_cluster_matches_in_process_sharded_advisor() {
+        let flat = synthetic_flat(11, 3);
+        let w = MetricWeights::new(0.7);
+        for ranges in [1usize, 3] {
+            let sharded = ShardedAdvisor::from_advisor(&flat, ranges);
+            let net = SimNet::new(ranges * 2, FaultPlan::none());
+            let mut coord =
+                ClusterCoordinator::over_sim(sharded.clone(), &net, 2, ClusterConfig::no_sleep());
+            coord.bootstrap().expect("bootstrap");
+            for x in queries() {
+                for exclude in [usize::MAX, 0, 10] {
+                    let want = sharded.predict_excluding(&x, w, exclude);
+                    let got = coord.predict_excluding(&x, w, exclude).expect("predict");
+                    assert_eq!(want, got, "ranges={ranges} exclude={exclude}");
+                }
+            }
+            assert!(!coord.health().degraded(), "no failures on a healthy net");
+        }
+    }
+
+    #[test]
+    fn failover_is_bit_identical_and_reported() {
+        let flat = synthetic_flat(9, 3);
+        let w = MetricWeights::new(0.5);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 2);
+        // Replica 0 of range 0 dies right after bootstrap (4 replicas ×
+        // (dial + load) = 8 steps) and never comes back.
+        let plan = FaultPlan::none().with_kill(9, 0);
+        let net = SimNet::new(4, plan);
+        let mut coord =
+            ClusterCoordinator::over_sim(sharded.clone(), &net, 2, ClusterConfig::no_sleep());
+        coord.bootstrap().expect("bootstrap");
+        for x in queries() {
+            let want = sharded.predict_from_embedding(&x, w);
+            let got = coord.predict_from_embedding(&x, w).expect("predict");
+            assert_eq!(want, got, "failover must not change a bit");
+        }
+        let health = coord.health();
+        assert!(health.degraded(), "the dead replica must be reported");
+        assert!(!health.any_range_dark(), "its sibling still serves");
+        assert!(
+            coord.trace().iter().any(|l| l.starts_with("failover")),
+            "trace records the failover: {:?}",
+            coord.trace()
+        );
+    }
+
+    #[test]
+    fn all_replicas_down_is_an_explicit_error() {
+        let flat = synthetic_flat(5, 2);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 1);
+        // Both replicas die after bootstrap (2 × (dial + load) = 4 steps).
+        let plan = FaultPlan::none().with_kill(5, 0).with_kill(5, 1);
+        let net = SimNet::new(2, plan);
+        let mut coord = ClusterCoordinator::over_sim(sharded, &net, 2, ClusterConfig::no_sleep());
+        coord.bootstrap().expect("bootstrap");
+        let got = coord.predict_from_embedding(&[0.0, 0.0, 0.0], MetricWeights::new(0.5));
+        assert_eq!(got, Err(ClusterError::RangeUnavailable { range: 0 }));
+        assert!(coord.health().any_range_dark());
+        assert!(coord.health().report().contains("DARK"));
+    }
+
+    #[test]
+    fn push_and_snapshot_keep_replicas_in_lockstep() {
+        let flat = synthetic_flat(6, 2);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 2);
+        let mut mirror = sharded.clone();
+        let net = SimNet::new(4, FaultPlan::none());
+        let mut coord = ClusterCoordinator::over_sim(sharded, &net, 2, ClusterConfig::no_sleep());
+        coord.bootstrap().expect("bootstrap");
+        let label = DatasetLabel {
+            dataset: "new".into(),
+            performances: mirror.shards()[0].entries()[0]
+                .kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| ce_testbed::ModelPerformance {
+                    kind,
+                    qerror_mean: 1.0 + i as f64,
+                    qerror_p50: 1.0,
+                    qerror_p95: 1.0,
+                    qerror_p99: 1.0,
+                    latency_mean_us: 10.0 * (i + 1) as f64,
+                    train_time_ms: 1.0,
+                })
+                .collect(),
+        };
+        let graph = FeatureGraph {
+            vertices: vec![vec![0.3, 0.3, 0.3, 0.3]],
+            edges: vec![vec![0.0]],
+        };
+        let id = coord.push_entry(graph.clone(), &label).expect("push");
+        assert_eq!(id, mirror.push_entry(graph, &label));
+        let w = MetricWeights::new(0.7);
+        for x in queries() {
+            assert_eq!(
+                mirror.predict_from_embedding(&x, w),
+                coord.predict_from_embedding(&x, w).expect("predict"),
+                "post-push answers must match the in-process mirror"
+            );
+        }
+        // Epoch swap: refresh embeddings on both, then compare again.
+        mirror.refresh_embeddings();
+        let epoch = coord.refresh_and_snapshot().expect("snapshot");
+        assert_eq!(epoch, 1);
+        for x in queries() {
+            assert_eq!(
+                mirror.predict_from_embedding(&x, w),
+                coord.predict_from_embedding(&x, w).expect("predict"),
+                "post-snapshot answers must match"
+            );
+        }
+        assert!(!coord.heartbeat().degraded());
+    }
+}

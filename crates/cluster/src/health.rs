@@ -1,0 +1,169 @@
+//! Replica health tracking and degraded-mode reporting.
+//!
+//! The coordinator's robustness guarantee is *bit-identity under partial
+//! failure*, which makes it easy to hide trouble: answers stay perfect
+//! while replicas burn. This module is the anti-hiding layer — every
+//! dial, failure, reload and failover updates a [`ReplicaHealth`] record,
+//! and [`ClusterHealth::report`] renders an explicit degraded-mode
+//! summary that callers are expected to surface (the bench harness logs
+//! it; the example prints it).
+
+/// Coarse replica condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// Last contact succeeded with no recent failures.
+    Healthy,
+    /// Serving, but the coordinator has recently had to retry, reload, or
+    /// re-dial it.
+    Degraded,
+    /// The last contact attempt(s) failed; the coordinator is failing
+    /// over around it.
+    Dead,
+}
+
+/// Running health record for one replica endpoint.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// Endpoint label (connector-provided; stable across reconnects).
+    pub label: String,
+    /// Failures since the last success.
+    pub consecutive_failures: u64,
+    /// Lifetime failed calls/dials.
+    pub total_failures: u64,
+    /// Lifetime table reloads (NACK-triggered resyncs + post-restart
+    /// recoveries).
+    pub reloads: u64,
+    /// Lifetime successful calls.
+    pub successes: u64,
+}
+
+impl ReplicaHealth {
+    /// A fresh, untouched record.
+    pub fn new(label: String) -> Self {
+        ReplicaHealth {
+            label,
+            consecutive_failures: 0,
+            total_failures: 0,
+            reloads: 0,
+            successes: 0,
+        }
+    }
+
+    /// Records a successful round trip.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.successes += 1;
+    }
+
+    /// Records a failed dial or call.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures += 1;
+        self.total_failures += 1;
+    }
+
+    /// Records a table reload pushed to this replica.
+    pub fn record_reload(&mut self) {
+        self.reloads += 1;
+    }
+
+    /// Current status under the standard thresholds: any consecutive
+    /// failure streak ≥ 2 is dead, any lifetime failure or reload leaves
+    /// the replica degraded until it proves itself again.
+    pub fn status(&self) -> ReplicaStatus {
+        if self.consecutive_failures >= 2 {
+            ReplicaStatus::Dead
+        } else if self.consecutive_failures > 0
+            || (self.total_failures + self.reloads > 0 && self.successes < self.total_failures)
+        {
+            ReplicaStatus::Degraded
+        } else {
+            ReplicaStatus::Healthy
+        }
+    }
+}
+
+/// Point-in-time health of the whole cluster, grouped by range.
+#[derive(Debug, Clone)]
+pub struct ClusterHealth {
+    /// `ranges[range][replica]` mirrors the coordinator's replica layout.
+    pub ranges: Vec<Vec<ReplicaHealth>>,
+}
+
+impl ClusterHealth {
+    /// True when any replica is not fully healthy.
+    pub fn degraded(&self) -> bool {
+        self.ranges
+            .iter()
+            .flatten()
+            .any(|r| r.status() != ReplicaStatus::Healthy)
+    }
+
+    /// True when some range has no live replica at all (requests to it
+    /// will fail until a replica recovers).
+    pub fn any_range_dark(&self) -> bool {
+        self.ranges
+            .iter()
+            .any(|range| range.iter().all(|r| r.status() == ReplicaStatus::Dead))
+    }
+
+    /// Renders the explicit degraded-mode report. One line per replica;
+    /// the header states the overall mode so a log grep for `DEGRADED`
+    /// or `DARK` finds trouble immediately.
+    pub fn report(&self) -> String {
+        let mode = if self.any_range_dark() {
+            "DARK (some range has no live replica)"
+        } else if self.degraded() {
+            "DEGRADED (serving; failures observed)"
+        } else {
+            "HEALTHY"
+        };
+        let mut out = format!("cluster mode: {mode}\n");
+        for (i, range) in self.ranges.iter().enumerate() {
+            for (j, r) in range.iter().enumerate() {
+                out.push_str(&format!(
+                    "  range {i} replica {j} [{}]: {:?} ok={} fail={} streak={} reloads={}\n",
+                    r.label,
+                    r.status(),
+                    r.successes,
+                    r.total_failures,
+                    r.consecutive_failures,
+                    r.reloads
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_thresholds() {
+        let mut r = ReplicaHealth::new("x".into());
+        assert_eq!(r.status(), ReplicaStatus::Healthy);
+        r.record_failure();
+        assert_eq!(r.status(), ReplicaStatus::Degraded);
+        r.record_failure();
+        assert_eq!(r.status(), ReplicaStatus::Dead);
+        r.record_success();
+        assert_ne!(r.status(), ReplicaStatus::Dead, "success clears the streak");
+    }
+
+    #[test]
+    fn report_names_the_mode() {
+        let mut h = ClusterHealth {
+            ranges: vec![vec![ReplicaHealth::new("a".into())]],
+        };
+        assert!(h.report().contains("HEALTHY"));
+        h.ranges[0][0].record_failure();
+        h.ranges[0][0].record_failure();
+        assert!(h.any_range_dark());
+        assert!(h.report().contains("DARK"));
+        h.ranges[0].push(ReplicaHealth::new("b".into()));
+        assert!(!h.any_range_dark());
+        assert!(h.degraded());
+        assert!(h.report().contains("DEGRADED"));
+    }
+}

@@ -1,0 +1,688 @@
+//! The explicit, versioned coordinator ⇄ shard-server protocol.
+//!
+//! Modeled on the mpc4j `PtoDesc` convention: a protocol has a fixed
+//! numeric identity ([`PTO_ID`], [`PTO_NAME`], [`PROTOCOL_VERSION`]) and a
+//! **numbered step enum** ([`Step`]) naming every message that can cross
+//! the wire. Frames carry the protocol magic, the version, the step number
+//! and a length-prefixed payload encoded with the compact binary codec
+//! (`serde::bin`), so a peer can reject foreign or torn traffic before
+//! touching the payload.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     MAGIC (0xCEC7_0301, little-endian)
+//! 4       2     PROTOCOL_VERSION
+//! 6       2     step number (Step enum)
+//! 8       4     payload length in bytes
+//! 12      n     payload (message-specific, serde::bin encoding)
+//! ```
+//!
+//! Floats inside payloads travel as IEEE-754 bit patterns, so embeddings
+//! and distances survive the wire bit-exactly — the cluster's
+//! flat-equivalence guarantee depends on it.
+
+use serde::bin::{BinDecode, BinEncode, Reader};
+
+/// Protocol identity (PtoDesc style: a fixed id derived from the paper
+/// tag, never reused across incompatible revisions).
+pub const PTO_ID: u64 = 0xce23_5e4e_c105_0001;
+
+/// Human-readable protocol name.
+pub const PTO_NAME: &str = "CE23_CLUSTER_ADVISOR";
+
+/// Wire magic prefixing every frame.
+pub const MAGIC: u32 = 0xCEC7_0301;
+
+/// Version byte pair; bumped on any incompatible layout change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on payload size (64 MiB): a corrupt length field must not
+/// drive allocation.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// The numbered protocol steps. Explicit discriminants are part of the
+/// wire contract — reordering the enum must not renumber the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Step {
+    /// Coordinator → shard: full epoch table (bootstrap or post-failover
+    /// reload).
+    CoordSendLoad = 0,
+    /// Shard → coordinator: table installed.
+    ShardAckLoad = 1,
+    /// Coordinator → shard: partial top-k query against a pinned
+    /// (epoch, version).
+    CoordSendQuery = 2,
+    /// Shard → coordinator: the partial top-k list.
+    ShardSendTopk = 3,
+    /// Coordinator → shard: staged replacement table for a new epoch
+    /// (online adaptation's generation tag extended across the wire).
+    CoordSendSnapshotEpoch = 4,
+    /// Shard → coordinator: new epoch staged and serving.
+    ShardAckEpoch = 5,
+    /// Coordinator → shard: append one entry to the current epoch table
+    /// (online push; bumps the table version, not the epoch).
+    CoordSendPush = 6,
+    /// Shard → coordinator: push applied.
+    ShardAckPush = 7,
+    /// Coordinator → shard: liveness probe.
+    CoordSendPing = 8,
+    /// Shard → coordinator: liveness answer with current table state.
+    ShardSendPong = 9,
+    /// Shard → coordinator: the request could not be served (epoch or
+    /// version mismatch, malformed payload). The coordinator reacts by
+    /// reloading or reconnecting — a NACK is a recovery signal, not a
+    /// crash.
+    ShardSendNack = 10,
+    /// Coordinator → shard: clean process shutdown.
+    CoordSendShutdown = 11,
+    /// Shard → coordinator: acknowledged, terminating.
+    ShardAckShutdown = 12,
+}
+
+impl Step {
+    /// Parses a wire step number.
+    pub fn from_u16(v: u16) -> Option<Step> {
+        Some(match v {
+            0 => Step::CoordSendLoad,
+            1 => Step::ShardAckLoad,
+            2 => Step::CoordSendQuery,
+            3 => Step::ShardSendTopk,
+            4 => Step::CoordSendSnapshotEpoch,
+            5 => Step::ShardAckEpoch,
+            6 => Step::CoordSendPush,
+            7 => Step::ShardAckPush,
+            8 => Step::CoordSendPing,
+            9 => Step::ShardSendPong,
+            10 => Step::ShardSendNack,
+            11 => Step::CoordSendShutdown,
+            12 => Step::ShardAckShutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame could not be produced or understood.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Wrong magic: not this protocol's traffic.
+    BadMagic(u32),
+    /// Version mismatch between peers.
+    BadVersion(u16),
+    /// Unknown step number.
+    BadStep(u16),
+    /// Payload length over [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// Payload failed to decode.
+    Payload(serde::bin::Error),
+    /// The frame's step did not match the expected message type.
+    WrongStep {
+        /// Step the caller expected.
+        expected: Step,
+        /// Step the frame carried.
+        got: Step,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadStep(s) => write!(f, "unknown protocol step {s}"),
+            FrameError::Oversize(n) => write!(f, "payload length {n} exceeds cap"),
+            FrameError::Payload(e) => write!(f, "payload decode: {e}"),
+            FrameError::WrongStep { expected, got } => {
+                write!(f, "expected step {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One wire frame: a step number plus its encoded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Protocol step this frame performs.
+    pub step: Step,
+    /// Binary payload (message-specific).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encodes header + payload into one buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        MAGIC.encode(&mut out);
+        PROTOCOL_VERSION.encode(&mut out);
+        (self.step as u16).encode(&mut out);
+        (self.payload.len() as u32).encode(&mut out);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses and validates a frame header, returning the step and the
+    /// payload length still to be read.
+    pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(Step, usize), FrameError> {
+        let mut r = Reader::new(header);
+        let magic = u32::decode(&mut r).expect("fixed-size header");
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let version = u16::decode(&mut r).expect("fixed-size header");
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let step_raw = u16::decode(&mut r).expect("fixed-size header");
+        let step = Step::from_u16(step_raw).ok_or(FrameError::BadStep(step_raw))?;
+        let len = u32::decode(&mut r).expect("fixed-size header");
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversize(len));
+        }
+        Ok((step, len as usize))
+    }
+
+    /// Decodes a full frame from one buffer (header + payload).
+    pub fn from_bytes(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Payload(serde::bin::Error::Truncated {
+                at: 0,
+                needed: HEADER_LEN,
+                have: buf.len(),
+            }));
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&buf[..HEADER_LEN]);
+        let (step, len) = Frame::parse_header(&header)?;
+        let body = &buf[HEADER_LEN..];
+        if body.len() != len {
+            return Err(FrameError::Payload(serde::bin::Error::Truncated {
+                at: HEADER_LEN,
+                needed: len,
+                have: body.len(),
+            }));
+        }
+        Ok(Frame {
+            step,
+            payload: body.to_vec(),
+        })
+    }
+}
+
+/// A typed protocol message: knows its step number and payload codec.
+pub trait Message: Sized {
+    /// The step this message travels under.
+    const STEP: Step;
+
+    /// Encodes the payload.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decodes the payload.
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self>;
+
+    /// Wraps the message into a frame.
+    fn into_frame(self) -> Frame {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        Frame {
+            step: Self::STEP,
+            payload,
+        }
+    }
+
+    /// Unwraps a frame, validating the step and consuming the payload
+    /// exactly.
+    fn from_frame(frame: &Frame) -> Result<Self, FrameError> {
+        if frame.step != Self::STEP {
+            return Err(FrameError::WrongStep {
+                expected: Self::STEP,
+                got: frame.step,
+            });
+        }
+        let mut r = Reader::new(&frame.payload);
+        let msg = Self::decode_payload(&mut r).map_err(FrameError::Payload)?;
+        r.finish().map_err(FrameError::Payload)?;
+        Ok(msg)
+    }
+}
+
+/// One shard range's serving table at a given epoch: global RCS ids and
+/// their embeddings, in shard slot order (the same order the in-process
+/// [`ce_serve::AdvisorShard`] scans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTable {
+    /// Snapshot epoch (the coordinator-side generation tag).
+    pub epoch: u64,
+    /// Global RCS index of each entry, slot-aligned with `embeddings`.
+    pub ids: Vec<u64>,
+    /// Embedding bits per entry.
+    pub embeddings: Vec<Vec<f32>>,
+}
+
+impl EpochTable {
+    /// The table version: membership only ever grows (pushes append), so
+    /// the entry count totally orders table states within an epoch.
+    pub fn version(&self) -> u64 {
+        self.ids.len() as u64
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.ids.encode(out);
+        self.embeddings.encode(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        let epoch = u64::decode(r)?;
+        let ids = Vec::<u64>::decode(r)?;
+        let embeddings = Vec::<Vec<f32>>::decode(r)?;
+        if ids.len() != embeddings.len() {
+            return Err(serde::bin::Error::Corrupt("table ids/embeddings mismatch"));
+        }
+        Ok(EpochTable {
+            epoch,
+            ids,
+            embeddings,
+        })
+    }
+}
+
+macro_rules! table_message {
+    ($(#[$doc:meta])* $name:ident, $step:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name(pub EpochTable);
+
+        impl Message for $name {
+            const STEP: Step = $step;
+
+            fn encode_payload(&self, out: &mut Vec<u8>) {
+                self.0.encode_into(out);
+            }
+
+            fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+                Ok($name(EpochTable::decode_from(r)?))
+            }
+        }
+    };
+}
+
+table_message!(
+    /// `COORD_SEND_LOAD`: install a full table (bootstrap / reload after
+    /// failover).
+    Load,
+    Step::CoordSendLoad
+);
+table_message!(
+    /// `COORD_SEND_SNAPSHOT_EPOCH`: stage the replacement table of a new
+    /// epoch. The shard keeps the previous epoch alongside, so in-flight
+    /// old-epoch queries still answer during the cluster-wide swap.
+    SnapshotEpoch,
+    Step::CoordSendSnapshotEpoch
+);
+
+macro_rules! ack_message {
+    ($(#[$doc:meta])* $name:ident, $step:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            /// Epoch the shard is serving after the acknowledged action.
+            pub epoch: u64,
+            /// Table version (entry count) after the acknowledged action.
+            pub version: u64,
+        }
+
+        impl Message for $name {
+            const STEP: Step = $step;
+
+            fn encode_payload(&self, out: &mut Vec<u8>) {
+                self.epoch.encode(out);
+                self.version.encode(out);
+            }
+
+            fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+                Ok($name {
+                    epoch: u64::decode(r)?,
+                    version: u64::decode(r)?,
+                })
+            }
+        }
+    };
+}
+
+ack_message!(
+    /// `SHARD_ACK_LOAD`.
+    LoadAck,
+    Step::ShardAckLoad
+);
+ack_message!(
+    /// `SHARD_ACK_EPOCH`.
+    EpochAck,
+    Step::ShardAckEpoch
+);
+ack_message!(
+    /// `SHARD_ACK_PUSH`.
+    PushAck,
+    Step::ShardAckPush
+);
+
+/// `COORD_SEND_QUERY`: a partial top-k request pinned to an exact table
+/// state. A shard whose table does not match answers
+/// [`Nack`] instead of silently serving stale embeddings — staleness is a
+/// correctness error here, not a performance detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Expected serving epoch.
+    pub epoch: u64,
+    /// Expected table version (entry count).
+    pub version: u64,
+    /// Query embedding bits.
+    pub embedding: Vec<f32>,
+    /// Neighbors requested.
+    pub k: u64,
+    /// Global RCS index to exclude (`u64::MAX` = none).
+    pub exclude: u64,
+}
+
+impl Message for Query {
+    const STEP: Step = Step::CoordSendQuery;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.version.encode(out);
+        self.embedding.encode(out);
+        self.k.encode(out);
+        self.exclude.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(Query {
+            epoch: u64::decode(r)?,
+            version: u64::decode(r)?,
+            embedding: Vec::<f32>::decode(r)?,
+            k: u64::decode(r)?,
+            exclude: u64::decode(r)?,
+        })
+    }
+}
+
+/// `SHARD_SEND_TOPK`: the shard's partial top-k as `(global id, distance)`
+/// pairs sorted by `autoce::knn_order`, distances bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    /// Epoch the answer was computed under.
+    pub epoch: u64,
+    /// `(global RCS id, distance)` pairs in `knn_order`.
+    pub entries: Vec<(u64, f32)>,
+}
+
+impl Message for TopK {
+    const STEP: Step = Step::ShardSendTopk;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.entries.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(TopK {
+            epoch: u64::decode(r)?,
+            entries: Vec::<(u64, f32)>::decode(r)?,
+        })
+    }
+}
+
+/// `COORD_SEND_PUSH`: append one freshly labeled entry to the current
+/// epoch table (online adaptation routing a newcomer to its shard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Push {
+    /// Epoch the push applies to.
+    pub epoch: u64,
+    /// Expected table version *before* the push (optimistic concurrency:
+    /// a replica that missed an earlier push NACKs instead of diverging).
+    pub version: u64,
+    /// Global RCS index of the new entry.
+    pub id: u64,
+    /// Embedding bits of the new entry.
+    pub embedding: Vec<f32>,
+}
+
+impl Message for Push {
+    const STEP: Step = Step::CoordSendPush;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.version.encode(out);
+        self.id.encode(out);
+        self.embedding.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(Push {
+            epoch: u64::decode(r)?,
+            version: u64::decode(r)?,
+            id: u64::decode(r)?,
+            embedding: Vec::<f32>::decode(r)?,
+        })
+    }
+}
+
+/// `COORD_SEND_PING`: liveness probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ping {
+    /// Echo nonce (returned verbatim in the pong).
+    pub nonce: u64,
+}
+
+impl Message for Ping {
+    const STEP: Step = Step::CoordSendPing;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.nonce.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(Ping {
+            nonce: u64::decode(r)?,
+        })
+    }
+}
+
+/// `SHARD_SEND_PONG`: liveness answer with the shard's serving state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pong {
+    /// Echoed nonce.
+    pub nonce: u64,
+    /// Latest staged epoch (`u64::MAX` when no table is loaded).
+    pub epoch: u64,
+    /// Entry count of the latest table.
+    pub version: u64,
+}
+
+impl Message for Pong {
+    const STEP: Step = Step::ShardSendPong;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.nonce.encode(out);
+        self.epoch.encode(out);
+        self.version.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(Pong {
+            nonce: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            version: u64::decode(r)?,
+        })
+    }
+}
+
+/// Structured NACK reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum NackCode {
+    /// The queried (epoch, version) is not loaded — coordinator should
+    /// reload this replica.
+    StaleTable = 1,
+    /// The payload failed to decode.
+    Malformed = 2,
+    /// The request referenced a table the shard never had.
+    NoTable = 3,
+}
+
+impl NackCode {
+    fn from_u16(v: u16) -> Option<NackCode> {
+        Some(match v {
+            1 => NackCode::StaleTable,
+            2 => NackCode::Malformed,
+            3 => NackCode::NoTable,
+            _ => return None,
+        })
+    }
+}
+
+/// `SHARD_SEND_NACK`: recoverable refusal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nack {
+    /// Machine-readable reason.
+    pub code: NackCode,
+    /// Human-readable detail (diagnostics only; never parsed).
+    pub detail: String,
+}
+
+impl Message for Nack {
+    const STEP: Step = Step::ShardSendNack;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        (self.code as u16).encode(out);
+        self.detail.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        let raw = u16::decode(r)?;
+        let code = NackCode::from_u16(raw).ok_or(serde::bin::Error::Corrupt("nack code"))?;
+        Ok(Nack {
+            code,
+            detail: String::decode(r)?,
+        })
+    }
+}
+
+macro_rules! empty_message {
+    ($(#[$doc:meta])* $name:ident, $step:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $name;
+
+        impl Message for $name {
+            const STEP: Step = $step;
+
+            fn encode_payload(&self, _out: &mut Vec<u8>) {}
+
+            fn decode_payload(_r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+                Ok($name)
+            }
+        }
+    };
+}
+
+empty_message!(
+    /// `COORD_SEND_SHUTDOWN`.
+    Shutdown,
+    Step::CoordSendShutdown
+);
+empty_message!(
+    /// `SHARD_ACK_SHUTDOWN`.
+    ShutdownAck,
+    Step::ShardAckShutdown
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_roundtrip_their_numbers() {
+        for n in 0..=12u16 {
+            let step = Step::from_u16(n).expect("valid step");
+            assert_eq!(step as u16, n);
+        }
+        assert!(Step::from_u16(13).is_none());
+        assert!(Step::from_u16(u16::MAX).is_none());
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let q = Query {
+            epoch: 3,
+            version: 17,
+            embedding: vec![1.5, -0.0, f32::MIN_POSITIVE],
+            k: 2,
+            exclude: u64::MAX,
+        };
+        let frame = q.clone().into_frame();
+        let bytes = frame.to_bytes();
+        let back = Frame::from_bytes(&bytes).expect("frame decodes");
+        assert_eq!(back, frame);
+        assert_eq!(Query::from_frame(&back).expect("payload decodes"), q);
+    }
+
+    #[test]
+    fn foreign_and_torn_traffic_is_rejected() {
+        let frame = Ping { nonce: 9 }.into_frame();
+        let good = frame.to_bytes();
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Frame::from_bytes(&bad),
+            Err(FrameError::BadMagic(_))
+        ));
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[4] = 0xfe;
+        assert!(matches!(
+            Frame::from_bytes(&bad),
+            Err(FrameError::BadVersion(_))
+        ));
+        // Unknown step.
+        let mut bad = good.clone();
+        bad[6] = 0x77;
+        assert!(matches!(
+            Frame::from_bytes(&bad),
+            Err(FrameError::BadStep(_))
+        ));
+        // Truncated at every byte boundary.
+        for cut in 0..good.len() {
+            assert!(Frame::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Wrong step for the typed decode.
+        let other = Shutdown.into_frame();
+        assert!(matches!(
+            Ping::from_frame(&other),
+            Err(FrameError::WrongStep { .. })
+        ));
+    }
+
+    #[test]
+    fn table_with_mismatched_lengths_is_corrupt() {
+        let mut payload = Vec::new();
+        7u64.encode(&mut payload); // epoch
+        vec![1u64, 2].encode(&mut payload); // two ids
+        vec![vec![1.0f32]].encode(&mut payload); // one embedding
+        let frame = Frame {
+            step: Step::CoordSendLoad,
+            payload,
+        };
+        assert!(matches!(
+            Load::from_frame(&frame),
+            Err(FrameError::Payload(serde::bin::Error::Corrupt(_)))
+        ));
+    }
+}

@@ -1,0 +1,483 @@
+//! The shard server: owns epoch-tagged embedding tables for one RCS range
+//! and answers partial top-k queries.
+//!
+//! The numeric core replicates `ce_serve::AdvisorShard::partial_topk`
+//! exactly — the same `euclidean` call on the same embedding bits, the
+//! same `select_nth_unstable_by` + truncate + sort under
+//! [`autoce::knn_order`] — so a remote answer is bit-identical to the
+//! in-process shard's. Everything else is state machinery: a shard holds
+//! up to two [`EpochTable`]s (current and previous), so a cluster-wide
+//! epoch swap never makes in-flight old-epoch queries fail, and every
+//! request pins the exact `(epoch, version)` it expects — a replica that
+//! missed a push or a snapshot NACKs instead of silently serving stale
+//! bits.
+
+use crate::protocol::{
+    EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong, Push, PushAck,
+    Query, ShutdownAck, Step, TopK,
+};
+use autoce::knn_order;
+use ce_nn::matrix::euclidean;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How many epochs a shard keeps live at once: the current one plus the
+/// previous, so queries racing a snapshot swap still answer.
+pub const LIVE_EPOCHS: usize = 2;
+
+/// The line a shard-server process prints once it is accepting
+/// connections; parents parse the address after the space.
+pub const READY_LINE_PREFIX: &str = "CE-SHARD-LISTENING";
+
+/// In-memory state of one shard server.
+#[derive(Default)]
+pub struct ShardState {
+    /// Live tables, oldest first (at most [`LIVE_EPOCHS`]).
+    tables: Vec<EpochTable>,
+}
+
+impl ShardState {
+    /// Empty state (a freshly started or restarted server: the coordinator
+    /// must load a table before queries succeed).
+    pub fn new() -> Self {
+        ShardState::default()
+    }
+
+    /// The most recently installed table, if any.
+    pub fn current(&self) -> Option<&EpochTable> {
+        self.tables.last()
+    }
+
+    fn table(&mut self, epoch: u64) -> Option<&mut EpochTable> {
+        self.tables.iter_mut().find(|t| t.epoch == epoch)
+    }
+
+    /// The shard's partial top-k: up to `k` nearest non-excluded entries
+    /// as `(global id, distance)`, sorted by [`knn_order`]. Mirrors
+    /// `AdvisorShard::partial_topk` operation for operation.
+    fn partial_topk(table: &EpochTable, x: &[f32], k: usize, exclude: u64) -> Vec<(u64, f32)> {
+        let mut dists: Vec<(usize, f32)> = table
+            .ids
+            .iter()
+            .zip(&table.embeddings)
+            .filter(|(&id, _)| id != exclude)
+            .map(|(&id, e)| (id as usize, euclidean(x, e)))
+            .collect();
+        let k = k.min(dists.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k < dists.len() {
+            dists.select_nth_unstable_by(k - 1, knn_order);
+        }
+        dists.truncate(k);
+        dists.sort_unstable_by(knn_order);
+        dists.into_iter().map(|(id, d)| (id as u64, d)).collect()
+    }
+
+    /// Handles one request frame, producing the answer frame. Never
+    /// panics on malformed input: undecodable payloads answer
+    /// [`NackCode::Malformed`].
+    pub fn handle(&mut self, frame: &Frame) -> Frame {
+        match frame.step {
+            Step::CoordSendLoad => match Load::from_frame(frame) {
+                Ok(Load(table)) => {
+                    let (epoch, version) = (table.epoch, table.version());
+                    // A load replaces everything: it re-bases a restarted
+                    // or diverged replica onto the coordinator's truth.
+                    self.tables.clear();
+                    self.tables.push(table);
+                    LoadAck { epoch, version }.into_frame()
+                }
+                Err(e) => malformed(e),
+            },
+            Step::CoordSendSnapshotEpoch => match crate::protocol::SnapshotEpoch::from_frame(frame)
+            {
+                Ok(crate::protocol::SnapshotEpoch(table)) => {
+                    let (epoch, version) = (table.epoch, table.version());
+                    self.tables.retain(|t| t.epoch != epoch);
+                    self.tables.push(table);
+                    // Keep only the newest LIVE_EPOCHS tables.
+                    while self.tables.len() > LIVE_EPOCHS {
+                        self.tables.remove(0);
+                    }
+                    EpochAck { epoch, version }.into_frame()
+                }
+                Err(e) => malformed(e),
+            },
+            Step::CoordSendPush => match Push::from_frame(frame) {
+                Ok(push) => match self.table(push.epoch) {
+                    Some(t) if t.version() == push.version => {
+                        t.ids.push(push.id);
+                        t.embeddings.push(push.embedding);
+                        PushAck {
+                            epoch: push.epoch,
+                            version: t.version(),
+                        }
+                        .into_frame()
+                    }
+                    Some(t) => {
+                        let have = t.version();
+                        nack(
+                            NackCode::StaleTable,
+                            format!("push expects version {}, have {have}", push.version),
+                        )
+                    }
+                    None => nack(
+                        NackCode::NoTable,
+                        format!("push for unknown epoch {}", push.epoch),
+                    ),
+                },
+                Err(e) => malformed(e),
+            },
+            Step::CoordSendQuery => match Query::from_frame(frame) {
+                Ok(q) => match self.tables.iter().find(|t| t.epoch == q.epoch) {
+                    Some(t) if t.version() == q.version => {
+                        let entries = Self::partial_topk(t, &q.embedding, q.k as usize, q.exclude);
+                        TopK {
+                            epoch: q.epoch,
+                            entries,
+                        }
+                        .into_frame()
+                    }
+                    Some(t) => nack(
+                        NackCode::StaleTable,
+                        format!(
+                            "query pins (epoch {}, version {}), have version {}",
+                            q.epoch,
+                            q.version,
+                            t.version()
+                        ),
+                    ),
+                    None => nack(
+                        NackCode::NoTable,
+                        format!("query pins unloaded epoch {}", q.epoch),
+                    ),
+                },
+                Err(e) => malformed(e),
+            },
+            Step::CoordSendPing => match Ping::from_frame(frame) {
+                Ok(p) => {
+                    let (epoch, version) = self
+                        .current()
+                        .map(|t| (t.epoch, t.version()))
+                        .unwrap_or((u64::MAX, 0));
+                    Pong {
+                        nonce: p.nonce,
+                        epoch,
+                        version,
+                    }
+                    .into_frame()
+                }
+                Err(e) => malformed(e),
+            },
+            Step::CoordSendShutdown => ShutdownAck.into_frame(),
+            // Server-to-coordinator steps arriving at a server are
+            // protocol violations; answer a NACK rather than crash.
+            _ => nack(
+                NackCode::Malformed,
+                format!("unexpected step {:?} at shard server", frame.step),
+            ),
+        }
+    }
+}
+
+fn nack(code: NackCode, detail: String) -> Frame {
+    Nack { code, detail }.into_frame()
+}
+
+fn malformed(e: crate::protocol::FrameError) -> Frame {
+    nack(NackCode::Malformed, e.to_string())
+}
+
+/// Serves one accepted connection until the peer disconnects or a
+/// shutdown frame arrives. Returns `true` when the server should stop
+/// accepting (shutdown requested).
+fn serve_connection(
+    stream: TcpStream,
+    state: &Arc<Mutex<ShardState>>,
+    stop: &Arc<AtomicBool>,
+) -> bool {
+    let mut stream = stream;
+    // Poll in short slices so a shutdown on another connection also ends
+    // this one promptly.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut header = [0u8; crate::protocol::HEADER_LEN];
+    loop {
+        match read_exact_poll(&mut stream, &mut header, stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Stopped => return false,
+            ReadOutcome::Gone => return false,
+        }
+        let (step, len) = match Frame::parse_header(&header) {
+            Ok(v) => v,
+            Err(e) => {
+                // Foreign/garbled traffic: answer one NACK, then drop the
+                // connection (the byte stream can no longer be trusted).
+                let _ = stream.write_all(&malformed(e).to_bytes());
+                return false;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_exact_poll(&mut stream, &mut payload, stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Stopped | ReadOutcome::Gone => return false,
+        }
+        let frame = Frame { step, payload };
+        let reply = state.lock().expect("shard state lock").handle(&frame);
+        if stream.write_all(&reply.to_bytes()).is_err() {
+            return false;
+        }
+        if frame.step == Step::CoordSendShutdown {
+            stop.store(true, Ordering::Release);
+            return true;
+        }
+    }
+}
+
+enum ReadOutcome {
+    Ok,
+    Stopped,
+    Gone,
+}
+
+fn read_exact_poll(stream: &mut TcpStream, buf: &mut [u8], stop: &Arc<AtomicBool>) -> ReadOutcome {
+    let mut read = 0usize;
+    while read < buf.len() {
+        if stop.load(Ordering::Acquire) {
+            return ReadOutcome::Stopped;
+        }
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => return ReadOutcome::Gone,
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Only between frames may the peer be silent indefinitely;
+                // mid-frame silence still honors the stop flag, which is
+                // all the in-process tests need.
+                if read == 0 {
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Gone,
+        }
+    }
+    ReadOutcome::Ok
+}
+
+/// Runs a shard server over `listener` until a shutdown frame arrives.
+/// One thread per connection; state is shared (a coordinator may reload
+/// over a fresh connection while an old one is parked).
+pub fn serve(listener: TcpListener) -> std::io::Result<()> {
+    let state = Arc::new(Mutex::new(ShardState::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    listener.set_nonblocking(true)?;
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let state = state.clone();
+                let stop2 = stop.clone();
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, &state, &stop2);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+/// Entry point for a shard-server process: binds `127.0.0.1:<port>`
+/// (`0` = ephemeral), prints the [`READY_LINE_PREFIX`] line on stdout and
+/// serves until shutdown. Exposed as a library function so any binary —
+/// the dedicated `ce-shard-server` bin, a bench profile, an example — can
+/// re-execute itself as a shard server.
+pub fn shard_server_main(port: u16) -> std::io::Result<()> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    println!("{READY_LINE_PREFIX} {addr}");
+    // The parent parses stdout; make sure the line is not stuck in a pipe
+    // buffer.
+    std::io::stdout().flush()?;
+    serve(listener)
+}
+
+/// Spawns `program` with `__ce-shard-server` argv (the self-exec
+/// convention: binaries call [`shard_server_main`] when they see it),
+/// waits for the ready line and returns the child plus its bound address.
+pub fn spawn_shard_process(program: &std::path::Path) -> std::io::Result<(Child, SocketAddr)> {
+    let mut child = Command::new(program)
+        .arg("__ce-shard-server")
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line?;
+        if let Some(rest) = line.strip_prefix(READY_LINE_PREFIX) {
+            let addr: SocketAddr = rest.trim().parse().map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad ready line {line:?}: {e}"),
+                )
+            })?;
+            // Keep draining stdout in the background so the child never
+            // blocks on a full pipe.
+            std::thread::spawn(move || for _ in lines {});
+            return Ok((child, addr));
+        }
+    }
+    let _ = child.kill();
+    Err(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "shard server exited before printing its ready line",
+    ))
+}
+
+/// Checks argv for the self-exec marker; when present, runs the shard
+/// server and never returns. Call this first in any `main` that also
+/// spawns shard processes of itself.
+pub fn maybe_run_shard_server_from_args() {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("__ce-shard-server") {
+        let port = args.next().and_then(|p| p.parse().ok()).unwrap_or(0u16);
+        match shard_server_main(port) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("shard server failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(epoch: u64, n: usize) -> EpochTable {
+        EpochTable {
+            epoch,
+            ids: (0..n as u64).collect(),
+            embeddings: (0..n).map(|i| vec![i as f32, 1.0 - i as f32]).collect(),
+        }
+    }
+
+    #[test]
+    fn load_query_push_cycle() {
+        let mut s = ShardState::new();
+        let ack = s.handle(&Load(table(0, 3)).into_frame());
+        assert_eq!(
+            LoadAck::from_frame(&ack).expect("ack"),
+            LoadAck {
+                epoch: 0,
+                version: 3
+            }
+        );
+        let q = Query {
+            epoch: 0,
+            version: 3,
+            embedding: vec![0.1, 0.9],
+            k: 2,
+            exclude: u64::MAX,
+        };
+        let topk = TopK::from_frame(&s.handle(&q.clone().into_frame())).expect("topk");
+        assert_eq!(topk.entries.len(), 2);
+        assert_eq!(topk.entries[0].0, 0, "id 0 is nearest to (0.1, 0.9)");
+        // A push bumps the version; the old pinned query now NACKs.
+        let push = Push {
+            epoch: 0,
+            version: 3,
+            id: 3,
+            embedding: vec![0.1, 0.9],
+        };
+        let ack = PushAck::from_frame(&s.handle(&push.into_frame())).expect("push ack");
+        assert_eq!(ack.version, 4);
+        let nack = Nack::from_frame(&s.handle(&q.into_frame())).expect("stale nack");
+        assert_eq!(nack.code, NackCode::StaleTable);
+        // Re-pinned to version 4, the pushed entry (distance 0) wins.
+        let q4 = Query {
+            epoch: 0,
+            version: 4,
+            embedding: vec![0.1, 0.9],
+            k: 2,
+            exclude: u64::MAX,
+        };
+        let topk = TopK::from_frame(&s.handle(&q4.into_frame())).expect("topk");
+        assert_eq!(
+            topk.entries.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![3, 0]
+        );
+    }
+
+    #[test]
+    fn snapshot_keeps_previous_epoch_live() {
+        let mut s = ShardState::new();
+        s.handle(&Load(table(0, 2)).into_frame());
+        s.handle(&crate::protocol::SnapshotEpoch(table(1, 2)).into_frame());
+        for epoch in [0u64, 1] {
+            let q = Query {
+                epoch,
+                version: 2,
+                embedding: vec![0.0, 0.0],
+                k: 1,
+                exclude: u64::MAX,
+            };
+            assert!(
+                TopK::from_frame(&s.handle(&q.into_frame())).is_ok(),
+                "epoch {epoch} must stay queryable"
+            );
+        }
+        // A third epoch evicts the oldest.
+        s.handle(&crate::protocol::SnapshotEpoch(table(2, 2)).into_frame());
+        let q = Query {
+            epoch: 0,
+            version: 2,
+            embedding: vec![0.0, 0.0],
+            k: 1,
+            exclude: u64::MAX,
+        };
+        let nack = Nack::from_frame(&s.handle(&q.into_frame())).expect("nack");
+        assert_eq!(nack.code, NackCode::NoTable);
+    }
+
+    #[test]
+    fn unloaded_and_malformed_requests_nack() {
+        let mut s = ShardState::new();
+        let q = Query {
+            epoch: 9,
+            version: 0,
+            embedding: vec![],
+            k: 1,
+            exclude: u64::MAX,
+        };
+        let nack = Nack::from_frame(&s.handle(&q.into_frame())).expect("nack");
+        assert_eq!(nack.code, NackCode::NoTable);
+        // Garbage payload under a valid step.
+        let garbage = Frame {
+            step: Step::CoordSendQuery,
+            payload: vec![0xff; 3],
+        };
+        let nack = Nack::from_frame(&s.handle(&garbage)).expect("nack");
+        assert_eq!(nack.code, NackCode::Malformed);
+        // Pong without a table reports the sentinel epoch.
+        let pong = Pong::from_frame(&s.handle(&Ping { nonce: 5 }.into_frame())).expect("pong");
+        assert_eq!((pong.nonce, pong.epoch, pong.version), (5, u64::MAX, 0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Framed request/response transport between coordinator and shard
+//! servers.
+//!
+//! The protocol is strictly client-driven (the coordinator sends, the
+//! shard answers), so the transport surface is one call:
+//! [`Conn::call`] — send a frame, wait for the answer under a deadline.
+//! Two implementations exist:
+//!
+//! * [`TcpConnector`]/`TcpConn` over `std::net::TcpStream` (loopback or
+//!   real network) — the production shape;
+//! * the in-process simulated transport in [`crate::sim`], which shares
+//!   the exact frame codec but routes through a deterministic
+//!   fault-injection layer.
+//!
+//! Any transport error poisons the connection: the coordinator drops the
+//! `Conn` and re-dials rather than attempting to resynchronize a torn
+//! byte stream.
+
+use crate::protocol::{Frame, FrameError, NackCode, HEADER_LEN};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Transport/protocol failure as seen by the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The deadline elapsed before a full answer arrived.
+    Timeout,
+    /// The peer is gone (connection refused, reset, or closed mid-frame).
+    Closed(String),
+    /// The peer answered bytes that do not parse as a protocol frame.
+    Frame(String),
+    /// The peer sent a structured NACK (recoverable; the coordinator
+    /// reloads or retries).
+    Nack {
+        /// Machine-readable reason.
+        code: NackCode,
+        /// Diagnostic detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Timeout => f.write_str("deadline elapsed"),
+            WireError::Closed(d) => write!(f, "connection closed: {d}"),
+            WireError::Frame(d) => write!(f, "bad frame: {d}"),
+            WireError::Nack { code, detail } => write!(f, "nack {code:?}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        WireError::Frame(e.to_string())
+    }
+}
+
+/// One established connection to a shard server.
+pub trait Conn: Send {
+    /// Sends `frame` and waits for the single answer frame, failing if the
+    /// full round trip exceeds `deadline`. Any error leaves the connection
+    /// unusable (the caller must re-dial).
+    fn call(&mut self, frame: &Frame, deadline: Duration) -> Result<Frame, WireError>;
+}
+
+/// A dialer producing fresh connections to one shard server.
+pub trait Connector: Send {
+    /// Establishes a new connection.
+    fn connect(&mut self) -> Result<Box<dyn Conn>, WireError>;
+
+    /// Stable human-readable endpoint label (used in health reports and
+    /// event traces).
+    fn label(&self) -> String;
+}
+
+/// TCP connection wrapper: length-framed blocking I/O with per-call
+/// deadlines mapped onto socket timeouts.
+pub struct TcpConn {
+    stream: TcpStream,
+}
+
+impl TcpConn {
+    /// Wraps an accepted or dialed stream.
+    pub fn new(stream: TcpStream) -> Self {
+        TcpConn { stream }
+    }
+
+    fn read_exact_deadline(&mut self, buf: &mut [u8], deadline: Instant) -> Result<(), WireError> {
+        let mut read = 0usize;
+        while read < buf.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WireError::Timeout);
+            }
+            self.stream
+                .set_read_timeout(Some(deadline - now))
+                .map_err(|e| WireError::Closed(e.to_string()))?;
+            match self.stream.read(&mut buf[read..]) {
+                Ok(0) => return Err(WireError::Closed("peer closed mid-frame".into())),
+                Ok(n) => read += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(WireError::Timeout)
+                }
+                Err(e) => return Err(WireError::Closed(e.to_string())),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Conn for TcpConn {
+    fn call(&mut self, frame: &Frame, deadline: Duration) -> Result<Frame, WireError> {
+        let end = Instant::now() + deadline;
+        self.stream
+            .set_write_timeout(Some(deadline))
+            .map_err(|e| WireError::Closed(e.to_string()))?;
+        self.stream
+            .write_all(&frame.to_bytes())
+            .map_err(|e| WireError::Closed(e.to_string()))?;
+        let mut header = [0u8; HEADER_LEN];
+        self.read_exact_deadline(&mut header, end)?;
+        let (step, len) = Frame::parse_header(&header)?;
+        let mut payload = vec![0u8; len];
+        self.read_exact_deadline(&mut payload, end)?;
+        Ok(Frame { step, payload })
+    }
+}
+
+/// Dialer for one shard-server address.
+pub struct TcpConnector {
+    addr: SocketAddr,
+    connect_timeout: Duration,
+}
+
+impl TcpConnector {
+    /// A connector dialing `addr` with the given connect timeout.
+    pub fn new(addr: SocketAddr, connect_timeout: Duration) -> Self {
+        TcpConnector {
+            addr,
+            connect_timeout,
+        }
+    }
+}
+
+impl Connector for TcpConnector {
+    fn connect(&mut self) -> Result<Box<dyn Conn>, WireError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)
+            .map_err(|e| WireError::Closed(format!("dial {}: {e}", self.addr)))?;
+        // The advisor exchanges small latency-sensitive frames.
+        let _ = stream.set_nodelay(true);
+        Ok(Box::new(TcpConn::new(stream)))
+    }
+
+    fn label(&self) -> String {
+        self.addr.to_string()
+    }
+}

@@ -1,0 +1,188 @@
+//! Property coverage for the wire codec: everything that encodes must
+//! decode back bit-identically (floats travel as IEEE-754 bit patterns,
+//! so NaN payloads, signed zeros, infinities and subnormals all count),
+//! and no truncated, garbled, or outright random byte sequence may ever
+//! panic the decoder — malformed input is an `Err`, full stop.
+
+use ce_cluster::protocol::{EpochTable, Frame, Load, Message, Push, Query, TopK, HEADER_LEN};
+use proptest::prelude::*;
+
+/// Bit-exact float comparison (NaN-safe, sign-of-zero-exact).
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|f| f.to_bits()).collect()
+}
+
+/// Denormals, infinities, NaN, extremes — always prepended to generated
+/// embeddings so every case exercises the edge of the f32 lattice.
+const EDGE_BITS: [u32; 8] = [
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x0000_0001, // smallest subnormal
+    0x7f7f_ffff, // f32::MAX
+    0x7f80_0000, // +inf
+    0xff80_0000, // -inf
+    0x7fc0_0000, // quiet NaN
+    0xffc0_0001, // negative signalling-pattern NaN
+];
+
+fn embedding_from(raw: &[u32]) -> Vec<f32> {
+    EDGE_BITS
+        .iter()
+        .chain(raw)
+        .map(|&b| f32::from_bits(b))
+        .collect()
+}
+
+proptest! {
+    /// Query frames survive encode → bytes → decode with every field —
+    /// including arbitrary-bit-pattern floats — intact.
+    #[test]
+    fn query_roundtrips_bit_identically(
+        epoch in 0u64..=u64::MAX,
+        version in 0u64..=u64::MAX,
+        raw in prop::collection::vec(0u32..=u32::MAX, 0..8),
+        k in 0u64..1000,
+        exclude in 0u64..=u64::MAX,
+    ) {
+        let q = Query {
+            epoch,
+            version,
+            embedding: embedding_from(&raw),
+            k,
+            exclude,
+        };
+        let wire = q.clone().into_frame().to_bytes();
+        let frame = Frame::from_bytes(&wire).expect("self-encoded frame parses");
+        let back = Query::from_frame(&frame).expect("self-encoded payload decodes");
+        prop_assert_eq!(back.epoch, q.epoch);
+        prop_assert_eq!(back.version, q.version);
+        prop_assert_eq!(back.k, q.k);
+        prop_assert_eq!(back.exclude, q.exclude);
+        prop_assert_eq!(bits(&back.embedding), bits(&q.embedding));
+    }
+
+    /// Epoch tables — including the empty table and single-entry shards —
+    /// round-trip bit-identically through a Load frame.
+    #[test]
+    fn epoch_table_roundtrips_bit_identically(
+        epoch in 0u64..=u64::MAX,
+        rows in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..5), 0..5),
+        ids in prop::collection::vec(0u64..=u64::MAX, 0..5),
+    ) {
+        let n = rows.len().min(ids.len());
+        let table = EpochTable {
+            epoch,
+            ids: ids[..n].to_vec(),
+            embeddings: rows[..n].iter().map(|r| embedding_from(r)).collect(),
+        };
+        let wire = Load(table.clone()).into_frame().to_bytes();
+        let frame = Frame::from_bytes(&wire).expect("frame parses");
+        let Load(back) = Load::from_frame(&frame).expect("payload decodes");
+        prop_assert_eq!(back.epoch, table.epoch);
+        prop_assert_eq!(back.version(), table.version());
+        prop_assert_eq!(&back.ids, &table.ids);
+        for (a, b) in back.embeddings.iter().zip(&table.embeddings) {
+            prop_assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    /// Top-k answers with tie-heavy quantized distances keep both values
+    /// and slot order exactly — the merge's tie-breaking depends on it.
+    #[test]
+    fn topk_roundtrip_preserves_order_and_ties(
+        epoch in 0u64..1000,
+        ids in prop::collection::vec(0u64..64, 0..10),
+        dq in prop::collection::vec(0i64..=4, 10),
+    ) {
+        let entries: Vec<(u64, f32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, dq[i] as f32 / 2.0))
+            .collect();
+        let t = TopK { epoch, entries };
+        let frame = Frame::from_bytes(&t.clone().into_frame().to_bytes()).expect("parses");
+        let back = TopK::from_frame(&frame).expect("decodes");
+        prop_assert_eq!(back.epoch, t.epoch);
+        prop_assert_eq!(back.entries.len(), t.entries.len());
+        for ((ia, da), (ib, db)) in back.entries.iter().zip(&t.entries) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(da.to_bits(), db.to_bits());
+        }
+    }
+
+    /// Every strict prefix of a valid frame — header cut short, payload
+    /// cut short — is an `Err`, never a panic, never a partial decode.
+    #[test]
+    fn truncated_frames_error_cleanly(
+        raw in prop::collection::vec(0u32..=u32::MAX, 0..6),
+        cut_sel in 0usize..=1000,
+    ) {
+        let push = Push {
+            epoch: 3,
+            version: 7,
+            id: 11,
+            embedding: embedding_from(&raw),
+        };
+        let wire = push.into_frame().to_bytes();
+        let cut = cut_sel % wire.len();
+        prop_assert!(
+            Frame::from_bytes(&wire[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not parse",
+            wire.len()
+        );
+        // Truncating only the payload behind an intact header must fail
+        // the message decode (the codec demands exact consumption).
+        if cut > HEADER_LEN {
+            let frame = Frame {
+                step: ce_cluster::Step::CoordSendPush,
+                payload: wire[HEADER_LEN..cut].to_vec(),
+            };
+            prop_assert!(Push::from_frame(&frame).is_err());
+        }
+    }
+
+    /// Arbitrary bytes never panic the frame parser, and whenever they do
+    /// happen to parse, re-encoding reproduces the input exactly (the
+    /// codec is canonical).
+    #[test]
+    fn random_bytes_never_panic_the_parser(
+        junk in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        if let Ok(frame) = Frame::from_bytes(&junk) {
+            prop_assert_eq!(frame.to_bytes(), junk);
+        }
+    }
+
+    /// Single-byte corruption of a valid frame never panics: the result
+    /// is an `Err`, or a frame that still re-encodes canonically (e.g. a
+    /// flipped bit inside a float payload).
+    #[test]
+    fn flipped_byte_never_panics(
+        raw in prop::collection::vec(0u32..=u32::MAX, 0..4),
+        idx_sel in 0usize..=10_000,
+        mask in 1u8..=255,
+    ) {
+        let q = Query {
+            epoch: 1,
+            version: 2,
+            embedding: embedding_from(&raw),
+            k: 3,
+            exclude: u64::MAX,
+        };
+        let mut wire = q.into_frame().to_bytes();
+        let idx = idx_sel % wire.len();
+        wire[idx] ^= mask;
+        match Frame::from_bytes(&wire) {
+            Err(_) => {}
+            Ok(frame) => {
+                prop_assert_eq!(frame.to_bytes(), wire);
+                // A structurally valid frame with a corrupted payload must
+                // decode to an Err or to a Query that re-encodes to the
+                // same bytes — never panic, never lose sync silently.
+                if let Ok(back) = Query::from_frame(&frame) {
+                    prop_assert_eq!(back.into_frame().to_bytes(), wire);
+                }
+            }
+        }
+    }
+}

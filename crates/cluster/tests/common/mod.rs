@@ -1,0 +1,52 @@
+//! Shared synthetic fixtures for the cluster integration tests.
+//!
+//! The advisor is built from explicit parts (no training) so every test
+//! binary constructs bit-identical state from scratch: embeddings are
+//! simple polynomials of the entry index, score vectors cycle a small
+//! quantized set so KNN votes hit ties, and the encoder seed is fixed.
+
+use autoce::{AutoCe, AutoCeConfig, RcsEntry};
+use ce_features::FeatureGraph;
+use ce_gnn::{DmlConfig, GinEncoder};
+use ce_models::ModelKind;
+
+/// A flat advisor with `n` synthetic RCS entries and KNN parameter `k`.
+pub fn synthetic_flat(n: usize, k: usize) -> AutoCe {
+    let entries: Vec<RcsEntry> = (0..n)
+        .map(|i| {
+            let v = i as f32 * 0.25;
+            RcsEntry {
+                name: format!("e{i}"),
+                graph: FeatureGraph {
+                    vertices: vec![vec![v, 1.0 - v, 0.5, 0.25]],
+                    edges: vec![vec![0.0]],
+                },
+                embedding: vec![v, v * v, 1.0 - v],
+                kinds: vec![ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn],
+                sa: vec![(i % 3) as f64 / 2.0, ((i + 1) % 3) as f64 / 2.0, 0.5],
+                se: vec![0.5, (i % 2) as f64, 1.0 - (i % 2) as f64],
+            }
+        })
+        .collect();
+    let config = AutoCeConfig {
+        k,
+        incremental: None,
+        dml: DmlConfig {
+            hidden: vec![8],
+            embed_dim: 3,
+            ..DmlConfig::default()
+        },
+        ..AutoCeConfig::default()
+    };
+    AutoCe::from_parts(config, GinEncoder::new(4, &[8], 3, 7), entries)
+}
+
+/// Query embeddings covering an interior point, an off-manifold point and
+/// a far outlier.
+pub fn queries() -> Vec<Vec<f32>> {
+    vec![
+        vec![0.0f32, 0.0, 0.0],
+        vec![1.3, 0.4, -0.2],
+        vec![2.5, 6.25, -1.5],
+    ]
+}

@@ -1,0 +1,97 @@
+//! Real-process smoke test: shard servers as separate OS processes on
+//! loopback TCP, including one hard kill (`SIGKILL`, no goodbye) and an
+//! epoch swap while a replica is down. The in-process [`ShardedAdvisor`]
+//! is the oracle throughout — answers off the real wire must match it bit
+//! for bit.
+
+mod common;
+
+use ce_cluster::{
+    spawn_shard_process, ClusterConfig, ClusterCoordinator, Connector, ShardedAdvisor, TcpConnector,
+};
+use ce_testbed::MetricWeights;
+use std::path::Path;
+use std::time::Duration;
+
+const RANGES: usize = 2;
+const REPLICAS_PER_RANGE: usize = 2;
+
+#[test]
+fn loopback_cluster_survives_a_hard_shard_kill() {
+    let flat = common::synthetic_flat(9, 3);
+    let mut mirror = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let bin = Path::new(env!("CARGO_BIN_EXE_ce-shard-server"));
+
+    // children[range * REPLICAS_PER_RANGE + r] serves replica r of range.
+    let mut children = Vec::new();
+    let mut connectors: Vec<Vec<Box<dyn Connector>>> = Vec::new();
+    for _range in 0..RANGES {
+        let mut row: Vec<Box<dyn Connector>> = Vec::new();
+        for _r in 0..REPLICAS_PER_RANGE {
+            let (child, addr) = spawn_shard_process(bin).expect("spawn shard server");
+            row.push(Box::new(TcpConnector::new(addr, Duration::from_secs(2))));
+            children.push(child);
+        }
+        connectors.push(row);
+    }
+
+    let mut coord = ClusterCoordinator::new(mirror.clone(), connectors, ClusterConfig::no_sleep());
+    coord.bootstrap().expect("bootstrap over loopback");
+    let w = MetricWeights::new(0.6);
+    for x in common::queries() {
+        assert_eq!(
+            mirror.predict_from_embedding(&x, w),
+            coord
+                .predict_from_embedding(&x, w)
+                .expect("healthy predict"),
+            "healthy loopback answer drifted from the in-process oracle"
+        );
+    }
+
+    // Hard-kill the primary replica of range 0: the process disappears
+    // mid-conversation, taking its established connection with it.
+    children[0].kill().expect("kill shard process");
+    children[0].wait().expect("reap killed shard");
+    for x in common::queries() {
+        assert_eq!(
+            mirror.predict_from_embedding(&x, w),
+            coord
+                .predict_from_embedding(&x, w)
+                .expect("failover predict"),
+            "failover to the surviving replica must not change a bit"
+        );
+    }
+    assert!(
+        coord.trace().iter().any(|l| l.starts_with("failover")),
+        "the kill must surface as a traced failover: {:?}",
+        coord.trace()
+    );
+    let health = coord.heartbeat();
+    assert!(health.degraded(), "the dead process must be reported");
+    assert!(!health.any_range_dark(), "its sibling still serves");
+    let report = health.report();
+    assert!(report.contains("DEGRADED"), "got: {report}");
+
+    // An epoch swap with one replica of a range permanently gone: the
+    // surviving replica stages the new epoch; answers still match an
+    // in-process advisor that refreshed the same way.
+    mirror.refresh_embeddings();
+    let epoch = coord.refresh_and_snapshot().expect("snapshot degraded");
+    assert_eq!(epoch, 1);
+    for x in common::queries() {
+        assert_eq!(
+            mirror.predict_from_embedding(&x, w),
+            coord
+                .predict_from_embedding(&x, w)
+                .expect("post-snapshot predict"),
+            "post-snapshot answers must match"
+        );
+    }
+
+    // Clean shutdown: the surviving processes exit on the shutdown frame.
+    coord.shutdown_cluster();
+    for (i, mut child) in children.into_iter().enumerate().skip(1) {
+        let status = child.wait().expect("shard server exits");
+        assert!(status.success(), "shard {i} exited dirty: {status}");
+    }
+}

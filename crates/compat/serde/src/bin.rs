@@ -1,0 +1,406 @@
+//! Compact binary wire codec for the cluster serving layer.
+//!
+//! The JSON shim is fine for bench artifacts, but the cross-process
+//! advisor moves embeddings and top-k lists on every request, so frames
+//! are encoded in a fixed little-endian binary layout instead:
+//!
+//! * integers as little-endian fixed width (`usize` always travels as
+//!   `u64`, so 32-bit and 64-bit peers agree);
+//! * floats as their IEEE-754 bit patterns (`to_bits`/`from_bits`), which
+//!   makes the round trip **bit-exact** — the whole cluster determinism
+//!   story rests on embeddings and distances surviving the wire unchanged;
+//! * sequences as a `u64` length prefix followed by the elements.
+//!
+//! Decoding is hardened against torn and hostile input: every read is
+//! bounds-checked ([`Error::Truncated`]), length prefixes are validated
+//! against the bytes actually present before any allocation
+//! ([`Error::Corrupt`]), and no code path panics on malformed bytes.
+
+use std::fmt;
+
+/// Decoding failure. Encoding is infallible (it only appends to a `Vec`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer ended before the value did: `needed` more bytes were
+    /// required at offset `at`.
+    Truncated {
+        /// Byte offset the read started at.
+        at: usize,
+        /// Bytes the read required.
+        needed: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A structurally invalid value (length prefix larger than the
+    /// remaining buffer, invalid enum discriminant, out-of-range integer).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { at, needed, have } => write!(
+                f,
+                "truncated input: needed {needed} bytes at offset {at}, {have} remaining"
+            ),
+            Error::Corrupt(what) => write!(f, "corrupt input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Decoding result.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A bounds-checked cursor over an input buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Truncated {
+                at: self.pos,
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let bytes = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        Ok(out)
+    }
+
+    /// Fails unless every byte was consumed — a frame with trailing bytes
+    /// is as corrupt as a short one.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::Corrupt("trailing bytes after value"));
+        }
+        Ok(())
+    }
+}
+
+/// Types that append their binary form to a buffer.
+pub trait BinEncode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that parse their binary form from a [`Reader`].
+pub trait BinDecode: Sized {
+    /// Reads one value.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Convenience: decodes a buffer that must contain exactly one value.
+    fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),* $(,)?) => {$(
+        impl BinEncode for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl BinDecode for $t {
+            #[inline]
+            fn decode(r: &mut Reader<'_>) -> Result<Self> {
+                Ok(<$t>::from_le_bytes(r.fixed()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl BinEncode for usize {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl BinDecode for usize {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        usize::try_from(u64::decode(r)?).map_err(|_| Error::Corrupt("u64 exceeds usize"))
+    }
+}
+
+impl BinEncode for bool {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl BinDecode for bool {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::Corrupt("bool byte not 0/1")),
+        }
+    }
+}
+
+// Floats travel as raw IEEE-754 bits: `f32::to_le_bytes` is the bit
+// pattern, so NaN payloads, signed zeros and subnormals all round-trip
+// exactly.
+impl BinEncode for f32 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl BinDecode for f32 {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(f32::from_le_bytes(r.fixed()?))
+    }
+}
+
+impl BinEncode for f64 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl BinDecode for f64 {
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(f64::from_le_bytes(r.fixed()?))
+    }
+}
+
+impl BinEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+}
+
+impl BinEncode for &str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl BinDecode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = decode_len(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corrupt("string not UTF-8"))
+    }
+}
+
+/// Reads a length prefix and validates it against the bytes actually
+/// remaining (each element encodes to at least one byte), so corrupt
+/// prefixes fail *before* any allocation instead of reserving gigabytes.
+fn decode_len(r: &mut Reader<'_>) -> Result<usize> {
+    let len = usize::decode(r)?;
+    if len > r.remaining() {
+        return Err(Error::Corrupt("length prefix exceeds remaining bytes"));
+    }
+    Ok(len)
+}
+
+impl<T: BinEncode> BinEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl<T: BinEncode> BinEncode for &[T] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self.iter() {
+            v.encode(out);
+        }
+    }
+}
+
+impl<T: BinDecode> BinDecode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = decode_len(r)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: BinEncode> BinEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: BinDecode> BinDecode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(Error::Corrupt("option tag not 0/1")),
+        }
+    }
+}
+
+impl<A: BinEncode, B: BinEncode> BinEncode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: BinDecode, B: BinDecode> BinDecode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: BinEncode, B: BinEncode, C: BinEncode> BinEncode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+
+impl<A: BinDecode, B: BinDecode, C: BinDecode> BinDecode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: BinEncode + BinDecode + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bytes(&v.to_bytes()).expect("roundtrip"), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u16::MAX);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(String::from("héllo"));
+        roundtrip(Some(vec![(1u64, 2.5f32), (3, -0.0)]));
+        roundtrip(Option::<u8>::None);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exact() {
+        for bits in [
+            0u32,
+            0x8000_0000, // -0.0
+            f32::INFINITY.to_bits(),
+            f32::NEG_INFINITY.to_bits(),
+            f32::NAN.to_bits() | 0x1234, // NaN with payload
+            1,                           // smallest subnormal
+            f32::MIN_POSITIVE.to_bits(),
+            f32::MAX.to_bits(),
+        ] {
+            let v = f32::from_bits(bits);
+            let back = f32::from_bytes(&v.to_bytes()).expect("roundtrip");
+            assert_eq!(back.to_bits(), bits, "bit pattern must survive");
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = vec![1.5f32, -2.5, 3.5].to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Vec::<f32>::from_bytes(&bytes[..cut]).expect_err("must fail");
+            assert!(matches!(err, Error::Truncated { .. } | Error::Corrupt(_)));
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_errors_before_allocating() {
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes); // claims 2^64-1 elements, has none
+        assert_eq!(
+            Vec::<f32>::from_bytes(&bytes),
+            Err(Error::Corrupt("length prefix exceeds remaining bytes"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            u32::from_bytes(&bytes),
+            Err(Error::Corrupt("trailing bytes after value"))
+        );
+    }
+
+    #[test]
+    fn invalid_tags_are_corrupt() {
+        assert!(matches!(bool::from_bytes(&[2]), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9, 0]),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(matches!(
+            String::from_bytes(&[1, 0, 0, 0, 0, 0, 0, 0, 0xff]),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

@@ -3,6 +3,13 @@
 //! `serde_json` shim's `Value` type), so the traits carry no methods and the
 //! derives expand to empty impls while still accepting `#[serde(...)]`
 //! field attributes.
+//!
+//! The [`bin`] module is a real codec, not a marker: a compact
+//! little-endian binary wire format (bit-exact floats, length-prefixed
+//! sequences, truncation-hardened decoding) used by the cross-process
+//! cluster serving layer.
+
+pub mod bin;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -85,6 +85,15 @@ pub struct ServeConfig {
     /// (all-distinct) request streams slower than the flat advisor.
     /// `usize::MAX` disables inline serving entirely.
     pub inline_burst_misses: usize,
+    /// Admit an embedding into the cache only the **second** time its
+    /// graph is encoded: the first encoding records the fingerprint (8
+    /// bytes) and drops the embedding. For one-shot-heavy (cold,
+    /// all-distinct) streams this stops dead entries from churning the
+    /// LRU and evicting the few genuinely reused ones. Off by default:
+    /// repeat-heavy traffic pays one extra miss per distinct graph under
+    /// this policy, which is pure loss when nearly everything is re-asked.
+    /// Never changes a recommendation — only which requests hit the cache.
+    pub admit_on_second_touch: bool,
     /// Reservoir sample size bounding each online adaptation. Must be at
     /// least 1 (validated at [`AdvisorService::start`]); unlike
     /// `cache_capacity` there is no "disabled" mode — adaptation always
@@ -102,6 +111,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             cache_capacity: 1024,
             inline_burst_misses: 2,
+            admit_on_second_touch: false,
             reservoir_capacity: 64,
             seed: 0xce5e,
         }
@@ -126,12 +136,20 @@ pub struct Recommendation {
 pub enum ServeError {
     /// The service is shutting down; the request was not processed.
     ShuttingDown,
+    /// The batcher worker panicked (e.g. a malformed graph blew an
+    /// encoder invariant). The service is permanently failed: queued and
+    /// future requests get this error instead of hanging on a reply that
+    /// will never come.
+    WorkerFailed,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::ShuttingDown => f.write_str("advisor service is shutting down"),
+            ServeError::WorkerFailed => {
+                f.write_str("advisor service worker failed (panicked); service is stopped")
+            }
         }
     }
 }
@@ -178,10 +196,23 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Locks a service mutex, tolerating poison: the worker catches its own
+/// panics, but a *client* thread can die inside the inline-burst path
+/// while holding the cache lock, and the service must keep refusing (or
+/// serving) cleanly instead of cascading panics through every submitter.
+/// All states guarded here are safe to take mid-poison — the cache is
+/// regenerable and the queue's invariants are single-field.
+fn plock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 struct Shared {
     cfg: ServeConfig,
     /// Mirrors `QueueState::shutdown` for the lock-free fast path.
     shutting_down: AtomicBool,
+    /// Set (never cleared) when the worker dies on a panic; distinguishes
+    /// [`ServeError::WorkerFailed`] from an orderly shutdown.
+    worker_failed: AtomicBool,
     queue: Mutex<QueueState>,
     /// Signaled when a request is queued (or shutdown begins).
     not_empty: Condvar,
@@ -196,7 +227,16 @@ struct Shared {
 
 impl Shared {
     fn current(&self) -> Arc<ShardedAdvisor> {
-        self.snapshot.lock().expect("snapshot lock").clone()
+        plock(&self.snapshot).clone()
+    }
+
+    /// The error a refused request should carry right now.
+    fn refusal(&self) -> ServeError {
+        if self.worker_failed.load(Ordering::Acquire) {
+            ServeError::WorkerFailed
+        } else {
+            ServeError::ShuttingDown
+        }
     }
 }
 
@@ -269,7 +309,7 @@ impl ServeHandle {
         // cache-servable requests are refused (the fast path never touches
         // the queue, so it must check explicitly).
         if self.shared.shutting_down.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
+            return Err(self.shared.refusal());
         }
         let snap = self.shared.current();
         let fingerprints: Vec<u64> = graphs.iter().map(|g| graph_fingerprint(g)).collect();
@@ -279,7 +319,7 @@ impl ServeHandle {
         // nothing is trusted and everything goes through the worker.
         let mut cached: Vec<Option<Vec<f32>>> = vec![None; n];
         {
-            let mut cache = self.shared.cache.lock().expect("cache lock");
+            let mut cache = plock(&self.shared.cache);
             if cache.generation() == snap.generation() {
                 for (slot, &fp) in cached.iter_mut().zip(&fingerprints) {
                     *slot = cache.get(fp).map(<[f32]>::to_vec);
@@ -338,9 +378,9 @@ impl ServeHandle {
                 // Inserts are generation-tagged: if a snapshot swap raced
                 // this burst, the cache drops them (same rule as worker
                 // batches).
-                let mut cache = self.shared.cache.lock().expect("cache lock");
+                let mut cache = plock(&self.shared.cache);
                 for (&i, emb) in unique.iter().zip(&fresh) {
-                    cache.insert(snap.generation(), fingerprints[i], emb.clone());
+                    cache.insert_ref(snap.generation(), fingerprints[i], emb);
                 }
             }
             for &i in &missed {
@@ -364,11 +404,11 @@ impl ServeHandle {
         } else if !missed.is_empty() {
             let mut rxs = Vec::with_capacity(missed.len());
             {
-                let mut q = self.shared.queue.lock().expect("queue lock");
+                let mut q = plock(&self.shared.queue);
                 for &i in &missed {
                     loop {
                         if q.shutdown {
-                            return Err(ServeError::ShuttingDown);
+                            return Err(self.shared.refusal());
                         }
                         if q.items.len() < self.shared.cfg.queue_capacity {
                             break;
@@ -382,7 +422,11 @@ impl ServeHandle {
                         // released while waiting, so the worker drains
                         // meanwhile.
                         self.shared.not_empty.notify_one();
-                        q = self.shared.space.wait(q).expect("queue lock");
+                        q = self
+                            .shared
+                            .space
+                            .wait(q)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                     q.items.push_back(Request {
                         // Owned submissions move their graph into the
@@ -408,7 +452,7 @@ impl ServeHandle {
             self.shared.not_empty.notify_one();
             // The worker only drops a sender after replying or at shutdown.
             for (&i, rx) in missed.iter().zip(rxs) {
-                out[i] = Some(rx.recv().map_err(|_| ServeError::ShuttingDown)?);
+                out[i] = Some(rx.recv().map_err(|_| self.shared.refusal())?);
             }
         }
         Ok(out
@@ -469,12 +513,13 @@ impl AdvisorService {
         let detector = advisor.drift_detector();
         let reservoir = Reservoir::over_initial(advisor.len(), cfg.reservoir_capacity, cfg.seed);
         let shared = Arc::new(Shared {
-            cache: Mutex::new(EmbeddingCache::new(
-                cfg.cache_capacity,
-                advisor.generation(),
-            )),
+            cache: Mutex::new(
+                EmbeddingCache::new(cfg.cache_capacity, advisor.generation())
+                    .with_second_touch(cfg.admit_on_second_touch),
+            ),
             cfg,
             shutting_down: AtomicBool::new(false),
+            worker_failed: AtomicBool::new(false),
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 shutdown: false,
@@ -549,8 +594,8 @@ impl AdvisorService {
             // (readers check cache.generation() against their snapshot,
             // and late inserts from in-flight batches carry the old
             // generation and are dropped).
-            let mut cache = self.shared.cache.lock().expect("cache lock");
-            *self.shared.snapshot.lock().expect("snapshot lock") = Arc::new(next);
+            let mut cache = plock(&self.shared.cache);
+            *plock(&self.shared.snapshot) = Arc::new(next);
             cache.clear_for(generation);
         }
         self.shared
@@ -569,7 +614,7 @@ impl AdvisorService {
     fn shutdown_inner(&mut self) {
         self.shared.shutting_down.store(true, Ordering::Release);
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = plock(&self.shared.queue);
             q.shutdown = true;
         }
         self.shared.not_empty.notify_all();
@@ -591,12 +636,15 @@ fn worker_loop(shared: &Shared) {
     loop {
         let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch);
         {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = plock(&shared.queue);
             while q.items.is_empty() {
                 if q.shutdown {
                     return;
                 }
-                q = shared.not_empty.wait(q).expect("queue lock");
+                q = shared
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             while batch.len() < shared.cfg.max_batch {
                 match q.items.pop_front() {
@@ -615,7 +663,7 @@ fn worker_loop(shared: &Shared) {
         // arrives only after this batch answers, so waiting is pure idle).
         if batch.len() < shared.cfg.max_batch {
             std::thread::yield_now();
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = plock(&shared.queue);
             while batch.len() < shared.cfg.max_batch {
                 match q.items.pop_front() {
                     Some(r) => batch.push(r),
@@ -628,7 +676,7 @@ fn worker_loop(shared: &Shared) {
         if !shared.cfg.batch_deadline.is_zero() {
             let deadline = Instant::now() + shared.cfg.batch_deadline;
             while batch.len() < shared.cfg.max_batch {
-                let mut q = shared.queue.lock().expect("queue lock");
+                let mut q = plock(&shared.queue);
                 while q.items.is_empty() {
                     if q.shutdown {
                         break;
@@ -640,7 +688,7 @@ fn worker_loop(shared: &Shared) {
                     let (guard, _) = shared
                         .not_empty
                         .wait_timeout(q, deadline - now)
-                        .expect("queue lock");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     q = guard;
                 }
                 if q.items.is_empty() {
@@ -656,21 +704,52 @@ fn worker_loop(shared: &Shared) {
                 shared.space.notify_all();
             }
         }
-        process_batch(shared, batch);
+        // A panic while serving (a malformed graph blowing an encoder
+        // invariant, say) must not strand submitters: without the catch,
+        // the worker dies with the batch's reply senders *and* every
+        // queued sender still alive in the abandoned queue — queued
+        // submitters block on `recv` forever. Catch it, fail the service
+        // loudly, and drain. The batch is borrowed (not moved) so its
+        // reply senders drop *after* the failure flag is set — their
+        // submitters must wake into `WorkerFailed`, not `ShuttingDown`.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(shared, &batch)
+        }));
+        if outcome.is_err() {
+            fail_service(shared);
+            drop(batch);
+            return;
+        }
     }
+}
+
+/// Transitions the service into its terminal failed state after a worker
+/// panic: refuse new requests, drop every queued request (each drop
+/// releases a reply sender, so its blocked submitter unblocks into
+/// [`ServeError::WorkerFailed`] instead of hanging), and wake everyone.
+fn fail_service(shared: &Shared) {
+    shared.worker_failed.store(true, Ordering::Release);
+    shared.shutting_down.store(true, Ordering::Release);
+    {
+        let mut q = plock(&shared.queue);
+        q.shutdown = true;
+        q.items.clear();
+    }
+    shared.not_empty.notify_all();
+    shared.space.notify_all();
 }
 
 /// Serves one micro-batch: cache lookups, one stacked forward over the
 /// misses, cache fill, then the KNN vote per request.
-fn process_batch(shared: &Shared, batch: Vec<Request>) {
+fn process_batch(shared: &Shared, batch: &[Request]) {
     let snap = shared.current();
     let mut embeddings: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
     {
-        let mut cache = shared.cache.lock().expect("cache lock");
+        let mut cache = plock(&shared.cache);
         // Entries are only valid for the snapshot they were computed
         // under; after a swap the batch recomputes everything.
         if cache.generation() == snap.generation() {
-            for (slot, r) in embeddings.iter_mut().zip(&batch) {
+            for (slot, r) in embeddings.iter_mut().zip(batch) {
                 *slot = cache.get(r.fingerprint).map(<[f32]>::to_vec);
             }
         }
@@ -692,9 +771,9 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
         let graphs: Vec<&FeatureGraph> = unique.iter().map(|&i| &batch[i].graph).collect();
         let fresh = snap.embed_graph_batch(&graphs);
         {
-            let mut cache = shared.cache.lock().expect("cache lock");
+            let mut cache = plock(&shared.cache);
             for (&i, emb) in unique.iter().zip(&fresh) {
-                cache.insert(snap.generation(), batch[i].fingerprint, emb.clone());
+                cache.insert_ref(snap.generation(), batch[i].fingerprint, emb);
             }
         }
         for &i in &miss_idx {

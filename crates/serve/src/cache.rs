@@ -14,7 +14,7 @@
 //! see [`AdvisorService::adapt`](crate::AdvisorService::adapt).
 
 use ce_features::FeatureGraph;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Structural fingerprint of a feature graph: a word-at-a-time multiply-
 /// rotate mix (FxHash-style) over the graph shape and the exact bit
@@ -98,6 +98,19 @@ pub struct EmbeddingCache {
     /// snapshot swap racing an in-flight batch could poison the fresh
     /// cache with pre-adaptation embeddings.
     generation: u64,
+    /// When set, a fingerprint is admitted only on its *second* insert:
+    /// the first touch records the fingerprint in `seen_once` (8 bytes)
+    /// and drops the embedding. One-shot traffic (cold all-distinct
+    /// streams) then never spends slots or LRU churn on entries that will
+    /// never be read, while anything asked twice is cached from its
+    /// second encoding onward. Off by default — admit-on-first-touch is
+    /// right for warm repeat-heavy traffic, where paying one extra miss
+    /// per distinct graph would be pure loss.
+    second_touch: bool,
+    /// Fingerprints seen exactly once since the last clear. Bounded (see
+    /// `seen_cap`); overflow resets it, which only costs extra first
+    /// touches, never correctness.
+    seen_once: HashSet<u64>,
 }
 
 impl EmbeddingCache {
@@ -111,7 +124,24 @@ impl EmbeddingCache {
             head: NIL,
             tail: NIL,
             generation,
+            second_touch: false,
+            seen_once: HashSet::new(),
         }
+    }
+
+    /// Enables or disables second-touch admission (builder-style; see the
+    /// `second_touch` field). Switching modes never invalidates existing
+    /// entries.
+    pub fn with_second_touch(mut self, on: bool) -> Self {
+        self.second_touch = on;
+        self
+    }
+
+    /// Cap on the seen-once set: generously larger than the cache itself
+    /// (an entry is 8 bytes against an embedding's hundreds), but bounded
+    /// so adversarially distinct streams cannot grow it without limit.
+    fn seen_cap(&self) -> usize {
+        self.capacity.saturating_mul(8).max(1024)
     }
 
     /// The snapshot generation the cached embeddings belong to.
@@ -171,9 +201,43 @@ impl EmbeddingCache {
     /// capacity. Inserts from a stale generation are dropped (see the
     /// `generation` field).
     pub fn insert(&mut self, generation: u64, key: u64, value: Vec<f32>) {
-        if self.capacity == 0 || generation != self.generation {
-            return;
+        if self.admits(generation, key) {
+            self.store(key, value);
         }
+    }
+
+    /// Like [`Self::insert`] for callers holding a borrowed embedding:
+    /// the admission decision runs first, so a rejected insert (stale
+    /// generation, first touch under second-touch admission) costs no
+    /// clone at all.
+    pub fn insert_ref(&mut self, generation: u64, key: u64, value: &[f32]) {
+        if self.admits(generation, key) {
+            self.store(key, value.to_vec());
+        }
+    }
+
+    /// The admission decision, including second-touch bookkeeping: `false`
+    /// means the value must be dropped (and, on a first touch, that its
+    /// fingerprint was recorded for next time).
+    fn admits(&mut self, generation: u64, key: u64) -> bool {
+        if self.capacity == 0 || generation != self.generation {
+            return false;
+        }
+        if self.second_touch && !self.map.contains_key(&key) {
+            if self.seen_once.len() >= self.seen_cap() {
+                self.seen_once.clear();
+            }
+            if self.seen_once.insert(key) {
+                // First touch: remember the fingerprint, keep the slot.
+                return false;
+            }
+            // Second touch: admit and forget the marker.
+            self.seen_once.remove(&key);
+        }
+        true
+    }
+
+    fn store(&mut self, key: u64, value: Vec<f32>) {
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
             if self.head != i {
@@ -211,6 +275,8 @@ impl EmbeddingCache {
         self.head = NIL;
         self.tail = NIL;
         self.generation = generation;
+        // New generation, new encoder: first touches start over too.
+        self.seen_once.clear();
     }
 }
 
@@ -292,6 +358,41 @@ mod tests {
         c.insert(1, 3, vec![3.0]);
         assert_eq!(c.get(3), Some(&[3.0f32][..]));
         assert_eq!(c.generation(), 1);
+    }
+
+    #[test]
+    fn second_touch_admits_only_reused_keys() {
+        let mut c = EmbeddingCache::new(4, 0).with_second_touch(true);
+        c.insert(0, 1, vec![1.0]);
+        assert!(c.get(1).is_none(), "first touch records, does not admit");
+        assert!(c.is_empty());
+        c.insert(0, 1, vec![1.0]);
+        assert_eq!(c.get(1), Some(&[1.0f32][..]), "second touch admits");
+        // One-shot keys never occupy a slot.
+        for k in 10..20u64 {
+            c.insert(0, k, vec![k as f32]);
+        }
+        assert_eq!(c.len(), 1, "only the reused key is resident");
+        // Once admitted, refreshes behave like a normal LRU entry.
+        c.insert(0, 1, vec![1.5]);
+        assert_eq!(c.get(1), Some(&[1.5f32][..]));
+    }
+
+    #[test]
+    fn second_touch_seen_set_resets_on_clear_and_overflow() {
+        let mut c = EmbeddingCache::new(4, 0).with_second_touch(true);
+        c.insert(0, 1, vec![1.0]);
+        c.clear_for(1);
+        // The first touch under generation 0 is forgotten: this is a
+        // first touch again, not an admission.
+        c.insert(1, 1, vec![1.0]);
+        assert!(c.get(1).is_none());
+        // The seen set stays bounded under an endless one-shot stream.
+        let cap = 4usize * 8;
+        for k in 100..100 + 10 * cap as u64 {
+            c.insert(1, k, vec![0.0]);
+        }
+        assert!(c.seen_once.len() <= cap.max(1024));
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl AdvisorShard {
         &self.ids
     }
 
+    /// The entries this shard owns, slot-aligned with [`Self::ids`].
+    /// Read-only: external consumers (the cluster layer projects
+    /// `(ids, embeddings)` tables onto shard servers) must not be able to
+    /// bypass the dirty-chunk bookkeeping.
+    pub fn entries(&self) -> &[RcsEntry] {
+        &self.entries
+    }
+
     /// The shard's partial top-k: up to `k` nearest non-excluded entries as
     /// `(global index, distance)`, sorted by [`knn_order`].
     fn partial_topk(&self, x: &[f32], k: usize, exclude: usize) -> Vec<(usize, f32)> {

@@ -19,6 +19,7 @@ fn serve_config() -> ServeConfig {
         queue_capacity: 64,
         cache_capacity: 128,
         inline_burst_misses: 2,
+        admit_on_second_touch: false,
         reservoir_capacity: 4,
         seed: 99,
     }
@@ -243,5 +244,81 @@ fn shutdown_rejects_new_requests() {
     assert_eq!(
         handle.recommend_graph(g, MetricWeights::new(0.5)),
         Err(ServeError::ShuttingDown)
+    );
+}
+
+/// A worker panic (here: a malformed graph blowing an encoder shape
+/// invariant inside the stacked forward) must fail the service cleanly:
+/// the submitter that poisoned the batch — and every submitter after it —
+/// gets `Err(WorkerFailed)` instead of hanging forever on a reply channel
+/// whose sender died with the worker.
+#[test]
+fn worker_panic_fails_submitters_instead_of_hanging() {
+    let (datasets, flat) = common::trained_advisor(6, 0xdead);
+    let cfg = ServeConfig {
+        cache_capacity: 0,
+        // Force the queue/worker path: inline serving would panic the
+        // *caller*, which is not the failure mode under test.
+        inline_burst_misses: usize::MAX,
+        ..serve_config()
+    };
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), cfg);
+    let handle = service.handle();
+    let w = MetricWeights::new(0.5);
+    // Vertex width disagrees with the encoder's input dimension.
+    let poison = ce_features::FeatureGraph {
+        vertices: vec![vec![0.0]],
+        edges: vec![vec![0.0]],
+    };
+    assert_eq!(
+        handle.recommend_graph(poison, w),
+        Err(ServeError::WorkerFailed),
+        "the poisoning submitter must get an error, not a hang"
+    );
+    // The service is terminally failed: well-formed requests are refused
+    // with the same diagnosis (not ShuttingDown, which would suggest an
+    // orderly stop).
+    let graph = extract_features(&datasets[0], &flat.config.feature);
+    assert_eq!(
+        handle.recommend_graph(graph, w),
+        Err(ServeError::WorkerFailed)
+    );
+    // Dropping the service joins the (already dead) worker cleanly.
+    drop(service);
+}
+
+/// Second-touch admission: the first encoding of a graph only records its
+/// fingerprint; the second encodes again and admits; the third hits.
+/// Recommendations are identical throughout — the policy only moves the
+/// miss/hit boundary.
+#[test]
+fn second_touch_admission_caches_on_reuse_only() {
+    let (datasets, flat) = common::trained_advisor(4, 0x2704);
+    let cfg = ServeConfig {
+        admit_on_second_touch: true,
+        inline_burst_misses: 1, // encode on the calling thread
+        ..serve_config()
+    };
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), cfg);
+    let handle = service.handle();
+    let w = MetricWeights::new(0.7);
+    let graph = extract_features(&datasets[0], &flat.config.feature);
+    let expected = {
+        let x = flat.embed(&datasets[0]);
+        flat.predict_from_embedding(&x, w)
+    };
+    let hits: Vec<bool> = (0..3)
+        .map(|_| {
+            let rec = handle
+                .recommend_graph(graph.clone(), w)
+                .expect("service is running");
+            assert_eq!((rec.model, rec.scores.clone()), expected);
+            rec.cache_hit
+        })
+        .collect();
+    assert_eq!(
+        hits,
+        vec![false, false, true],
+        "miss (record), miss (admit), hit"
     );
 }

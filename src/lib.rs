@@ -5,6 +5,7 @@
 //! architecture overview and `DESIGN.md` for the system inventory.
 
 pub use autoce;
+pub use ce_cluster as cluster;
 pub use ce_datagen as datagen;
 pub use ce_features as features;
 pub use ce_gnn as gnn;
