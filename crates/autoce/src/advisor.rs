@@ -221,6 +221,11 @@ impl AutoCe {
         &self.rcs
     }
 
+    /// The advisor configuration (read-only).
+    pub fn config(&self) -> &AutoCeConfig {
+        &self.config
+    }
+
     /// Changes the KNN `k` used at prediction time (Table IV sweeps this
     /// without retraining the encoder).
     pub fn set_k(&mut self, k: usize) {

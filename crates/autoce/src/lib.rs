@@ -15,13 +15,19 @@
 //!   Rule-based, Knn-based, Sampling-based) plus Learning-All;
 //! * [`beta`]: Beta-distribution sampling for Mixup's λ.
 
+//! * [`backend`]: the unified [`AdvisorBackend`] query surface every
+//!   serving tier (flat, sharded, clustered) implements, plus the shared
+//!   [`AdvisorError`] taxonomy.
+
 pub mod advisor;
+pub mod backend;
 pub mod baselines;
 pub mod beta;
 pub mod incremental;
 pub mod online;
 
 pub use advisor::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
+pub use backend::{validate_nonzero, AdvisorBackend, AdvisorError};
 pub use baselines::{
     KnnFeatureSelector, LearningAllSelector, MlpSelector, RegressionSelector, RuleSelector,
     SamplingSelector, Selector,

@@ -11,6 +11,40 @@
 //! repaired the same way: reload the authority's current table. That one
 //! rule makes failure handling boring, which is the point.
 //!
+//! # Pipelined range fan-out
+//!
+//! A prediction needs one partial top-k answer per shard range. Paying
+//! the round trips serially sums them; the coordinator instead issues the
+//! query to every range's first candidate replica (all sends, fixed range
+//! order), then collects the answers in the same fixed order (all recvs),
+//! so the per-range round trips overlap on the wire. Any optimistic
+//! failure — transport error or NACK — is handled exactly as the serial
+//! path would handle it, and that range falls back to the full bounded
+//! retry/failover loop; *which* path produced the answer cannot change a
+//! bit of it.
+//!
+//! # Replica demotion
+//!
+//! A replica whose dead-streak reaches [`ClusterConfig::demote_after`] is
+//! **demoted**: the query/push/snapshot paths stop selecting it, so a
+//! degraded cluster stops paying a refused dial on every request. Only
+//! [`ClusterCoordinator::heartbeat`] and [`ClusterCoordinator::bootstrap`]
+//! still touch demoted replicas, and any successful round trip
+//! re-promotes (heartbeat's stale-table check then reloads a replica that
+//! restarted empty). Last-hope exception: if *every* replica of a range
+//! is demoted, the query path considers all of them rather than failing
+//! without trying. Both transitions are traced (`demote …` /
+//! `repromote …`).
+//!
+//! # Determinism and the event trace
+//!
+//! Each range lane buffers its events in a private sub-trace;
+//! public operations drain the lanes into the global trace in fixed range
+//! order when they finish. The merged trace is therefore a deterministic
+//! function of (workload, fault plan, seed) — byte-for-byte reproducible
+//! across runs and unchanged by how the pipelined phases interleave on
+//! the wire.
+//!
 //! # Bit-identity under failure
 //!
 //! Partial top-k answers come off the wire, but every float they carry
@@ -20,11 +54,20 @@
 //! [`ShardedAdvisor`]. The merge and [`knn_vote`] run coordinator-side on
 //! authority metadata. Replicas of a range hold identical tables (they
 //! NACK rather than serve stale ones), so *which* replica answers — first
-//! choice, retry, or failover — cannot change a single bit of the
-//! recommendation. With 0, 1, or R−1 replicas of every range down, the
-//! answer equals the flat advisor's; only when every replica of some
+//! choice, retry, failover, or a freshly re-promoted one — cannot change
+//! a single bit of the recommendation. Only when every replica of some
 //! range is unreachable does the coordinator fail, explicitly, with
 //! [`ClusterError::RangeUnavailable`].
+//!
+//! # Concurrency
+//!
+//! All public methods take `&self`: the coordinator serializes itself
+//! behind one internal mutex, so it can sit behind `ce-serve`'s
+//! micro-batcher as an [`AdvisorBackend`] (shared via `Arc`) like any
+//! other backend. Operations still execute one at a time — that is what
+//! keeps retries, failover and the event trace strictly ordered, and
+//! therefore reproducible; the concurrency story (batching many client
+//! threads into few coordinator calls) lives a layer up.
 
 use crate::health::{ClusterHealth, ReplicaHealth};
 use crate::protocol::{
@@ -32,16 +75,19 @@ use crate::protocol::{
     Query, SnapshotEpoch, Step, TopK,
 };
 use crate::transport::{Conn, Connector, WireError};
-use autoce::{knn_order, knn_vote};
-use ce_features::FeatureGraph;
+use autoce::{knn_order, knn_vote, validate_nonzero, AdvisorBackend, AdvisorError};
+use ce_features::{FeatureConfig, FeatureGraph};
 use ce_models::ModelKind;
 use ce_serve::ShardedAdvisor;
 use ce_testbed::{DatasetLabel, MetricWeights};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Robustness knobs for the wire fan-out.
+/// Robustness knobs for the wire fan-out. Prefer [`ClusterConfig::builder`],
+/// which rejects nonsensical combinations at build time; the struct-literal
+/// form keeps working but performs no validation.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Per-request round-trip deadline.
@@ -52,6 +98,10 @@ pub struct ClusterConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_max: Duration,
+    /// Consecutive failures after which a replica is demoted out of
+    /// regular traffic (see the module docs). Re-promotion happens on any
+    /// successful round trip — in practice via [`ClusterCoordinator::heartbeat`].
+    pub demote_after: u32,
     /// Seed for backoff jitter (jitter is deterministic given the seed
     /// and the failure sequence — it never appears in the event trace).
     pub seed: u64,
@@ -64,6 +114,7 @@ impl Default for ClusterConfig {
             max_attempts_per_replica: 3,
             backoff_base: Duration::from_millis(5),
             backoff_max: Duration::from_millis(100),
+            demote_after: 3,
             seed: 0xc105,
         }
     }
@@ -78,6 +129,82 @@ impl ClusterConfig {
             backoff_max: Duration::ZERO,
             ..ClusterConfig::default()
         }
+    }
+
+    /// Validated construction: rejects impossible knob combinations when
+    /// the config is built instead of when the first request fails.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ClusterConfig`]; see [`ClusterConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the per-request round-trip deadline.
+    pub fn request_deadline(mut self, d: Duration) -> Self {
+        self.cfg.request_deadline = d;
+        self
+    }
+
+    /// Sets the attempts per replica before failover.
+    pub fn max_attempts_per_replica(mut self, n: u32) -> Self {
+        self.cfg.max_attempts_per_replica = n;
+        self
+    }
+
+    /// Sets the backoff base.
+    pub fn backoff_base(mut self, d: Duration) -> Self {
+        self.cfg.backoff_base = d;
+        self
+    }
+
+    /// Sets the backoff ceiling.
+    pub fn backoff_max(mut self, d: Duration) -> Self {
+        self.cfg.backoff_max = d;
+        self
+    }
+
+    /// Sets the demotion dead-streak threshold.
+    pub fn demote_after(mut self, n: u32) -> Self {
+        self.cfg.demote_after = n;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Zeroes the backoff sleeps (deterministic-gauntlet mode).
+    pub fn no_sleep(mut self) -> Self {
+        self.cfg.backoff_base = Duration::ZERO;
+        self.cfg.backoff_max = Duration::ZERO;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<ClusterConfig, AdvisorError> {
+        validate_nonzero(
+            "max_attempts_per_replica",
+            self.cfg.max_attempts_per_replica as usize,
+        )?;
+        validate_nonzero("demote_after", self.cfg.demote_after as usize)?;
+        if self.cfg.request_deadline.is_zero() && self.cfg.max_attempts_per_replica > 1 {
+            return Err(AdvisorError::InvalidConfig(
+                "request_deadline must be non-zero when retries are configured \
+                 (every retry would time out instantly)"
+                    .into(),
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -107,69 +234,630 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+impl From<ClusterError> for AdvisorError {
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::RangeUnavailable { range } => AdvisorError::RangeUnavailable { range },
+            ClusterError::Protocol(d) => AdvisorError::Protocol(d),
+        }
+    }
+}
+
 struct Replica {
     connector: Box<dyn Connector>,
     conn: Option<Box<dyn Conn>>,
     health: ReplicaHealth,
 }
 
-/// The coordinator. Single-threaded by design: one coordinator instance
-/// serves one request at a time (the concurrency story lives a layer up,
-/// in `ce-serve`'s micro-batcher), which keeps retries, failover and the
-/// event trace strictly ordered — and therefore reproducible.
-pub struct ClusterCoordinator {
+/// One shard range's replica set plus everything range-scoped: health,
+/// demotion state, a private sub-trace, the lane's backoff jitter stream,
+/// and the cached repair (`Load`) frame.
+struct RangeLane {
+    /// Fixed preference order within the range.
+    replicas: Vec<Replica>,
+    /// Per-lane jitter stream (seeded from the config seed and the range
+    /// index, so lanes stay independent of each other's failure counts).
+    rng: StdRng,
+    /// Buffered events; drained into the global trace in fixed range
+    /// order at the end of each public operation.
+    sub: Vec<String>,
+    /// Cached repair frame keyed by `(epoch, version)` — rebuilding the
+    /// full table frame on every reload would re-encode the whole range.
+    /// The key is self-validating: any authority mutation changes the
+    /// version (push) or the epoch (snapshot).
+    load_frame: Option<(u64, u64, Frame)>,
+}
+
+impl RangeLane {
+    /// Records a failed dial/send/recv and applies the demotion
+    /// transition when the dead-streak reaches the threshold.
+    fn record_failure(&mut self, range: usize, cfg: &ClusterConfig, r: usize) {
+        let h = &mut self.replicas[r].health;
+        h.record_failure();
+        if !h.demoted && h.consecutive_failures >= u64::from(cfg.demote_after) {
+            h.demoted = true;
+            let streak = h.consecutive_failures;
+            self.sub
+                .push(format!("demote range={range} r={r} streak={streak}"));
+        }
+    }
+
+    /// Records a successful round trip; a demoted replica that answers is
+    /// re-promoted on the spot.
+    fn record_success(&mut self, range: usize, r: usize) {
+        let h = &mut self.replicas[r].health;
+        h.record_success();
+        if h.demoted {
+            h.demoted = false;
+            self.sub.push(format!("repromote range={range} r={r}"));
+        }
+    }
+
+    /// Issues `frame` to replica `r`, dialing first if needed. Failures
+    /// poison the connection and are recorded; the reply (or the wire
+    /// failure) is collected by [`Self::raw_recv`].
+    fn raw_send(
+        &mut self,
+        range: usize,
+        cfg: &ClusterConfig,
+        r: usize,
+        frame: &Frame,
+    ) -> Result<(), WireError> {
+        if self.replicas[r].conn.is_none() {
+            match self.replicas[r].connector.connect() {
+                Ok(conn) => self.replicas[r].conn = Some(conn),
+                Err(e) => {
+                    self.sub.push(format!("dial-err range={range} r={r}: {e}"));
+                    self.record_failure(range, cfg, r);
+                    return Err(e);
+                }
+            }
+        }
+        let res = self.replicas[r]
+            .conn
+            .as_mut()
+            .expect("dialed above")
+            .send(frame, cfg.request_deadline);
+        if let Err(e) = &res {
+            self.replicas[r].conn = None;
+            self.sub.push(format!("send-err range={range} r={r}: {e}"));
+            self.record_failure(range, cfg, r);
+        }
+        res
+    }
+
+    /// Collects the answer to the last [`Self::raw_send`] on replica `r`.
+    fn raw_recv(
+        &mut self,
+        range: usize,
+        cfg: &ClusterConfig,
+        r: usize,
+    ) -> Result<Frame, WireError> {
+        let Some(conn) = self.replicas[r].conn.as_mut() else {
+            return Err(WireError::Closed("recv without a live connection".into()));
+        };
+        match conn.recv(cfg.request_deadline) {
+            Ok(reply) => {
+                self.record_success(range, r);
+                Ok(reply)
+            }
+            Err(e) => {
+                self.replicas[r].conn = None;
+                self.sub.push(format!("call-err range={range} r={r}: {e}"));
+                self.record_failure(range, cfg, r);
+                Err(e)
+            }
+        }
+    }
+
+    /// One full round trip to replica `r` (serial paths).
+    fn raw_call(
+        &mut self,
+        range: usize,
+        cfg: &ClusterConfig,
+        r: usize,
+        frame: &Frame,
+    ) -> Result<Frame, WireError> {
+        self.raw_send(range, cfg, r, frame)?;
+        self.raw_recv(range, cfg, r)
+    }
+
+    /// Preference-ordered candidate replicas: demoted ones are skipped so
+    /// a degraded cluster stops paying a refused dial per request —
+    /// unless *all* replicas are demoted, in which case every one is a
+    /// candidate (last hope beats certain failure).
+    fn candidates(&self) -> Vec<usize> {
+        let live: Vec<usize> = (0..self.replicas.len())
+            .filter(|&r| !self.replicas[r].health.demoted)
+            .collect();
+        if live.is_empty() {
+            (0..self.replicas.len()).collect()
+        } else {
+            live
+        }
+    }
+
+    fn backoff(&mut self, cfg: &ClusterConfig, attempt: u32) {
+        let base = cfg.backoff_base;
+        if base.is_zero() {
+            return;
+        }
+        let exp = base.saturating_mul(1u32 << attempt.min(10));
+        let capped = exp.min(cfg.backoff_max);
+        // Up to +50% seeded jitter, deterministic per lane.
+        let jitter = self.rng.gen_range(0..256u64) as f64 / 512.0;
+        std::thread::sleep(capped.mul_f64(1.0 + jitter));
+    }
+
+    /// Reloads replica `r` from the lane's cached `Load` frame (primed by
+    /// the coordinator against the authority before any operation that
+    /// may need repair). This is both bootstrap and *the* repair action.
+    fn load_replica(
+        &mut self,
+        range: usize,
+        cfg: &ClusterConfig,
+        r: usize,
+    ) -> Result<(), WireError> {
+        let (epoch, version, frame) = self
+            .load_frame
+            .clone()
+            .expect("load frame primed before any repair path");
+        let reply = self.raw_call(range, cfg, r, &frame)?;
+        let ack = LoadAck::from_frame(&reply).map_err(|e| WireError::Frame(e.to_string()))?;
+        if (ack.epoch, ack.version) != (epoch, version) {
+            return Err(WireError::Frame(format!(
+                "load ack mismatch: want ({epoch},{version}), got ({},{})",
+                ack.epoch, ack.version
+            )));
+        }
+        self.replicas[r].health.record_reload();
+        self.sub.push(format!(
+            "reload range={range} r={r} epoch={epoch} v={version}"
+        ));
+        Ok(())
+    }
+
+    /// Reacts to a NACK answer from replica `r`: trace it, then apply the
+    /// one repair action its code calls for (reload for table mismatches,
+    /// re-dial for a damaged request).
+    fn on_nack(&mut self, range: usize, cfg: &ClusterConfig, r: usize, reply: &Frame) {
+        match Nack::from_frame(reply) {
+            Ok(nack) => {
+                self.sub.push(format!(
+                    "nack range={range} r={r} {:?}: {}",
+                    nack.code, nack.detail
+                ));
+                match nack.code {
+                    NackCode::StaleTable | NackCode::NoTable => {
+                        let _ = self.load_replica(range, cfg, r);
+                    }
+                    NackCode::Malformed => {
+                        // Our request arrived damaged — drop the conn and
+                        // resend over a fresh one.
+                        self.replicas[r].conn = None;
+                    }
+                }
+            }
+            Err(e) => {
+                self.sub.push(format!("bad-nack range={range} r={r}: {e}"));
+                self.replicas[r].conn = None;
+            }
+        }
+    }
+
+    /// Serial fan-out to this lane: bounded retries with backoff per
+    /// candidate replica (demotion-aware), NACK-triggered repair, then
+    /// failover to the next candidate. Returns the first non-NACK answer.
+    fn call_range(
+        &mut self,
+        range: usize,
+        cfg: &ClusterConfig,
+        frame: &Frame,
+    ) -> Result<Frame, ClusterError> {
+        for (i, r) in self.candidates().into_iter().enumerate() {
+            if i > 0 {
+                self.sub.push(format!("failover range={range} to r={r}"));
+            }
+            for attempt in 0..cfg.max_attempts_per_replica {
+                let reply = match self.raw_call(range, cfg, r, frame) {
+                    Ok(reply) => reply,
+                    Err(_) => {
+                        // raw_call already traced and recorded the failure.
+                        self.backoff(cfg, attempt);
+                        continue;
+                    }
+                };
+                if reply.step != Step::ShardSendNack {
+                    return Ok(reply);
+                }
+                self.on_nack(range, cfg, r, &reply);
+                self.backoff(cfg, attempt);
+            }
+        }
+        self.sub.push(format!("range-dark range={range}"));
+        Err(ClusterError::RangeUnavailable { range })
+    }
+}
+
+/// Everything behind the coordinator's mutex; see [`ClusterCoordinator`].
+struct CoordInner {
     authority: ShardedAdvisor,
     cfg: ClusterConfig,
     /// Current serving epoch (the generation tag extended to the wire).
     epoch: u64,
-    /// `replicas[range][r]`, fixed preference order within a range.
-    replicas: Vec<Vec<Replica>>,
-    rng: StdRng,
+    /// `lanes[range]`, fixed range order.
+    lanes: Vec<RangeLane>,
     ping_nonce: u64,
     trace: Vec<String>,
 }
 
+impl CoordInner {
+    fn make_table(&self, range: usize) -> EpochTable {
+        let shard = &self.authority.shards()[range];
+        EpochTable {
+            epoch: self.epoch,
+            ids: shard.ids().iter().map(|&id| id as u64).collect(),
+            embeddings: shard
+                .entries()
+                .iter()
+                .map(|e| e.embedding.clone())
+                .collect(),
+        }
+    }
+
+    /// Re-derives lane `range`'s cached `Load` frame when its
+    /// `(epoch, version)` key no longer matches the authority.
+    fn prime_load_frame(&mut self, range: usize) {
+        let version = self.authority.shards()[range].len() as u64;
+        if matches!(&self.lanes[range].load_frame,
+                    Some((e, v, _)) if (*e, *v) == (self.epoch, version))
+        {
+            return;
+        }
+        let table = self.make_table(range);
+        debug_assert_eq!(table.version(), version);
+        self.lanes[range].load_frame = Some((self.epoch, version, Load(table).into_frame()));
+    }
+
+    /// Drains every lane's sub-trace into the global trace, fixed range
+    /// order — the deterministic merge point described in the module docs.
+    fn merge_trace(&mut self) {
+        let trace = &mut self.trace;
+        for lane in &mut self.lanes {
+            trace.append(&mut lane.sub);
+        }
+    }
+
+    fn health(&self) -> ClusterHealth {
+        ClusterHealth {
+            ranges: self
+                .lanes
+                .iter()
+                .map(|lane| lane.replicas.iter().map(|r| r.health.clone()).collect())
+                .collect(),
+        }
+    }
+
+    fn bootstrap(&mut self) -> Result<(), ClusterError> {
+        for range in 0..self.lanes.len() {
+            self.prime_load_frame(range);
+            let lane = &mut self.lanes[range];
+            let mut live = 0usize;
+            // All replicas, demoted included: bootstrap doubles as a
+            // whole-cluster resync and re-promotion pass.
+            for r in 0..lane.replicas.len() {
+                if lane.load_replica(range, &self.cfg, r).is_ok() {
+                    live += 1;
+                }
+            }
+            if live == 0 {
+                lane.sub.push(format!("range-dark range={range}"));
+                return Err(ClusterError::RangeUnavailable { range });
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_excluding(
+        &mut self,
+        embedding: &[f32],
+        w: MetricWeights,
+        exclude: usize,
+    ) -> Result<(ModelKind, Vec<f64>), ClusterError> {
+        assert!(!self.authority.is_empty(), "empty RCS");
+        let len = self.authority.len();
+        let selectable = len - usize::from(exclude < len);
+        assert!(
+            selectable > 0,
+            "KNN needs at least one non-excluded RCS entry"
+        );
+        let k = self.authority.config().k.clamp(1, selectable);
+        let wire_exclude = if exclude < len {
+            exclude as u64
+        } else {
+            u64::MAX
+        };
+        let ranges = self.lanes.len();
+
+        // Per-range query frames. An empty shard's partial top-k is
+        // empty; skip the trip entirely.
+        let mut frames: Vec<Option<Frame>> = Vec::with_capacity(ranges);
+        for range in 0..ranges {
+            let shard_len = self.authority.shards()[range].len() as u64;
+            frames.push((shard_len > 0).then(|| {
+                Query {
+                    epoch: self.epoch,
+                    version: shard_len,
+                    embedding: embedding.to_vec(),
+                    k: k as u64,
+                    exclude: wire_exclude,
+                }
+                .into_frame()
+            }));
+            // A NACK in the collect phase may need the repair frame.
+            self.prime_load_frame(range);
+        }
+
+        // Issue phase: optimistically send each range's query to its
+        // first candidate replica, in fixed range order, so the round
+        // trips overlap instead of summing.
+        let mut issued: Vec<Option<usize>> = vec![None; ranges];
+        for range in 0..ranges {
+            let Some(frame) = frames[range].as_ref() else {
+                continue;
+            };
+            let lane = &mut self.lanes[range];
+            let r = lane.candidates()[0];
+            if lane.raw_send(range, &self.cfg, r, frame).is_ok() {
+                issued[range] = Some(r);
+            }
+        }
+
+        // Collect phase, fixed range order. Any optimistic failure is
+        // handled (health, trace, repair) and the range falls back to the
+        // full serial retry/failover loop.
+        let mut merged: Vec<(usize, f32)> = Vec::with_capacity(k * ranges);
+        for range in 0..ranges {
+            let Some(frame) = frames[range].as_ref() else {
+                continue;
+            };
+            let lane = &mut self.lanes[range];
+            let mut fast = None;
+            if let Some(r) = issued[range] {
+                match lane.raw_recv(range, &self.cfg, r) {
+                    Ok(f) if f.step != Step::ShardSendNack => fast = Some(f),
+                    Ok(f) => lane.on_nack(range, &self.cfg, r, &f),
+                    Err(_) => {}
+                }
+            }
+            let reply = match fast {
+                Some(f) => f,
+                None => lane.call_range(range, &self.cfg, frame)?,
+            };
+            let topk =
+                TopK::from_frame(&reply).map_err(|e| ClusterError::Protocol(e.to_string()))?;
+            merged.extend(topk.entries.iter().map(|&(id, d)| (id as usize, d)));
+        }
+        merged.sort_unstable_by(knn_order);
+        merged.truncate(k);
+        Ok(knn_vote(
+            merged.iter().map(|&(id, _)| self.authority.entry(id)),
+            k,
+            w,
+        ))
+    }
+
+    fn push_entry(
+        &mut self,
+        graph: FeatureGraph,
+        label: &DatasetLabel,
+    ) -> Result<usize, ClusterError> {
+        let global = self.authority.push_entry(graph, label);
+        let range = self
+            .authority
+            .shards()
+            .iter()
+            .position(|s| s.ids().last() == Some(&global))
+            .expect("pushed entry must land in some shard");
+        let version_before = (self.authority.shards()[range].len() - 1) as u64;
+        let push = Push {
+            epoch: self.epoch,
+            version: version_before,
+            id: global as u64,
+            embedding: self.authority.entry(global).embedding.clone(),
+        };
+        let frame = push.into_frame();
+        // Prime *after* the authority push so repair reloads carry the
+        // post-push table.
+        self.prime_load_frame(range);
+        let epoch = self.epoch;
+        let lane = &mut self.lanes[range];
+        // Candidates only: a demoted replica misses the push and is
+        // resynced by the reload that follows its re-promotion.
+        for r in lane.candidates() {
+            let synced = match lane.raw_call(range, &self.cfg, r, &frame) {
+                Ok(reply) => matches!(
+                    PushAck::from_frame(&reply),
+                    Ok(ack) if ack.epoch == epoch && ack.version == version_before + 1
+                ),
+                Err(_) => false,
+            };
+            if synced {
+                lane.sub.push(format!(
+                    "push range={range} r={r} id={global} v={}",
+                    version_before + 1
+                ));
+            } else {
+                // A push retry is not idempotent (the shard may have
+                // applied it before losing the ack); reload is.
+                let _ = lane.load_replica(range, &self.cfg, r);
+            }
+        }
+        Ok(global)
+    }
+
+    fn refresh_and_snapshot(&mut self) -> Result<u64, ClusterError> {
+        self.authority.refresh_embeddings();
+        self.epoch += 1;
+        self.trace.push(format!("snapshot-epoch {}", self.epoch));
+        for range in 0..self.lanes.len() {
+            self.prime_load_frame(range);
+            let table = self.make_table(range);
+            let (epoch, version) = (table.epoch, table.version());
+            let frame = SnapshotEpoch(table).into_frame();
+            let lane = &mut self.lanes[range];
+            let mut staged = 0usize;
+            for r in lane.candidates() {
+                let ok = match lane.raw_call(range, &self.cfg, r, &frame) {
+                    Ok(reply) => matches!(
+                        EpochAck::from_frame(&reply),
+                        Ok(ack) if (ack.epoch, ack.version) == (epoch, version)
+                    ),
+                    Err(_) => false,
+                };
+                if ok {
+                    staged += 1;
+                    lane.sub
+                        .push(format!("epoch-ack range={range} r={r} epoch={epoch}"));
+                } else if lane.load_replica(range, &self.cfg, r).is_ok() {
+                    // Reload carries the new epoch's table, so it counts.
+                    staged += 1;
+                }
+            }
+            if staged == 0 {
+                lane.sub.push(format!("range-dark range={range}"));
+                return Err(ClusterError::RangeUnavailable { range });
+            }
+        }
+        Ok(self.epoch)
+    }
+
+    fn heartbeat(&mut self) -> ClusterHealth {
+        for range in 0..self.lanes.len() {
+            self.prime_load_frame(range);
+            let want_version = self.authority.shards()[range].len() as u64;
+            let epoch = self.epoch;
+            let lane = &mut self.lanes[range];
+            // All replicas, demoted included: the heartbeat is the
+            // re-promotion path.
+            for r in 0..lane.replicas.len() {
+                self.ping_nonce += 1;
+                let nonce = self.ping_nonce;
+                // raw_call failures already record health + trace; only a
+                // successful reply needs inspecting here.
+                if let Ok(reply) = lane.raw_call(range, &self.cfg, r, &Ping { nonce }.into_frame())
+                {
+                    match Pong::from_frame(&reply) {
+                        Ok(pong)
+                            if pong.nonce == nonce
+                                && pong.epoch == epoch
+                                && pong.version == want_version => {}
+                        Ok(_) => {
+                            lane.sub.push(format!("stale-pong range={range} r={r}"));
+                            let _ = lane.load_replica(range, &self.cfg, r);
+                        }
+                        Err(e) => {
+                            lane.sub.push(format!("bad-pong range={range} r={r}: {e}"));
+                            lane.replicas[r].conn = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.health()
+    }
+
+    fn shutdown_cluster(&mut self) {
+        let frame = crate::protocol::Shutdown.into_frame();
+        for range in 0..self.lanes.len() {
+            let lane = &mut self.lanes[range];
+            for r in 0..lane.replicas.len() {
+                let _ = lane.raw_call(range, &self.cfg, r, &frame);
+                lane.replicas[r].conn = None;
+            }
+        }
+    }
+}
+
+/// The coordinator. All methods take `&self` (one internal mutex
+/// serializes operations — see the module docs), so a shared
+/// `Arc<ClusterCoordinator>` can sit behind `ce-serve`'s micro-batcher as
+/// an [`AdvisorBackend`] like any in-process backend.
+pub struct ClusterCoordinator {
+    inner: Mutex<CoordInner>,
+}
+
 impl ClusterCoordinator {
+    /// Tolerates mutex poisoning: a panic mid-operation leaves at worst a
+    /// stale replica or an unmerged sub-trace, and both are repaired by
+    /// the same reload/merge discipline as any other inconsistency.
+    fn lock(&self) -> MutexGuard<'_, CoordInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Builds a coordinator over `authority` with `connectors[range][r]`
-    /// dialing the replicas of each authority shard range. Call
-    /// [`Self::bootstrap`] before serving.
-    pub fn new(
+    /// dialing the replicas of each authority shard range, rejecting an
+    /// invalid topology (mismatched range count, a range with zero
+    /// replicas) at build time. Call [`Self::bootstrap`] before serving.
+    pub fn try_new(
         authority: ShardedAdvisor,
         connectors: Vec<Vec<Box<dyn Connector>>>,
         cfg: ClusterConfig,
-    ) -> Self {
-        assert_eq!(
-            connectors.len(),
-            authority.num_shards(),
-            "one replica set per authority shard range"
-        );
-        assert!(
-            connectors.iter().all(|r| !r.is_empty()),
-            "every range needs at least one replica"
-        );
-        let replicas = connectors
+    ) -> Result<Self, AdvisorError> {
+        if connectors.len() != authority.num_shards() {
+            return Err(AdvisorError::InvalidConfig(format!(
+                "replica sets ({}) must match authority shard ranges ({})",
+                connectors.len(),
+                authority.num_shards()
+            )));
+        }
+        if let Some(range) = connectors.iter().position(|r| r.is_empty()) {
+            return Err(AdvisorError::InvalidConfig(format!(
+                "range {range} has zero replicas; every range needs at least one"
+            )));
+        }
+        let lanes = connectors
             .into_iter()
-            .map(|range| {
-                range
+            .enumerate()
+            .map(|(range, conns)| RangeLane {
+                replicas: conns
                     .into_iter()
                     .map(|connector| Replica {
                         health: ReplicaHealth::new(connector.label()),
                         connector,
                         conn: None,
                     })
-                    .collect()
+                    .collect(),
+                // splitmix-style spread so lane streams differ even for
+                // adjacent ranges under any seed.
+                rng: StdRng::seed_from_u64(
+                    cfg.seed ^ (range as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                sub: Vec::new(),
+                load_frame: None,
             })
             .collect();
-        let seed = cfg.seed;
-        ClusterCoordinator {
-            authority,
-            cfg,
-            epoch: 0,
-            replicas,
-            rng: StdRng::seed_from_u64(seed),
-            ping_nonce: 0,
-            trace: Vec::new(),
-        }
+        Ok(ClusterCoordinator {
+            inner: Mutex::new(CoordInner {
+                authority,
+                cfg,
+                epoch: 0,
+                lanes,
+                ping_nonce: 0,
+                trace: Vec::new(),
+            }),
+        })
+    }
+
+    /// [`Self::try_new`] that panics on an invalid topology — the
+    /// historical constructor shape, kept for call sites that construct
+    /// from static topology.
+    pub fn new(
+        authority: ShardedAdvisor,
+        connectors: Vec<Vec<Box<dyn Connector>>>,
+        cfg: ClusterConfig,
+    ) -> Self {
+        Self::try_new(authority, connectors, cfg).expect("valid cluster topology")
     }
 
     /// Convenience: a coordinator over a [`crate::sim::SimNet`] with
@@ -196,245 +884,73 @@ impl ClusterCoordinator {
         ClusterCoordinator::new(authority, connectors, cfg)
     }
 
-    /// The authority advisor (read-only).
-    pub fn authority(&self) -> &ShardedAdvisor {
-        &self.authority
-    }
-
     /// Current serving epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.lock().epoch
     }
 
-    /// The ordered event trace so far (wall-clock free: dials, failures,
-    /// reloads, failovers, snapshots — same seed and same fault plan give
-    /// the same trace, byte for byte).
-    pub fn trace(&self) -> &[String] {
-        &self.trace
+    /// Encoder generation of the authority (bumps only on adaptation —
+    /// the cache-invalidation signal, not the epoch).
+    pub fn generation(&self) -> u64 {
+        self.lock().authority.generation()
+    }
+
+    /// Number of RCS entries in the authority.
+    pub fn rcs_len(&self) -> usize {
+        self.lock().authority.len()
+    }
+
+    /// Embeds a feature graph on the authority encoder.
+    pub fn embed_graph(&self, g: &FeatureGraph) -> Vec<f32> {
+        self.lock().authority.embed_graph(g)
+    }
+
+    /// A snapshot of the ordered event trace so far (wall-clock free:
+    /// dials, failures, reloads, failovers, demotions, snapshots — same
+    /// seed and same fault plan give the same trace, byte for byte).
+    pub fn trace(&self) -> Vec<String> {
+        self.lock().trace.clone()
     }
 
     /// Drains the event trace.
-    pub fn take_trace(&mut self) -> Vec<String> {
-        std::mem::take(&mut self.trace)
+    pub fn take_trace(&self) -> Vec<String> {
+        std::mem::take(&mut self.lock().trace)
     }
 
     /// Point-in-time health snapshot.
     pub fn health(&self) -> ClusterHealth {
-        ClusterHealth {
-            ranges: self
-                .replicas
-                .iter()
-                .map(|range| range.iter().map(|r| r.health.clone()).collect())
-                .collect(),
-        }
-    }
-
-    fn make_table(&self, range: usize) -> EpochTable {
-        let shard = &self.authority.shards()[range];
-        EpochTable {
-            epoch: self.epoch,
-            ids: shard.ids().iter().map(|&id| id as u64).collect(),
-            embeddings: shard
-                .entries()
-                .iter()
-                .map(|e| e.embedding.clone())
-                .collect(),
-        }
-    }
-
-    /// One transport round trip to `replicas[range][r]`, dialing if
-    /// needed. Any failure poisons the connection and is recorded in the
-    /// replica's health; NACK frames come back as `Ok` (they are protocol
-    /// answers, not transport failures).
-    fn raw_call(&mut self, range: usize, r: usize, frame: &Frame) -> Result<Frame, WireError> {
-        let deadline = self.cfg.request_deadline;
-        let replica = &mut self.replicas[range][r];
-        if replica.conn.is_none() {
-            match replica.connector.connect() {
-                Ok(conn) => replica.conn = Some(conn),
-                Err(e) => {
-                    replica.health.record_failure();
-                    self.trace
-                        .push(format!("dial-err range={range} r={r}: {e}"));
-                    return Err(e);
-                }
-            }
-        }
-        let conn = replica.conn.as_mut().expect("dialed above");
-        match conn.call(frame, deadline) {
-            Ok(reply) => {
-                replica.health.record_success();
-                Ok(reply)
-            }
-            Err(e) => {
-                replica.conn = None;
-                replica.health.record_failure();
-                self.trace
-                    .push(format!("call-err range={range} r={r}: {e}"));
-                Err(e)
-            }
-        }
-    }
-
-    /// Reloads one replica with the authority's current table for its
-    /// range. This is both bootstrap and *the* repair action.
-    fn load_replica(&mut self, range: usize, r: usize) -> Result<(), WireError> {
-        let table = self.make_table(range);
-        let (epoch, version) = (table.epoch, table.version());
-        let reply = self.raw_call(range, r, &Load(table).into_frame())?;
-        let ack = LoadAck::from_frame(&reply).map_err(|e| WireError::Frame(e.to_string()))?;
-        if (ack.epoch, ack.version) != (epoch, version) {
-            return Err(WireError::Frame(format!(
-                "load ack mismatch: want ({epoch},{version}), got ({},{})",
-                ack.epoch, ack.version
-            )));
-        }
-        let replica = &mut self.replicas[range][r];
-        replica.health.record_reload();
-        self.trace.push(format!(
-            "reload range={range} r={r} epoch={epoch} v={version}"
-        ));
-        Ok(())
-    }
-
-    fn backoff(&mut self, attempt: u32) {
-        let base = self.cfg.backoff_base;
-        if base.is_zero() {
-            return;
-        }
-        let exp = base.saturating_mul(1u32 << attempt.min(10));
-        let capped = exp.min(self.cfg.backoff_max);
-        // Up to +50% seeded jitter, deterministic per coordinator.
-        let jitter = self.rng.gen_range(0..256u64) as f64 / 512.0;
-        std::thread::sleep(capped.mul_f64(1.0 + jitter));
-    }
-
-    /// Sends `frame` to range `range`: bounded retries with exponential
-    /// backoff per replica, NACK-triggered reload, then failover to the
-    /// next replica. Returns the first non-NACK answer.
-    fn call_range(&mut self, range: usize, frame: &Frame) -> Result<Frame, ClusterError> {
-        let replicas = self.replicas[range].len();
-        for r in 0..replicas {
-            if r > 0 {
-                self.trace.push(format!("failover range={range} to r={r}"));
-            }
-            for attempt in 0..self.cfg.max_attempts_per_replica {
-                let reply = match self.raw_call(range, r, frame) {
-                    Ok(reply) => reply,
-                    Err(_) => {
-                        // raw_call already traced and recorded the failure.
-                        self.backoff(attempt);
-                        continue;
-                    }
-                };
-                if reply.step != Step::ShardSendNack {
-                    return Ok(reply);
-                }
-                match Nack::from_frame(&reply) {
-                    Ok(nack) => {
-                        self.trace.push(format!(
-                            "nack range={range} r={r} {:?}: {}",
-                            nack.code, nack.detail
-                        ));
-                        match nack.code {
-                            NackCode::StaleTable | NackCode::NoTable => {
-                                // The one repair action; failure counts
-                                // toward this replica's attempts.
-                                let _ = self.load_replica(range, r);
-                            }
-                            NackCode::Malformed => {
-                                // Our request arrived damaged — drop the
-                                // conn and resend over a fresh one.
-                                self.replicas[range][r].conn = None;
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        self.trace
-                            .push(format!("bad-nack range={range} r={r}: {e}"));
-                        self.replicas[range][r].conn = None;
-                    }
-                }
-                self.backoff(attempt);
-            }
-        }
-        self.trace.push(format!("range-dark range={range}"));
-        Err(ClusterError::RangeUnavailable { range })
+        self.lock().health()
     }
 
     /// Loads every replica with its range's table and verifies at least
     /// one live replica per range. Idempotent; also usable as a
-    /// whole-cluster resync.
-    pub fn bootstrap(&mut self) -> Result<(), ClusterError> {
-        for range in 0..self.replicas.len() {
-            let mut live = 0usize;
-            for r in 0..self.replicas[range].len() {
-                if self.load_replica(range, r).is_ok() {
-                    live += 1;
-                }
-            }
-            if live == 0 {
-                self.trace.push(format!("range-dark range={range}"));
-                return Err(ClusterError::RangeUnavailable { range });
-            }
-        }
-        Ok(())
+    /// whole-cluster resync (and, for demoted replicas, re-promotion).
+    pub fn bootstrap(&self) -> Result<(), ClusterError> {
+        let mut inner = self.lock();
+        let out = inner.bootstrap();
+        inner.merge_trace();
+        out
     }
 
     /// KNN prediction excluding one global RCS index, answered from the
-    /// wire. Bit-identical to [`ShardedAdvisor::predict_excluding`] on
-    /// the authority (see the module docs).
+    /// wire via the pipelined range fan-out. Bit-identical to
+    /// [`ShardedAdvisor::predict_excluding`] on the authority (see the
+    /// module docs).
     pub fn predict_excluding(
-        &mut self,
+        &self,
         embedding: &[f32],
         w: MetricWeights,
         exclude: usize,
     ) -> Result<(ModelKind, Vec<f64>), ClusterError> {
-        assert!(!self.authority.is_empty(), "empty RCS");
-        let len = self.authority.len();
-        let candidates = len - usize::from(exclude < len);
-        assert!(
-            candidates > 0,
-            "KNN needs at least one non-excluded RCS entry"
-        );
-        let k = self.authority.config().k.clamp(1, candidates);
-        let wire_exclude = if exclude < len {
-            exclude as u64
-        } else {
-            u64::MAX
-        };
-        let ranges = self.replicas.len();
-        let mut merged: Vec<(usize, f32)> = Vec::with_capacity(k * ranges);
-        for range in 0..ranges {
-            let shard_len = self.authority.shards()[range].len() as u64;
-            if shard_len == 0 {
-                // An empty shard's partial top-k is empty; skip the trip.
-                continue;
-            }
-            let query = Query {
-                epoch: self.epoch,
-                version: shard_len,
-                embedding: embedding.to_vec(),
-                k: k as u64,
-                exclude: wire_exclude,
-            };
-            let reply = self.call_range(range, &query.into_frame())?;
-            let topk =
-                TopK::from_frame(&reply).map_err(|e| ClusterError::Protocol(e.to_string()))?;
-            merged.extend(topk.entries.iter().map(|&(id, d)| (id as usize, d)));
-        }
-        merged.sort_unstable_by(knn_order);
-        merged.truncate(k);
-        Ok(knn_vote(
-            merged.iter().map(|&(id, _)| self.authority.entry(id)),
-            k,
-            w,
-        ))
+        let mut inner = self.lock();
+        let out = inner.predict_excluding(embedding, w, exclude);
+        inner.merge_trace();
+        out
     }
 
     /// KNN prediction from an embedding (no exclusion).
     pub fn predict_from_embedding(
-        &mut self,
+        &self,
         embedding: &[f32],
         w: MetricWeights,
     ) -> Result<(ModelKind, Vec<f64>), ClusterError> {
@@ -444,143 +960,118 @@ impl ClusterCoordinator {
     /// Full recommendation from a feature graph: embed on the authority
     /// encoder, KNN over the wire.
     pub fn recommend_graph(
-        &mut self,
+        &self,
         g: &FeatureGraph,
         w: MetricWeights,
     ) -> Result<ModelKind, ClusterError> {
-        let x = self.authority.embed_graph(g);
-        Ok(self.predict_from_embedding(&x, w)?.0)
+        let mut inner = self.lock();
+        let x = inner.authority.embed_graph(g);
+        let out = inner.predict_excluding(&x, w, usize::MAX).map(|(m, _)| m);
+        inner.merge_trace();
+        out
     }
 
     /// Adds a freshly labeled dataset: authority first, then a
-    /// version-guarded [`Push`] to every replica of the receiving range.
-    /// Replicas that miss the push (down, NACK, lost ack) are resynced by
-    /// reload — immediately when possible, otherwise lazily by the next
-    /// query's NACK. Returns the new global RCS index.
+    /// version-guarded [`Push`] to every candidate replica of the
+    /// receiving range. Replicas that miss the push (down, demoted, NACK,
+    /// lost ack) are resynced by reload — immediately when possible,
+    /// otherwise lazily by the next query's NACK or their re-promotion
+    /// heartbeat. Returns the new global RCS index.
     pub fn push_entry(
-        &mut self,
+        &self,
         graph: FeatureGraph,
         label: &DatasetLabel,
     ) -> Result<usize, ClusterError> {
-        let global = self.authority.push_entry(graph, label);
-        let range = self
-            .authority
-            .shards()
-            .iter()
-            .position(|s| s.ids().last() == Some(&global))
-            .expect("pushed entry must land in some shard");
-        let version_before = (self.authority.shards()[range].len() - 1) as u64;
-        let push = Push {
-            epoch: self.epoch,
-            version: version_before,
-            id: global as u64,
-            embedding: self.authority.entry(global).embedding.clone(),
-        };
-        let frame = push.into_frame();
-        for r in 0..self.replicas[range].len() {
-            let synced = match self.raw_call(range, r, &frame) {
-                Ok(reply) => matches!(
-                    PushAck::from_frame(&reply),
-                    Ok(ack) if ack.epoch == self.epoch && ack.version == version_before + 1
-                ),
-                Err(_) => false,
-            };
-            if synced {
-                self.trace.push(format!(
-                    "push range={range} r={r} id={global} v={}",
-                    version_before + 1
-                ));
-            } else {
-                // A push retry is not idempotent (the shard may have
-                // applied it before losing the ack); reload is.
-                let _ = self.load_replica(range, r);
-            }
-        }
-        Ok(global)
+        let mut inner = self.lock();
+        let out = inner.push_entry(graph, label);
+        inner.merge_trace();
+        out
     }
 
     /// Refreshes every authority embedding and stages the result as a new
-    /// epoch on all replicas ([`SnapshotEpoch`]): shards keep the previous
-    /// epoch serving while the swap propagates, and the coordinator pins
-    /// queries to the new epoch only once every range has at least one
-    /// replica confirmed on it. Returns the new epoch.
-    pub fn refresh_and_snapshot(&mut self) -> Result<u64, ClusterError> {
-        self.authority.refresh_embeddings();
-        self.epoch += 1;
-        self.trace.push(format!("snapshot-epoch {}", self.epoch));
-        for range in 0..self.replicas.len() {
-            let table = self.make_table(range);
-            let (epoch, version) = (table.epoch, table.version());
-            let frame = SnapshotEpoch(table).into_frame();
-            let mut staged = 0usize;
-            for r in 0..self.replicas[range].len() {
-                let ok = match self.raw_call(range, r, &frame) {
-                    Ok(reply) => matches!(
-                        EpochAck::from_frame(&reply),
-                        Ok(ack) if (ack.epoch, ack.version) == (epoch, version)
-                    ),
-                    Err(_) => false,
-                };
-                if ok {
-                    staged += 1;
-                    self.trace
-                        .push(format!("epoch-ack range={range} r={r} epoch={epoch}"));
-                } else if self.load_replica(range, r).is_ok() {
-                    // Reload carries the new epoch's table, so it counts.
-                    staged += 1;
-                }
-            }
-            if staged == 0 {
-                self.trace.push(format!("range-dark range={range}"));
-                return Err(ClusterError::RangeUnavailable { range });
-            }
-        }
-        Ok(self.epoch)
+    /// epoch on all candidate replicas ([`SnapshotEpoch`]): shards keep
+    /// the previous epoch serving while the swap propagates, and the
+    /// coordinator pins queries to the new epoch only once every range
+    /// has at least one replica confirmed on it. Returns the new epoch.
+    pub fn refresh_and_snapshot(&self) -> Result<u64, ClusterError> {
+        let mut inner = self.lock();
+        let out = inner.refresh_and_snapshot();
+        inner.merge_trace();
+        out
     }
 
-    /// Pings every replica once, recording health and proactively
-    /// reloading any replica that answers with a stale or missing table.
-    /// Returns the post-probe health snapshot — callers should surface
+    /// Pings every replica once — demoted ones included; this is the
+    /// re-promotion path — recording health and proactively reloading any
+    /// replica that answers with a stale or missing table. Returns the
+    /// post-probe health snapshot — callers should surface
     /// [`ClusterHealth::report`] when it is degraded.
-    pub fn heartbeat(&mut self) -> ClusterHealth {
-        for range in 0..self.replicas.len() {
-            let want_version = self.authority.shards()[range].len() as u64;
-            for r in 0..self.replicas[range].len() {
-                self.ping_nonce += 1;
-                let nonce = self.ping_nonce;
-                // raw_call failures already record health + trace; only a
-                // successful reply needs inspecting here.
-                if let Ok(reply) = self.raw_call(range, r, &Ping { nonce }.into_frame()) {
-                    match Pong::from_frame(&reply) {
-                        Ok(pong)
-                            if pong.nonce == nonce
-                                && pong.epoch == self.epoch
-                                && pong.version == want_version => {}
-                        Ok(_) => {
-                            self.trace.push(format!("stale-pong range={range} r={r}"));
-                            let _ = self.load_replica(range, r);
-                        }
-                        Err(e) => {
-                            self.trace
-                                .push(format!("bad-pong range={range} r={r}: {e}"));
-                            self.replicas[range][r].conn = None;
-                        }
-                    }
-                }
-            }
-        }
-        self.health()
+    pub fn heartbeat(&self) -> ClusterHealth {
+        let mut inner = self.lock();
+        let out = inner.heartbeat();
+        inner.merge_trace();
+        out
     }
 
     /// Sends a clean shutdown to every replica (best effort).
-    pub fn shutdown_cluster(&mut self) {
-        let frame = crate::protocol::Shutdown.into_frame();
-        for range in 0..self.replicas.len() {
-            for r in 0..self.replicas[range].len() {
-                let _ = self.raw_call(range, r, &frame);
-                self.replicas[range][r].conn = None;
-            }
-        }
+    pub fn shutdown_cluster(&self) {
+        let mut inner = self.lock();
+        inner.shutdown_cluster();
+        inner.merge_trace();
+    }
+}
+
+impl AdvisorBackend for ClusterCoordinator {
+    fn rcs_len(&self) -> usize {
+        ClusterCoordinator::rcs_len(self)
+    }
+
+    /// Epochs track *refreshes* on the wire; the encoder only changes
+    /// through the authority's adaptation path, so the authority's
+    /// generation is the correct cache-invalidation signal.
+    fn generation(&self) -> u64 {
+        ClusterCoordinator::generation(self)
+    }
+
+    fn feature_config(&self) -> FeatureConfig {
+        self.lock().authority.config().feature
+    }
+
+    fn embed_graph(&self, g: &FeatureGraph) -> Vec<f32> {
+        ClusterCoordinator::embed_graph(self, g)
+    }
+
+    fn embed_graph_batch(&self, graphs: &[&FeatureGraph]) -> Vec<Vec<f32>> {
+        self.lock().authority.embed_graph_batch(graphs)
+    }
+
+    fn predict_excluding(
+        &self,
+        embedding: &[f32],
+        w: MetricWeights,
+        exclude: usize,
+    ) -> Result<(ModelKind, Vec<f64>), AdvisorError> {
+        ClusterCoordinator::predict_excluding(self, embedding, w, exclude)
+            .map_err(AdvisorError::from)
+    }
+
+    fn distance_to_nearest(&self, x: &[f32]) -> f32 {
+        self.lock().authority.distance_to_embedding(x)
+    }
+
+    fn drift_detector(&self) -> autoce::online::DriftDetector {
+        self.lock().authority.drift_detector()
+    }
+
+    fn push_entry(
+        &mut self,
+        graph: FeatureGraph,
+        label: &DatasetLabel,
+    ) -> Result<usize, AdvisorError> {
+        ClusterCoordinator::push_entry(self, graph, label).map_err(AdvisorError::from)
+    }
+
+    fn refresh(&mut self) -> Result<u64, AdvisorError> {
+        self.refresh_and_snapshot().map_err(AdvisorError::from)
     }
 }
 
@@ -637,7 +1128,7 @@ mod tests {
         for ranges in [1usize, 3] {
             let sharded = ShardedAdvisor::from_advisor(&flat, ranges);
             let net = SimNet::new(ranges * 2, FaultPlan::none());
-            let mut coord =
+            let coord =
                 ClusterCoordinator::over_sim(sharded.clone(), &net, 2, ClusterConfig::no_sleep());
             coord.bootstrap().expect("bootstrap");
             for x in queries() {
@@ -660,7 +1151,7 @@ mod tests {
         // (dial + load) = 8 steps) and never comes back.
         let plan = FaultPlan::none().with_kill(9, 0);
         let net = SimNet::new(4, plan);
-        let mut coord =
+        let coord =
             ClusterCoordinator::over_sim(sharded.clone(), &net, 2, ClusterConfig::no_sleep());
         coord.bootstrap().expect("bootstrap");
         for x in queries() {
@@ -685,7 +1176,7 @@ mod tests {
         // Both replicas die after bootstrap (2 × (dial + load) = 4 steps).
         let plan = FaultPlan::none().with_kill(5, 0).with_kill(5, 1);
         let net = SimNet::new(2, plan);
-        let mut coord = ClusterCoordinator::over_sim(sharded, &net, 2, ClusterConfig::no_sleep());
+        let coord = ClusterCoordinator::over_sim(sharded, &net, 2, ClusterConfig::no_sleep());
         coord.bootstrap().expect("bootstrap");
         let got = coord.predict_from_embedding(&[0.0, 0.0, 0.0], MetricWeights::new(0.5));
         assert_eq!(got, Err(ClusterError::RangeUnavailable { range: 0 }));
@@ -699,7 +1190,7 @@ mod tests {
         let sharded = ShardedAdvisor::from_advisor(&flat, 2);
         let mut mirror = sharded.clone();
         let net = SimNet::new(4, FaultPlan::none());
-        let mut coord = ClusterCoordinator::over_sim(sharded, &net, 2, ClusterConfig::no_sleep());
+        let coord = ClusterCoordinator::over_sim(sharded, &net, 2, ClusterConfig::no_sleep());
         coord.bootstrap().expect("bootstrap");
         let label = DatasetLabel {
             dataset: "new".into(),
@@ -744,5 +1235,138 @@ mod tests {
             );
         }
         assert!(!coord.heartbeat().degraded());
+    }
+
+    #[test]
+    fn dead_replica_is_demoted_and_heartbeat_repromotes() {
+        let flat = synthetic_flat(9, 3);
+        let w = MetricWeights::new(0.5);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 1);
+        // Bootstrap: 2 × (dial + load) = steps 1-4. Replica 0 dies at the
+        // first post-bootstrap interaction (step 5) and restarts — empty —
+        // just before the heartbeat's re-dial (step 11; see the step
+        // arithmetic in the comments below).
+        let plan = FaultPlan::none().with_kill(5, 0).with_restart(11, 0);
+        let net = SimNet::new(2, plan);
+        let coord =
+            ClusterCoordinator::over_sim(sharded.clone(), &net, 2, ClusterConfig::no_sleep());
+        coord.bootstrap().expect("bootstrap");
+
+        // Query 1: optimistic send to r=0 executes at step 5 (killed →
+        // parked error, streak 1), fallback dials r=0 three more times
+        // (steps 6-8 → streak 4, demotion at streak 3), fails over to r=1
+        // (step 9, cached conn) and still answers bit-identically.
+        let x = &queries()[0];
+        let want = sharded.predict_from_embedding(x, w);
+        assert_eq!(coord.predict_from_embedding(x, w).expect("predict"), want);
+        let trace = coord.trace();
+        assert!(
+            trace.iter().any(|l| l == "demote range=0 r=0 streak=3"),
+            "demotion must be traced: {trace:?}"
+        );
+        assert!(coord.health().ranges[0][0].demoted);
+        assert!(coord.health().report().contains("(demoted)"));
+
+        // Query 2 (step 10): the demoted replica is skipped — degraded
+        // mode stops paying a refused dial per request.
+        let failures_before = coord.health().ranges[0][0].total_failures;
+        assert_eq!(coord.predict_from_embedding(x, w).expect("predict"), want);
+        assert_eq!(
+            coord.health().ranges[0][0].total_failures,
+            failures_before,
+            "a demoted replica must not be dialed by the query path"
+        );
+
+        // Heartbeat: the re-dial of r=0 lands at step 11 where the
+        // restart applies — the ping succeeds (re-promotion), the pong
+        // exposes the empty table (stale-pong), and the reload repairs it.
+        coord.heartbeat();
+        let trace = coord.trace();
+        assert!(
+            trace.iter().any(|l| l == "repromote range=0 r=0"),
+            "re-promotion must be traced: {trace:?}"
+        );
+        assert!(
+            trace
+                .iter()
+                .any(|l| l.starts_with("stale-pong range=0 r=0")),
+            "restarted-empty replica must be caught stale: {trace:?}"
+        );
+        assert!(!coord.health().ranges[0][0].demoted);
+
+        // Replica 0 is first candidate again and serves bit-identically.
+        for x in queries() {
+            assert_eq!(
+                coord.predict_from_embedding(&x, w).expect("predict"),
+                sharded.predict_from_embedding(&x, w)
+            );
+        }
+        assert!(!coord.health().any_range_dark());
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        assert!(matches!(
+            ClusterConfig::builder().max_attempts_per_replica(0).build(),
+            Err(AdvisorError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ClusterConfig::builder().demote_after(0).build(),
+            Err(AdvisorError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ClusterConfig::builder()
+                .request_deadline(Duration::ZERO)
+                .build(),
+            Err(AdvisorError::InvalidConfig(_)),
+        ));
+        // Zero deadline without retries is allowed (nothing to burn).
+        assert!(ClusterConfig::builder()
+            .request_deadline(Duration::ZERO)
+            .max_attempts_per_replica(1)
+            .build()
+            .is_ok());
+        let cfg = ClusterConfig::builder()
+            .demote_after(2)
+            .seed(7)
+            .no_sleep()
+            .build()
+            .expect("valid");
+        assert_eq!((cfg.demote_after, cfg.seed), (2, 7));
+        assert!(cfg.backoff_base.is_zero());
+    }
+
+    #[test]
+    fn try_new_rejects_zero_replica_ranges() {
+        let flat = synthetic_flat(4, 2);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 2);
+        let net = SimNet::new(1, FaultPlan::none());
+        let connectors: Vec<Vec<Box<dyn Connector>>> =
+            vec![vec![Box::new(net.connector(0))], vec![]];
+        assert!(matches!(
+            ClusterCoordinator::try_new(sharded, connectors, ClusterConfig::no_sleep()),
+            Err(AdvisorError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn coordinator_serves_through_the_backend_trait() {
+        let flat = synthetic_flat(7, 3);
+        let w = MetricWeights::new(0.6);
+        let sharded = ShardedAdvisor::from_advisor(&flat, 2);
+        let net = SimNet::new(4, FaultPlan::none());
+        let coord =
+            ClusterCoordinator::over_sim(sharded.clone(), &net, 2, ClusterConfig::no_sleep());
+        coord.bootstrap().expect("bootstrap");
+        let backend: &dyn AdvisorBackend = &coord;
+        assert_eq!(backend.rcs_len(), 7);
+        assert_eq!(backend.generation(), sharded.generation());
+        for x in queries() {
+            assert_eq!(
+                backend.predict_from_embedding(&x, w).expect("predict"),
+                sharded.predict_from_embedding(&x, w),
+                "trait path must be the same wire path"
+            );
+        }
     }
 }

@@ -35,6 +35,14 @@ pub struct ReplicaHealth {
     pub reloads: u64,
     /// Lifetime successful calls.
     pub successes: u64,
+    /// True while the coordinator has taken this replica out of regular
+    /// traffic (its dead-streak reached `ClusterConfig::demote_after`).
+    /// Demoted replicas stop costing refused dials on every request; only
+    /// a heartbeat or an explicit resync touches them, and any successful
+    /// round trip re-promotes. The *last-hope* exception: when every
+    /// replica of a range is demoted, the query path considers all of
+    /// them rather than failing without trying.
+    pub demoted: bool,
 }
 
 impl ReplicaHealth {
@@ -46,6 +54,7 @@ impl ReplicaHealth {
             total_failures: 0,
             reloads: 0,
             successes: 0,
+            demoted: false,
         }
     }
 
@@ -66,11 +75,11 @@ impl ReplicaHealth {
         self.reloads += 1;
     }
 
-    /// Current status under the standard thresholds: any consecutive
-    /// failure streak ≥ 2 is dead, any lifetime failure or reload leaves
-    /// the replica degraded until it proves itself again.
+    /// Current status under the standard thresholds: demotion or any
+    /// consecutive failure streak ≥ 2 is dead, any lifetime failure or
+    /// reload leaves the replica degraded until it proves itself again.
     pub fn status(&self) -> ReplicaStatus {
-        if self.consecutive_failures >= 2 {
+        if self.demoted || self.consecutive_failures >= 2 {
             ReplicaStatus::Dead
         } else if self.consecutive_failures > 0
             || (self.total_failures + self.reloads > 0 && self.successes < self.total_failures)
@@ -121,9 +130,10 @@ impl ClusterHealth {
         for (i, range) in self.ranges.iter().enumerate() {
             for (j, r) in range.iter().enumerate() {
                 out.push_str(&format!(
-                    "  range {i} replica {j} [{}]: {:?} ok={} fail={} streak={} reloads={}\n",
+                    "  range {i} replica {j} [{}]: {:?}{} ok={} fail={} streak={} reloads={}\n",
                     r.label,
                     r.status(),
+                    if r.demoted { " (demoted)" } else { "" },
                     r.successes,
                     r.total_failures,
                     r.consecutive_failures,

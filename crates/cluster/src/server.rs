@@ -197,6 +197,12 @@ fn malformed(e: crate::protocol::FrameError) -> Frame {
 /// Serves one accepted connection until the peer disconnects or a
 /// shutdown frame arrives. Returns `true` when the server should stop
 /// accepting (shutdown requested).
+///
+/// Reads are buffered: a request's header and payload almost always
+/// arrive in one segment, so each frame costs one `read` syscall instead
+/// of two — and when the coordinator pipelines (several requests written
+/// before the first answer is consumed), one `read` can pick up several
+/// frames, which are then answered back to back.
 fn serve_connection(
     stream: TcpStream,
     state: &Arc<Mutex<ShardState>>,
@@ -206,28 +212,53 @@ fn serve_connection(
     // Poll in short slices so a shutdown on another connection also ends
     // this one promptly.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut header = [0u8; crate::protocol::HEADER_LEN];
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut start = 0usize;
+    let mut chunk = [0u8; 16 * 1024];
+    const HEADER_LEN: usize = crate::protocol::HEADER_LEN;
     loop {
-        match read_exact_poll(&mut stream, &mut header, stop) {
-            ReadOutcome::Ok => {}
-            ReadOutcome::Stopped => return false,
-            ReadOutcome::Gone => return false,
-        }
-        let (step, len) = match Frame::parse_header(&header) {
-            Ok(v) => v,
-            Err(e) => {
-                // Foreign/garbled traffic: answer one NACK, then drop the
-                // connection (the byte stream can no longer be trusted).
-                let _ = stream.write_all(&malformed(e).to_bytes());
-                return false;
+        // Assemble the next complete frame from the buffer, refilling as
+        // needed.
+        let frame = loop {
+            let avail = buf.len() - start;
+            if avail >= HEADER_LEN {
+                let header: &[u8; HEADER_LEN] = buf[start..start + HEADER_LEN]
+                    .try_into()
+                    .expect("exact header slice");
+                match Frame::parse_header(header) {
+                    Ok((step, len)) => {
+                        if avail >= HEADER_LEN + len {
+                            let at = start + HEADER_LEN;
+                            let payload = buf[at..at + len].to_vec();
+                            start = at + len;
+                            if start == buf.len() {
+                                buf.clear();
+                                start = 0;
+                            }
+                            break Frame { step, payload };
+                        }
+                    }
+                    Err(e) => {
+                        // Foreign/garbled traffic: answer one NACK, then
+                        // drop the connection (the byte stream can no
+                        // longer be trusted).
+                        let _ = stream.write_all(&malformed(e).to_bytes());
+                        return false;
+                    }
+                }
+            }
+            match read_chunk_poll(&mut stream, &mut chunk, stop) {
+                ReadOutcome::Data(n) => {
+                    if start == buf.len() {
+                        buf.clear();
+                        start = 0;
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                ReadOutcome::Stopped | ReadOutcome::Gone => return false,
             }
         };
-        let mut payload = vec![0u8; len];
-        match read_exact_poll(&mut stream, &mut payload, stop) {
-            ReadOutcome::Ok => {}
-            ReadOutcome::Stopped | ReadOutcome::Gone => return false,
-        }
-        let frame = Frame { step, payload };
         let reply = state.lock().expect("shard state lock").handle(&frame);
         if stream.write_all(&reply.to_bytes()).is_err() {
             return false;
@@ -240,36 +271,34 @@ fn serve_connection(
 }
 
 enum ReadOutcome {
-    Ok,
+    Data(usize),
     Stopped,
     Gone,
 }
 
-fn read_exact_poll(stream: &mut TcpStream, buf: &mut [u8], stop: &Arc<AtomicBool>) -> ReadOutcome {
-    let mut read = 0usize;
-    while read < buf.len() {
+/// One polled `read`: blocks in 50ms slices (the socket's read timeout),
+/// re-checking the stop flag between slices so a shutdown on another
+/// connection ends this one promptly — whether the silence falls between
+/// frames or mid-frame.
+fn read_chunk_poll(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    stop: &Arc<AtomicBool>,
+) -> ReadOutcome {
+    loop {
         if stop.load(Ordering::Acquire) {
             return ReadOutcome::Stopped;
         }
-        match stream.read(&mut buf[read..]) {
+        match stream.read(chunk) {
             Ok(0) => return ReadOutcome::Gone,
-            Ok(n) => read += n,
+            Ok(n) => return ReadOutcome::Data(n),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Only between frames may the peer be silent indefinitely;
-                // mid-frame silence still honors the stop flag, which is
-                // all the in-process tests need.
-                if read == 0 {
-                    continue;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return ReadOutcome::Gone,
         }
     }
-    ReadOutcome::Ok
 }
 
 /// Runs a shard server over `listener` until a shutdown frame arrives.

@@ -205,6 +205,7 @@ impl Connector for SimConnector {
             net: self.net.clone(),
             replica: self.replica,
             dead: false,
+            pending: None,
         }))
     }
 
@@ -215,18 +216,47 @@ impl Connector for SimConnector {
 
 /// One simulated connection. Any error poisons it, matching the TCP
 /// transport's re-dial discipline.
+///
+/// The two-phase surface maps onto the synchronous simulation by
+/// executing the request at `send` time — the global step advances in
+/// **send order**, so a pipelined fan-out (all sends in fixed range
+/// order, then all recvs) schedules fault events exactly as a serial
+/// replay of the same send sequence would — and parking the result until
+/// `recv`. Pipelining therefore changes no step numbering and no trace.
 pub struct SimConn {
     net: SimNet,
     replica: usize,
     dead: bool,
+    /// Result parked between `send` and `recv`.
+    pending: Option<Result<Frame, WireError>>,
 }
 
 impl Conn for SimConn {
-    fn call(&mut self, frame: &Frame, _deadline: Duration) -> Result<Frame, WireError> {
+    fn send(&mut self, frame: &Frame, _deadline: Duration) -> Result<(), WireError> {
         if self.dead {
             return Err(WireError::Closed("sim: connection already failed".into()));
         }
-        let out = self.net.call(self.replica, frame);
+        if self.pending.is_some() {
+            self.dead = true;
+            return Err(WireError::Frame(
+                "sim: send with a reply still in flight".into(),
+            ));
+        }
+        // Note: a send whose *reply* will fail still succeeds here — the
+        // wire accepted the bytes; the failure surfaces at `recv`, as on
+        // a real socket.
+        self.pending = Some(self.net.call(self.replica, frame));
+        Ok(())
+    }
+
+    fn recv(&mut self, _deadline: Duration) -> Result<Frame, WireError> {
+        if self.dead {
+            return Err(WireError::Closed("sim: connection already failed".into()));
+        }
+        let out = match self.pending.take() {
+            Some(r) => r,
+            None => Err(WireError::Frame("sim: recv without a send".into())),
+        };
         if out.is_err() {
             self.dead = true;
         }

@@ -1,0 +1,209 @@
+//! Backend parity: the micro-batched [`AdvisorService`] must answer
+//! bit-identically over every [`AdvisorBackend`] — the flat advisor, the
+//! in-process sharded advisor, and the cluster coordinator fronting a
+//! simulated wire — and bit-identically to calling the backend directly.
+//! The service's conveniences (micro-batching across client threads, the
+//! embedding cache, snapshot swaps) must never change a bit either.
+
+mod common;
+
+use autoce::{AdvisorBackend, AutoCe};
+use ce_cluster::{ClusterConfig, ClusterCoordinator, FaultPlan, ShardedAdvisor, SimNet};
+use ce_features::FeatureGraph;
+use ce_models::ModelKind;
+use ce_serve::{AdvisorService, ServeConfig};
+use ce_testbed::MetricWeights;
+use std::sync::Arc;
+use std::time::Duration;
+
+const RANGES: usize = 2;
+const REPLICAS_PER_RANGE: usize = 2;
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::builder()
+        .max_batch(8)
+        .batch_deadline(Duration::from_millis(2))
+        .queue_capacity(64)
+        .cache_capacity(128)
+        .inline_burst_misses(2)
+        .seed(99)
+        .build()
+        .expect("valid serve config")
+}
+
+/// The request workload: every RCS entry's own graph (so answers span the
+/// whole table, including KNN tie cases the fixtures are built to hit).
+fn graphs(flat: &AutoCe) -> Vec<FeatureGraph> {
+    flat.rcs().iter().map(|e| e.graph.clone()).collect()
+}
+
+/// Ground truth straight off the flat advisor: embed, then vote.
+fn expected(flat: &AutoCe, w: MetricWeights) -> Vec<(ModelKind, Vec<f64>)> {
+    graphs(flat)
+        .iter()
+        .map(|g| {
+            let x = flat.embed_graph(g);
+            flat.predict_from_embedding(&x, w)
+        })
+        .collect()
+}
+
+/// Drives `clients` threads through the service and checks every answer
+/// against `want`, then a single-threaded second pass that must be served
+/// from the embedding cache with the same bits.
+fn hammer<B: AdvisorBackend + 'static>(
+    service: &AdvisorService<B>,
+    graphs: &[FeatureGraph],
+    want: &[(ModelKind, Vec<f64>)],
+    w: MetricWeights,
+    clients: usize,
+    label: &str,
+) {
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let handle = service.handle();
+            scope.spawn(move || {
+                for i in 0..graphs.len() {
+                    let j = (i + t * 3) % graphs.len();
+                    let rec = handle
+                        .recommend_graph(graphs[j].clone(), w)
+                        .expect("service is running");
+                    assert_eq!(
+                        (rec.model, rec.scores),
+                        (want[j].0, want[j].1.clone()),
+                        "{label}: client {t} of {clients}, graph {j}"
+                    );
+                }
+            });
+        }
+    });
+    let hits_before = service.stats().cache_hits;
+    let handle = service.handle();
+    for (g, want) in graphs.iter().zip(want) {
+        let rec = handle.recommend_graph(g.clone(), w).expect("running");
+        assert!(rec.cache_hit, "{label}: warm pass must hit the cache");
+        assert_eq!((rec.model, rec.scores), (want.0, want.1.clone()), "{label}");
+    }
+    assert!(
+        service.stats().cache_hits >= hits_before + graphs.len() as u64,
+        "{label}: cache-hit counter must advance"
+    );
+}
+
+/// One service per backend shape, each hammered at 1/2/4/8 client
+/// threads: the flat advisor, the sharded advisor, and the cluster
+/// coordinator over a healthy simulated wire all answer with the same
+/// bits as the flat advisor called directly.
+#[test]
+fn service_answers_identically_over_flat_sharded_and_cluster_backends() {
+    let flat = common::synthetic_flat(11, 3);
+    let w = MetricWeights::new(0.7);
+    let want = expected(&flat, w);
+    let gs = graphs(&flat);
+
+    for clients in [1usize, 2, 4, 8] {
+        // Flat backend (rebuilt from parts — the synthetic fixture is
+        // bit-identical on every construction).
+        let service = AdvisorService::start(common::synthetic_flat(11, 3), serve_config());
+        hammer(&service, &gs, &want, w, clients, "flat");
+        service.shutdown();
+
+        // Sharded backend.
+        let service = AdvisorService::start(
+            ShardedAdvisor::from_advisor(&flat, RANGES + 1),
+            serve_config(),
+        );
+        hammer(&service, &gs, &want, w, clients, "sharded");
+        service.shutdown();
+
+        // Cluster backend over a healthy SimNet; the caller keeps the
+        // admin handle while queries ride the service.
+        let net = SimNet::new(RANGES * REPLICAS_PER_RANGE, FaultPlan::none());
+        let coord = Arc::new(ClusterCoordinator::over_sim(
+            ShardedAdvisor::from_advisor(&flat, RANGES),
+            &net,
+            REPLICAS_PER_RANGE,
+            ClusterConfig::no_sleep(),
+        ));
+        coord.bootstrap().expect("bootstrap");
+        let service = AdvisorService::start_shared(coord.clone(), serve_config());
+        hammer(&service, &gs, &want, w, clients, "cluster");
+        assert!(
+            !coord.health().degraded(),
+            "a healthy net must stay healthy under service traffic"
+        );
+        service.shutdown();
+    }
+}
+
+/// Admin mutations through the caller-held coordinator handle — push and
+/// epoch snapshot — flow through to service answers with the same bits as
+/// an in-process mirror, and the embedding cache stays correct across the
+/// snapshot (the encoder did not change, so cached embeddings remain
+/// valid while the recommendations move with the new RCS state).
+#[test]
+fn service_fronted_cluster_tracks_push_and_snapshot_bit_identically() {
+    let flat = common::synthetic_flat(9, 3);
+    let w = MetricWeights::new(0.5);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let mut mirror = sharded.clone();
+    let net = SimNet::new(RANGES * REPLICAS_PER_RANGE, FaultPlan::none());
+    let coord = Arc::new(ClusterCoordinator::over_sim(
+        sharded,
+        &net,
+        REPLICAS_PER_RANGE,
+        ClusterConfig::no_sleep(),
+    ));
+    coord.bootstrap().expect("bootstrap");
+    let service = AdvisorService::start_shared(coord.clone(), serve_config());
+    let handle = service.handle();
+    let gs = graphs(&flat);
+
+    // Warm the cache on the pre-mutation state.
+    for g in &gs {
+        let rec = handle.recommend_graph(g.clone(), w).expect("running");
+        let x = mirror.embed_graph(g);
+        let want = mirror.predict_from_embedding(&x, w);
+        assert_eq!((rec.model, rec.scores), want);
+    }
+
+    // Push through the admin handle; the mirror pushes the same entry.
+    let label = common::synthetic_label(&mirror.shards()[0].entries()[0].kinds);
+    let graph = FeatureGraph {
+        vertices: vec![vec![0.3, 0.3, 0.3, 0.3]],
+        edges: vec![vec![0.0]],
+    };
+    let id = coord.push_entry(graph.clone(), &label).expect("push");
+    assert_eq!(id, mirror.push_entry(graph, &label));
+    for g in &gs {
+        let rec = handle.recommend_graph(g.clone(), w).expect("running");
+        assert!(rec.cache_hit, "push must not invalidate the cache");
+        let x = mirror.embed_graph(g);
+        assert_eq!(
+            (rec.model, rec.scores),
+            mirror.predict_from_embedding(&x, w),
+            "post-push answers must track the mirror"
+        );
+    }
+
+    // Epoch snapshot through the admin handle; embeddings refresh on both
+    // sides.
+    mirror.refresh_embeddings();
+    let epoch = coord.refresh_and_snapshot().expect("snapshot");
+    assert_eq!(epoch, 1);
+    for g in &gs {
+        let rec = handle.recommend_graph(g.clone(), w).expect("running");
+        assert!(
+            rec.cache_hit,
+            "the encoder did not change; cached query embeddings stay valid"
+        );
+        let x = mirror.embed_graph(g);
+        assert_eq!(
+            (rec.model, rec.scores),
+            mirror.predict_from_embedding(&x, w),
+            "post-snapshot answers must track the mirror"
+        );
+    }
+    assert!(!coord.heartbeat().degraded());
+    service.shutdown();
+}

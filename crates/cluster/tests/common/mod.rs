@@ -42,11 +42,34 @@ pub fn synthetic_flat(n: usize, k: usize) -> AutoCe {
 }
 
 /// Query embeddings covering an interior point, an off-manifold point and
-/// a far outlier.
+/// a far outlier. (Not every test binary uses every fixture.)
+#[allow(dead_code)]
 pub fn queries() -> Vec<Vec<f32>> {
     vec![
         vec![0.0f32, 0.0, 0.0],
         vec![1.3, 0.4, -0.2],
         vec![2.5, 6.25, -1.5],
     ]
+}
+
+/// A deterministic label over `kinds` for push-path tests (quantized
+/// performance numbers so score vectors stay bit-stable).
+#[allow(dead_code)]
+pub fn synthetic_label(kinds: &[ModelKind]) -> ce_testbed::DatasetLabel {
+    ce_testbed::DatasetLabel {
+        dataset: "new".into(),
+        performances: kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| ce_testbed::ModelPerformance {
+                kind,
+                qerror_mean: 1.0 + i as f64,
+                qerror_p50: 1.0,
+                qerror_p95: 1.0,
+                qerror_p99: 1.0,
+                latency_mean_us: 10.0 * (i + 1) as f64,
+                train_time_ms: 1.0,
+            })
+            .collect(),
+    }
 }

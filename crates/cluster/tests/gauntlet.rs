@@ -14,11 +14,15 @@
 
 mod common;
 
+use autoce::AdvisorError;
 use ce_cluster::{
     ClusterConfig, ClusterCoordinator, ClusterError, FaultPlan, ShardedAdvisor, SimNet,
 };
 use ce_models::ModelKind;
+use ce_serve::{AdvisorService, ServeConfig};
 use ce_testbed::MetricWeights;
+use std::sync::Arc;
+use std::time::Duration;
 
 const RANGES: usize = 2;
 const REPLICAS_PER_RANGE: usize = 2;
@@ -50,7 +54,7 @@ fn run_gauntlet(seed: u64) -> GauntletRun {
     let replicas = RANGES * REPLICAS_PER_RANGE;
     let plan = FaultPlan::seeded(seed, PLAN_STEPS, replicas, INTENSITY);
     let net = SimNet::new(replicas, plan);
-    let mut coord =
+    let coord =
         ClusterCoordinator::over_sim(sharded, &net, REPLICAS_PER_RANGE, ClusterConfig::no_sleep());
     let mut retries = 0usize;
     let mut attempt = 0u32;
@@ -63,7 +67,7 @@ fn run_gauntlet(seed: u64) -> GauntletRun {
     }
     let w = MetricWeights::new(0.7);
     let mut answers = Vec::new();
-    for (x, exclude) in workload() {
+    for (i, (x, exclude)) in workload().into_iter().enumerate() {
         let mut attempt = 0u32;
         let answer = loop {
             match coord.predict_excluding(&x, w, exclude) {
@@ -80,6 +84,12 @@ fn run_gauntlet(seed: u64) -> GauntletRun {
             }
         };
         answers.push(answer);
+        // Periodic heartbeats, as a production loop would run them: they
+        // probe demoted replicas (the re-promotion path) and resync any
+        // that restarted behind the coordinator's back.
+        if i % 3 == 2 {
+            let _ = coord.heartbeat();
+        }
     }
     // One heartbeat pass: probes every replica, proactively reloading any
     // that restarted behind the coordinator's back.
@@ -107,10 +117,12 @@ fn seeded_fault_sweep_is_bit_identical_to_flat() {
         .map(|(x, exclude)| sharded.predict_excluding(x, w, *exclude))
         .collect();
 
-    let mut errors = 0usize; // dial-err + call-err
+    let mut errors = 0usize; // dial-err + send-err + call-err
     let mut reloads = 0usize;
     let mut failovers = 0usize;
     let mut nacks = 0usize;
+    let mut demotes = 0usize;
+    let mut repromotes = 0usize;
     let mut retries = 0usize;
     for seed in 1u64..=8 {
         let run = run_gauntlet(seed);
@@ -121,7 +133,9 @@ fn seeded_fault_sweep_is_bit_identical_to_flat() {
         errors += run
             .trace
             .iter()
-            .filter(|l| l.starts_with("dial-err") || l.starts_with("call-err"))
+            .filter(|l| {
+                l.starts_with("dial-err") || l.starts_with("send-err") || l.starts_with("call-err")
+            })
             .count();
         reloads += run.trace.iter().filter(|l| l.starts_with("reload")).count();
         failovers += run
@@ -130,6 +144,12 @@ fn seeded_fault_sweep_is_bit_identical_to_flat() {
             .filter(|l| l.starts_with("failover"))
             .count();
         nacks += run.trace.iter().filter(|l| l.starts_with("nack")).count();
+        demotes += run.trace.iter().filter(|l| l.starts_with("demote")).count();
+        repromotes += run
+            .trace
+            .iter()
+            .filter(|l| l.starts_with("repromote"))
+            .count();
         retries += run.retries;
     }
     // The sweep is only meaningful if faults actually fired and were
@@ -138,11 +158,17 @@ fn seeded_fault_sweep_is_bit_identical_to_flat() {
     println!(
         "gauntlet coverage over 8 seeds: {errors} transport errors, \
          {nacks} NACKs, {reloads} reloads, {failovers} failovers, \
+         {demotes} demotions, {repromotes} re-promotions, \
          {retries} request retries"
     );
     assert!(errors > 0, "no transport faults fired — raise INTENSITY");
     assert!(reloads > 0, "no reload was ever needed — plan too gentle");
     assert!(failovers > 0, "no failover was ever exercised");
+    assert!(demotes > 0, "no replica was ever demoted — plan too gentle");
+    assert!(
+        repromotes > 0,
+        "no demoted replica ever came back through a heartbeat"
+    );
 }
 
 /// Same seed, same trace — byte for byte, including retry counts. A
@@ -175,7 +201,7 @@ fn kill_restart_cycle_heals_through_reload() {
     // second query round reaches it.
     let plan = FaultPlan::none().with_kill(9, 0).with_restart(14, 0);
     let net = SimNet::new(replicas, plan);
-    let mut coord = ClusterCoordinator::over_sim(
+    let coord = ClusterCoordinator::over_sim(
         sharded.clone(),
         &net,
         REPLICAS_PER_RANGE,
@@ -205,4 +231,96 @@ fn kill_restart_cycle_heals_through_reload() {
     // heartbeat finds nothing left to repair.
     let health = coord.heartbeat();
     assert!(!health.any_range_dark());
+}
+
+/// Answers, coordinator trace, and RangeUnavailable-retry count from one
+/// service-fronted gauntlet run.
+type ServiceGauntletRun = (Vec<(ModelKind, Vec<f64>)>, Vec<String>, usize);
+
+/// One gauntlet run with the cluster mounted behind the micro-batched
+/// [`AdvisorService`] (the caller keeps the coordinator's admin handle for
+/// heartbeats and the trace; queries ride the service front).
+fn run_service_gauntlet(seed: u64) -> ServiceGauntletRun {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let replicas = RANGES * REPLICAS_PER_RANGE;
+    let plan = FaultPlan::seeded(seed, PLAN_STEPS, replicas, INTENSITY);
+    let net = SimNet::new(replicas, plan);
+    let coord = Arc::new(ClusterCoordinator::over_sim(
+        sharded,
+        &net,
+        REPLICAS_PER_RANGE,
+        ClusterConfig::no_sleep(),
+    ));
+    let mut attempt = 0u32;
+    let mut retries = 0usize;
+    while let Err(e) = coord.bootstrap() {
+        attempt += 1;
+        retries += 1;
+        assert!(attempt < 100, "seed {seed}: bootstrap never converged: {e}");
+    }
+    let service = AdvisorService::start_shared(
+        coord.clone(),
+        ServeConfig::builder()
+            .max_batch(4)
+            .batch_deadline(Duration::from_millis(1))
+            .cache_capacity(64)
+            .build()
+            .expect("valid serve config"),
+    );
+    let handle = service.handle();
+    let w = MetricWeights::new(0.7);
+    let mut answers = Vec::new();
+    for (i, e) in flat.rcs().iter().enumerate() {
+        let mut attempt = 0u32;
+        let rec = loop {
+            match handle.recommend_graph(e.graph.clone(), w) {
+                Ok(rec) => break rec,
+                Err(AdvisorError::RangeUnavailable { .. }) => {
+                    attempt += 1;
+                    retries += 1;
+                    assert!(attempt < 500, "seed {seed}: range stayed dark");
+                }
+                Err(e) => panic!("seed {seed}: non-transient service failure: {e}"),
+            }
+        };
+        answers.push((rec.model, rec.scores));
+        if i % 3 == 2 {
+            let _ = coord.heartbeat();
+        }
+    }
+    service.shutdown();
+    (answers, coord.take_trace(), retries)
+}
+
+/// The gauntlet through the service front: every recommendation off the
+/// faulty wire equals the in-process sharded advisor bit for bit, and the
+/// whole run — batching, caching, retries, fault recovery — replays
+/// byte-identically from the same seed.
+#[test]
+fn service_fronted_gauntlet_is_bit_identical_and_replays() {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let w = MetricWeights::new(0.7);
+    let expected: Vec<(ModelKind, Vec<f64>)> = flat
+        .rcs()
+        .iter()
+        .map(|e| {
+            let x = sharded.embed_graph(&e.graph);
+            sharded.predict_from_embedding(&x, w)
+        })
+        .collect();
+    for seed in 1u64..=8 {
+        let (answers, trace, retries) = run_service_gauntlet(seed);
+        assert_eq!(
+            answers, expected,
+            "seed {seed}: a fault changed a service answer bit"
+        );
+        let (answers2, trace2, retries2) = run_service_gauntlet(seed);
+        assert_eq!(
+            trace, trace2,
+            "seed {seed}: the service-fronted trace must replay byte-identically"
+        );
+        assert_eq!((answers, retries), (answers2, retries2), "seed {seed}");
+    }
 }

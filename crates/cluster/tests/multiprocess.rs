@@ -35,7 +35,7 @@ fn loopback_cluster_survives_a_hard_shard_kill() {
         connectors.push(row);
     }
 
-    let mut coord = ClusterCoordinator::new(mirror.clone(), connectors, ClusterConfig::no_sleep());
+    let coord = ClusterCoordinator::new(mirror.clone(), connectors, ClusterConfig::no_sleep());
     coord.bootstrap().expect("bootstrap over loopback");
     let w = MetricWeights::new(0.6);
     for x in common::queries() {

@@ -1,22 +1,29 @@
 //! The concurrent advisor service: micro-batched requests over a snapshot
-//! of the sharded advisor.
+//! of any [`AdvisorBackend`].
 //!
 //! # Design
 //!
+//! * **Backend-generic** — [`AdvisorService<B>`] fronts any
+//!   [`AdvisorBackend`]: the in-process [`ShardedAdvisor`] (the default
+//!   type parameter, so existing code keeps reading `AdvisorService`),
+//!   the flat [`autoce::AutoCe`], or `ce-cluster`'s coordinator. The
+//!   batching, caching and snapshot machinery below is written once
+//!   against the trait; a cluster behind the service gets one taped
+//!   query fan-out per *batch* instead of per request.
 //! * **Micro-batching** — client threads submit `recommend` requests into
 //!   a bounded queue; a single worker drains it into batches of at most
 //!   [`ServeConfig::max_batch`], waiting up to
 //!   [`ServeConfig::batch_deadline`] after the first request for
 //!   stragglers. Each batch's cache-missing graphs run as **one** stacked
-//!   forward ([`ShardedAdvisor::embed_graph_batch`]) — the whole point:
+//!   forward ([`AdvisorBackend::embed_graph_batch`]) — the whole point:
 //!   per-graph kernel dispatch is what makes per-request serving slow.
-//! * **Snapshot reads** — the worker serves from an
-//!   `Arc<ShardedAdvisor>` snapshot. Online adaptation builds a *new*
-//!   advisor value and swaps the `Arc` under a momentary lock; in-flight
-//!   batches keep reading the old snapshot, so serving never blocks behind
-//!   a refresh (requests are answered by whichever snapshot their batch
-//!   started on — the same consistency a flat advisor under a lock would
-//!   give, minus the blocking).
+//! * **Snapshot reads** — the worker serves from an `Arc<B>` snapshot.
+//!   Online adaptation builds a *new* advisor value and swaps the `Arc`
+//!   under a momentary lock; in-flight batches keep reading the old
+//!   snapshot, so serving never blocks behind a refresh (requests are
+//!   answered by whichever snapshot their batch started on — the same
+//!   consistency a flat advisor under a lock would give, minus the
+//!   blocking).
 //! * **Embedding cache** — embeddings are cached by graph fingerprint
 //!   ([`crate::cache`]) and invalidated on snapshot swaps (the cache lock
 //!   is held across the swap and entries are generation-tagged, so a
@@ -36,15 +43,25 @@
 //!   request bought a handoff — now beat it; lockstep single-graph
 //!   clients still share worker batches.
 //!
-//! Responses are bit-identical to calling
-//! [`ShardedAdvisor::recommend_graph`] directly (and hence to the flat
+//! Responses are bit-identical to calling the backend's
+//! `recommend_graph` directly (and hence to the flat
 //! [`autoce::AutoCe::recommend`]): batching, caching and snapshotting all
 //! preserve the underlying bits.
+//!
+//! # Errors
+//!
+//! The public surface returns the unified [`autoce::AdvisorError`]
+//! regardless of backend: service refusals map from [`ServeError`]
+//! (`ShuttingDown`/`WorkerFailed`), and a distributed backend's typed
+//! failures (`RangeUnavailable`, protocol violations) pass through
+//! untouched — a cache-hit request and a batched request fail with the
+//! same variant the direct call would.
 
 use crate::cache::{graph_fingerprint, EmbeddingCache};
 use crate::reservoir::Reservoir;
 use crate::shard::ShardedAdvisor;
 use autoce::online::DriftDetector;
+use autoce::{validate_nonzero, AdvisorBackend, AdvisorError};
 use ce_features::{extract_features, FeatureGraph};
 use ce_models::ModelKind;
 use ce_storage::Dataset;
@@ -58,6 +75,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
+///
+/// Prefer [`ServeConfig::builder`], which validates at build time (a zero
+/// `max_batch` or `queue_capacity` would hang clients; see the field
+/// docs). Struct-literal construction still works for this release —
+/// validation then happens at [`AdvisorService::start`] as before — but
+/// is **deprecated in favor of the builder** and will stop being the
+/// documented path once downstream call sites migrate.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Maximum requests embedded in one stacked forward.
@@ -95,7 +119,8 @@ pub struct ServeConfig {
     /// Never changes a recommendation — only which requests hit the cache.
     pub admit_on_second_touch: bool,
     /// Reservoir sample size bounding each online adaptation. Must be at
-    /// least 1 (validated at [`AdvisorService::start`]); unlike
+    /// least 1 (validated at [`ServeConfigBuilder::build`] or, for
+    /// struct-literal construction, at [`AdvisorService::start`]); unlike
     /// `cache_capacity` there is no "disabled" mode — adaptation always
     /// trains on at least the newcomer plus one sampled entry.
     pub reservoir_capacity: usize,
@@ -118,6 +143,86 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Builder-style construction with build-time validation: rejects the
+    /// zero values that would hang clients ([`AdvisorError::InvalidConfig`])
+    /// *before* a service exists, instead of panicking at first use.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]; start from [`ServeConfig::builder`]
+/// (defaults) and override knobs. [`Self::build`] validates.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Maximum requests embedded in one stacked forward.
+    pub fn max_batch(mut self, v: usize) -> Self {
+        self.cfg.max_batch = v;
+        self
+    }
+
+    /// Straggler wait after the first queued request.
+    pub fn batch_deadline(mut self, v: Duration) -> Self {
+        self.cfg.batch_deadline = v;
+        self
+    }
+
+    /// Bounded request-queue capacity.
+    pub fn queue_capacity(mut self, v: usize) -> Self {
+        self.cfg.queue_capacity = v;
+        self
+    }
+
+    /// Embedding-cache capacity in entries (0 disables caching).
+    pub fn cache_capacity(mut self, v: usize) -> Self {
+        self.cfg.cache_capacity = v;
+        self
+    }
+
+    /// Minimum misses in one submission for inline burst encoding.
+    pub fn inline_burst_misses(mut self, v: usize) -> Self {
+        self.cfg.inline_burst_misses = v;
+        self
+    }
+
+    /// Second-touch cache admission policy.
+    pub fn admit_on_second_touch(mut self, v: bool) -> Self {
+        self.cfg.admit_on_second_touch = v;
+        self
+    }
+
+    /// Reservoir sample size bounding each online adaptation.
+    pub fn reservoir_capacity(mut self, v: usize) -> Self {
+        self.cfg.reservoir_capacity = v;
+        self
+    }
+
+    /// Seed for the reservoir's deterministic sampling.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Validates and produces the config. `cache_capacity: 0`
+    /// legitimately disables caching, but a zero `max_batch` (worker
+    /// spins popping nothing), `queue_capacity` (no request is ever
+    /// admitted) or `reservoir_capacity` (adaptation has nothing to
+    /// sample) is rejected here, at build time.
+    pub fn build(self) -> Result<ServeConfig, AdvisorError> {
+        validate_nonzero("max_batch", self.cfg.max_batch)?;
+        validate_nonzero("queue_capacity", self.cfg.queue_capacity)?;
+        validate_nonzero("reservoir_capacity", self.cfg.reservoir_capacity)?;
+        Ok(self.cfg)
+    }
+}
+
 /// One served recommendation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
@@ -131,7 +236,10 @@ pub struct Recommendation {
     pub cache_hit: bool,
 }
 
-/// Why a request could not be served.
+/// Why a request could not be served *by the service front* (as opposed
+/// to a backend failure, which surfaces as the corresponding
+/// [`AdvisorError`] variant). Converts into [`AdvisorError`] via `From`,
+/// so the public surface handles one error type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The service is shutting down; the request was not processed.
@@ -155,6 +263,15 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<ServeError> for AdvisorError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::ShuttingDown => AdvisorError::ShuttingDown,
+            ServeError::WorkerFailed => AdvisorError::WorkerFailed,
+        }
+    }
+}
 
 /// Lifetime service counters (monotonic; never reset).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -188,7 +305,7 @@ struct Request {
     graph: FeatureGraph,
     fingerprint: u64,
     w: MetricWeights,
-    reply: mpsc::Sender<Recommendation>,
+    reply: mpsc::Sender<Result<Recommendation, AdvisorError>>,
 }
 
 struct QueueState {
@@ -206,7 +323,7 @@ fn plock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-struct Shared {
+struct Shared<B> {
     cfg: ServeConfig,
     /// Mirrors `QueueState::shutdown` for the lock-free fast path.
     shutting_down: AtomicBool,
@@ -220,13 +337,13 @@ struct Shared {
     space: Condvar,
     /// The current serving snapshot; lock held only to clone/replace the
     /// `Arc`, never across a forward.
-    snapshot: Mutex<Arc<ShardedAdvisor>>,
+    snapshot: Mutex<Arc<B>>,
     cache: Mutex<EmbeddingCache>,
     stats: Stats,
 }
 
-impl Shared {
-    fn current(&self) -> Arc<ShardedAdvisor> {
+impl<B> Shared<B> {
+    fn current(&self) -> Arc<B> {
         plock(&self.snapshot).clone()
     }
 
@@ -241,18 +358,31 @@ impl Shared {
 }
 
 /// A cloneable client handle onto a running [`AdvisorService`].
-#[derive(Clone)]
-pub struct ServeHandle {
-    shared: Arc<Shared>,
+pub struct ServeHandle<B = ShardedAdvisor> {
+    shared: Arc<Shared<B>>,
 }
 
-impl ServeHandle {
+// Manual impl: `derive(Clone)` would demand `B: Clone`, but only the
+// `Arc` is cloned.
+impl<B> Clone for ServeHandle<B> {
+    fn clone(&self) -> Self {
+        ServeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<B: AdvisorBackend + 'static> ServeHandle<B> {
     /// Recommends a model for a dataset: features are extracted
     /// caller-side (CPU-cheap), then the request rides a micro-batch.
     /// Blocks until the response arrives; applies backpressure (blocks)
     /// while the request queue is full.
-    pub fn recommend(&self, ds: &Dataset, w: MetricWeights) -> Result<Recommendation, ServeError> {
-        let feature = self.shared.current().config().feature;
+    pub fn recommend(
+        &self,
+        ds: &Dataset,
+        w: MetricWeights,
+    ) -> Result<Recommendation, AdvisorError> {
+        let feature = self.shared.current().feature_config();
         self.recommend_graph(extract_features(ds, &feature), w)
     }
 
@@ -261,7 +391,7 @@ impl ServeHandle {
         &self,
         graph: FeatureGraph,
         w: MetricWeights,
-    ) -> Result<Recommendation, ServeError> {
+    ) -> Result<Recommendation, AdvisorError> {
         Ok(self
             .recommend_graphs(vec![graph], w)?
             .pop()
@@ -277,12 +407,14 @@ impl ServeHandle {
     /// inline (one stacked forward, no handoff), and remaining misses
     /// ride the micro-batch queue, enqueued together so they share
     /// stacked forwards. Responses come back in input order; each is
-    /// identical to a separate [`Self::recommend_graph`] call.
+    /// identical to a separate [`Self::recommend_graph`] call. A backend
+    /// failure (e.g. a dark cluster range) fails the whole burst with
+    /// that typed error.
     pub fn recommend_graphs(
         &self,
         graphs: Vec<FeatureGraph>,
         w: MetricWeights,
-    ) -> Result<Vec<Recommendation>, ServeError> {
+    ) -> Result<Vec<Recommendation>, AdvisorError> {
         self.recommend_cows(graphs.into_iter().map(Cow::Owned).collect(), w)
     }
 
@@ -295,7 +427,7 @@ impl ServeHandle {
         &self,
         graphs: &[&FeatureGraph],
         w: MetricWeights,
-    ) -> Result<Vec<Recommendation>, ServeError> {
+    ) -> Result<Vec<Recommendation>, AdvisorError> {
         self.recommend_cows(graphs.iter().map(|&g| Cow::Borrowed(g)).collect(), w)
     }
 
@@ -303,13 +435,13 @@ impl ServeHandle {
         &self,
         graphs: Vec<Cow<'_, FeatureGraph>>,
         w: MetricWeights,
-    ) -> Result<Vec<Recommendation>, ServeError> {
+    ) -> Result<Vec<Recommendation>, AdvisorError> {
         let n = graphs.len();
         // Uniform shutdown semantics: once the service is stopping, even
         // cache-servable requests are refused (the fast path never touches
         // the queue, so it must check explicitly).
         if self.shared.shutting_down.load(Ordering::Acquire) {
-            return Err(self.shared.refusal());
+            return Err(self.shared.refusal().into());
         }
         let snap = self.shared.current();
         let fingerprints: Vec<u64> = graphs.iter().map(|g| graph_fingerprint(g)).collect();
@@ -332,7 +464,7 @@ impl ServeHandle {
         for i in 0..n {
             match &cached[i] {
                 Some(emb) => {
-                    let (model, scores) = snap.predict_from_embedding(emb, w);
+                    let (model, scores) = snap.predict_from_embedding(emb, w)?;
                     out[i] = Some(Recommendation {
                         model,
                         scores,
@@ -385,7 +517,7 @@ impl ServeHandle {
             }
             for &i in &missed {
                 let emb = &fresh[pos_of[&fingerprints[i]]];
-                let (model, scores) = snap.predict_from_embedding(emb, w);
+                let (model, scores) = snap.predict_from_embedding(emb, w)?;
                 out[i] = Some(Recommendation {
                     model,
                     scores,
@@ -408,7 +540,7 @@ impl ServeHandle {
                 for &i in &missed {
                     loop {
                         if q.shutdown {
-                            return Err(self.shared.refusal());
+                            return Err(self.shared.refusal().into());
                         }
                         if q.items.len() < self.shared.cfg.queue_capacity {
                             break;
@@ -452,7 +584,10 @@ impl ServeHandle {
             self.shared.not_empty.notify_one();
             // The worker only drops a sender after replying or at shutdown.
             for (&i, rx) in missed.iter().zip(rxs) {
-                out[i] = Some(rx.recv().map_err(|_| self.shared.refusal())?);
+                let answer = rx
+                    .recv()
+                    .map_err(|_| AdvisorError::from(self.shared.refusal()))?;
+                out[i] = Some(answer?);
             }
         }
         Ok(out
@@ -463,7 +598,7 @@ impl ServeHandle {
 
     /// The current serving snapshot (for monitoring or direct unbatched
     /// reads; snapshots are immutable).
-    pub fn snapshot(&self) -> Arc<ShardedAdvisor> {
+    pub fn snapshot(&self) -> Arc<B> {
         self.shared.current()
     }
 
@@ -488,22 +623,34 @@ struct AdminState {
 }
 
 /// The running advisor service: a worker thread micro-batching requests
-/// against the current snapshot, plus the serialized admin path for
-/// online adaptation.
-pub struct AdvisorService {
-    shared: Arc<Shared>,
+/// against the current snapshot of any [`AdvisorBackend`], plus the
+/// serialized admin path for online adaptation (available when the
+/// backend is the in-process [`ShardedAdvisor`]; distributed backends
+/// adapt through their own authority, see `ce-cluster`).
+pub struct AdvisorService<B: AdvisorBackend + 'static = ShardedAdvisor> {
+    shared: Arc<Shared<B>>,
     admin: Mutex<AdminState>,
     worker: Option<JoinHandle<()>>,
 }
 
-impl AdvisorService {
-    /// Starts the service over a sharded advisor. The drift detector is
-    /// fitted from the advisor's RCS and the reservoir is seeded with the
+impl<B: AdvisorBackend + 'static> AdvisorService<B> {
+    /// Starts the service over a backend it owns. The drift detector is
+    /// fitted from the backend's RCS and the reservoir is seeded with the
     /// current membership.
-    pub fn start(advisor: ShardedAdvisor, cfg: ServeConfig) -> Self {
+    pub fn start(advisor: B, cfg: ServeConfig) -> Self {
+        Self::start_shared(Arc::new(advisor), cfg)
+    }
+
+    /// Starts the service over a backend the caller keeps a handle to
+    /// (e.g. a cluster coordinator whose admin surface — heartbeats,
+    /// traces, snapshot pushes — stays with the caller while queries ride
+    /// the service). The `Arc` becomes the initial serving snapshot.
+    pub fn start_shared(advisor: Arc<B>, cfg: ServeConfig) -> Self {
         // `cache_capacity: 0` legitimately disables caching, but these two
         // zeros would hang clients: a 0-batch worker spins popping
-        // nothing, and a 0-capacity queue never admits a request.
+        // nothing, and a 0-capacity queue never admits a request. The
+        // builder rejects them earlier; struct-literal configs are
+        // checked here, at first use.
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
         assert!(
@@ -511,7 +658,8 @@ impl AdvisorService {
             "reservoir_capacity must be at least 1"
         );
         let detector = advisor.drift_detector();
-        let reservoir = Reservoir::over_initial(advisor.len(), cfg.reservoir_capacity, cfg.seed);
+        let reservoir =
+            Reservoir::over_initial(advisor.rcs_len(), cfg.reservoir_capacity, cfg.seed);
         let shared = Arc::new(Shared {
             cache: Mutex::new(
                 EmbeddingCache::new(cfg.cache_capacity, advisor.generation())
@@ -526,7 +674,7 @@ impl AdvisorService {
             }),
             not_empty: Condvar::new(),
             space: Condvar::new(),
-            snapshot: Mutex::new(Arc::new(advisor)),
+            snapshot: Mutex::new(advisor),
             stats: Stats {
                 requests: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
@@ -551,14 +699,14 @@ impl AdvisorService {
     }
 
     /// A new client handle.
-    pub fn handle(&self) -> ServeHandle {
+    pub fn handle(&self) -> ServeHandle<B> {
         ServeHandle {
             shared: self.shared.clone(),
         }
     }
 
     /// The current serving snapshot.
-    pub fn snapshot(&self) -> Arc<ShardedAdvisor> {
+    pub fn snapshot(&self) -> Arc<B> {
         self.shared.current()
     }
 
@@ -567,6 +715,27 @@ impl AdvisorService {
         self.handle().stats()
     }
 
+    /// Stops the worker: no new requests are accepted, already-queued
+    /// requests are answered, then the thread exits and is joined.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        {
+            let mut q = plock(&self.shared.queue);
+            q.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.space.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl AdvisorService<ShardedAdvisor> {
     /// Online adaptation (§V-E, reservoir-bounded): if `ds` drifts past
     /// the detector threshold, labels it on the testbed, clones the
     /// current snapshot, adapts the clone against the reservoir sample,
@@ -574,6 +743,12 @@ impl AdvisorService {
     /// the old snapshot throughout; the embedding cache is cleared at the
     /// swap (a new encoder invalidates every cached embedding). Returns
     /// `true` if an adaptation happened.
+    ///
+    /// Only the in-process sharded backend adapts through the service —
+    /// the clone-and-swap needs an owned advisor value. A cluster adapts
+    /// at its authority (`push_entry` + `refresh_and_snapshot`); the
+    /// service's generation-tagged cache picks the change up through
+    /// [`AdvisorBackend::generation`].
     pub fn adapt(&self, ds: &Dataset, testbed: &TestbedConfig, seed: u64) -> bool {
         let mut admin = self.admin.lock().expect("admin lock");
         let snap = self.shared.current();
@@ -604,35 +779,16 @@ impl AdvisorService {
             .fetch_add(1, Ordering::Relaxed);
         true
     }
-
-    /// Stops the worker: no new requests are accepted, already-queued
-    /// requests are answered, then the thread exits and is joined.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
-        self.shared.shutting_down.store(true, Ordering::Release);
-        {
-            let mut q = plock(&self.shared.queue);
-            q.shutdown = true;
-        }
-        self.shared.not_empty.notify_all();
-        self.shared.space.notify_all();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
-    }
 }
 
-impl Drop for AdvisorService {
+impl<B: AdvisorBackend + 'static> Drop for AdvisorService<B> {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
 }
 
 /// The batcher: drain → deadline-wait → one stacked forward → respond.
-fn worker_loop(shared: &Shared) {
+fn worker_loop<B: AdvisorBackend>(shared: &Shared<B>) {
     loop {
         let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch);
         {
@@ -727,7 +883,7 @@ fn worker_loop(shared: &Shared) {
 /// panic: refuse new requests, drop every queued request (each drop
 /// releases a reply sender, so its blocked submitter unblocks into
 /// [`ServeError::WorkerFailed`] instead of hanging), and wake everyone.
-fn fail_service(shared: &Shared) {
+fn fail_service<B>(shared: &Shared<B>) {
     shared.worker_failed.store(true, Ordering::Release);
     shared.shutting_down.store(true, Ordering::Release);
     {
@@ -740,8 +896,11 @@ fn fail_service(shared: &Shared) {
 }
 
 /// Serves one micro-batch: cache lookups, one stacked forward over the
-/// misses, cache fill, then the KNN vote per request.
-fn process_batch(shared: &Shared, batch: &[Request]) {
+/// misses, cache fill, then the KNN vote per request. A backend failure
+/// on one request's vote (e.g. a cluster range going dark mid-batch) is
+/// sent to that submitter as its typed error; the rest of the batch still
+/// answers.
+fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
     let snap = shared.current();
     let mut embeddings: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
     {
@@ -791,13 +950,15 @@ fn process_batch(shared: &Shared, batch: &[Request]) {
         .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
     for (i, (r, emb)) in batch.iter().zip(&embeddings).enumerate() {
         let emb = emb.as_deref().expect("every request embedded");
-        let (model, scores) = snap.predict_from_embedding(emb, r.w);
+        let answer = snap
+            .predict_from_embedding(emb, r.w)
+            .map(|(model, scores)| Recommendation {
+                model,
+                scores,
+                generation: snap.generation(),
+                cache_hit: was_hit[i],
+            });
         // A dropped receiver (client gave up) is not an error.
-        let _ = r.reply.send(Recommendation {
-            model,
-            scores,
-            generation: snap.generation(),
-            cache_hit: was_hit[i],
-        });
+        let _ = r.reply.send(answer);
     }
 }

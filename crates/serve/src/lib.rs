@@ -12,7 +12,11 @@
 //! * [`batch`]: the concurrent service — requests from any number of
 //!   client threads are micro-batched (bounded queue + batch deadline)
 //!   into single stacked forwards, served from immutable snapshots so a
-//!   refresh never blocks a read.
+//!   refresh never blocks a read. The service is generic over
+//!   [`autoce::AdvisorBackend`], so the same machinery fronts the flat
+//!   advisor, the sharded advisor (default), or `ce-cluster`'s
+//!   coordinator; its public surface returns the unified
+//!   [`autoce::AdvisorError`].
 //! * [`cache`]: an LRU embedding cache keyed by feature-graph fingerprint;
 //!   hits skip the encoder entirely and never change a recommendation.
 //! * [`reservoir`]: online adaptation (§V-E) bounded by reservoir
@@ -35,7 +39,8 @@ pub mod reservoir;
 pub mod shard;
 
 pub use batch::{
-    AdvisorService, Recommendation, ServeConfig, ServeError, ServeHandle, ServiceStats,
+    AdvisorService, Recommendation, ServeConfig, ServeConfigBuilder, ServeError, ServeHandle,
+    ServiceStats,
 };
 pub use cache::{graph_fingerprint, EmbeddingCache};
 pub use reservoir::{adapt_online_bounded, Reservoir};

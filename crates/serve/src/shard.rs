@@ -26,7 +26,7 @@
 //! merged under a strict total order, so any collection order (the serial
 //! per-request scan here, or a parallel fan-out) yields the same bits.
 
-use autoce::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
+use autoce::{knn_order, knn_vote, AdvisorBackend, AdvisorError, AutoCe, AutoCeConfig, RcsEntry};
 use ce_features::{extract_features, FeatureGraph};
 use ce_gnn::{GinEncoder, StackedCtx};
 use ce_models::ModelKind;
@@ -381,6 +381,85 @@ impl ShardedAdvisor {
             }
             assert!(rows.next().is_none(), "pooled rows must match shard size");
         }
+    }
+
+    /// Validated construction: like [`Self::from_advisor`] but rejects a
+    /// shard count of zero or one exceeding the RCS size at build time
+    /// (an advisor with empty shards *serves* correctly — the merge skips
+    /// them — but asking for more shards than entries is always a sizing
+    /// mistake, and the builder path surfaces it before first use).
+    pub fn try_from_advisor(advisor: &AutoCe, num_shards: usize) -> Result<Self, AdvisorError> {
+        if num_shards == 0 {
+            return Err(AdvisorError::InvalidConfig(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        if num_shards > advisor.rcs().len() {
+            return Err(AdvisorError::InvalidConfig(format!(
+                "shard count {num_shards} exceeds RCS size {} (empty shards)",
+                advisor.rcs().len()
+            )));
+        }
+        Ok(ShardedAdvisor::from_advisor(advisor, num_shards))
+    }
+}
+
+/// The unified query surface over the in-process sharded advisor: every
+/// method forwards to the inherent implementation, whose bit-identity to
+/// the flat advisor (any shard count) is what makes this backend
+/// interchangeable with [`AutoCe`] behind an
+/// [`AdvisorService`](crate::AdvisorService).
+impl AdvisorBackend for ShardedAdvisor {
+    fn rcs_len(&self) -> usize {
+        self.len()
+    }
+
+    fn generation(&self) -> u64 {
+        ShardedAdvisor::generation(self)
+    }
+
+    fn feature_config(&self) -> ce_features::FeatureConfig {
+        self.config.feature
+    }
+
+    fn embed_graph(&self, g: &FeatureGraph) -> Vec<f32> {
+        ShardedAdvisor::embed_graph(self, g)
+    }
+
+    fn embed_graph_batch(&self, graphs: &[&FeatureGraph]) -> Vec<Vec<f32>> {
+        ShardedAdvisor::embed_graph_batch(self, graphs)
+    }
+
+    fn predict_excluding(
+        &self,
+        embedding: &[f32],
+        w: MetricWeights,
+        exclude: usize,
+    ) -> Result<(ModelKind, Vec<f64>), AdvisorError> {
+        Ok(ShardedAdvisor::predict_excluding(
+            self, embedding, w, exclude,
+        ))
+    }
+
+    fn distance_to_nearest(&self, x: &[f32]) -> f32 {
+        self.distance_to_embedding(x)
+    }
+
+    fn drift_detector(&self) -> autoce::online::DriftDetector {
+        ShardedAdvisor::drift_detector(self)
+    }
+
+    fn push_entry(
+        &mut self,
+        graph: FeatureGraph,
+        label: &DatasetLabel,
+    ) -> Result<usize, AdvisorError> {
+        Ok(ShardedAdvisor::push_entry(self, graph, label))
+    }
+
+    fn refresh(&mut self) -> Result<u64, AdvisorError> {
+        self.refresh_embeddings();
+        Ok(ShardedAdvisor::generation(self))
     }
 }
 

@@ -4,9 +4,10 @@
 
 mod common;
 
+use autoce::AdvisorError;
 use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
 use ce_features::extract_features;
-use ce_serve::{AdvisorService, Reservoir, ServeConfig, ServeError, ShardedAdvisor};
+use ce_serve::{AdvisorService, Reservoir, ServeConfig, ShardedAdvisor};
 use ce_testbed::MetricWeights;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -243,7 +244,7 @@ fn shutdown_rejects_new_requests() {
     service.shutdown();
     assert_eq!(
         handle.recommend_graph(g, MetricWeights::new(0.5)),
-        Err(ServeError::ShuttingDown)
+        Err(AdvisorError::ShuttingDown)
     );
 }
 
@@ -272,7 +273,7 @@ fn worker_panic_fails_submitters_instead_of_hanging() {
     };
     assert_eq!(
         handle.recommend_graph(poison, w),
-        Err(ServeError::WorkerFailed),
+        Err(AdvisorError::WorkerFailed),
         "the poisoning submitter must get an error, not a hang"
     );
     // The service is terminally failed: well-formed requests are refused
@@ -281,7 +282,7 @@ fn worker_panic_fails_submitters_instead_of_hanging() {
     let graph = extract_features(&datasets[0], &flat.config.feature);
     assert_eq!(
         handle.recommend_graph(graph, w),
-        Err(ServeError::WorkerFailed)
+        Err(AdvisorError::WorkerFailed)
     );
     // Dropping the service joins the (already dead) worker cleanly.
     drop(service);

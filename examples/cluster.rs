@@ -66,8 +66,14 @@ fn main() {
         replicas.push(Box::new(TcpConnector::new(addr, Duration::from_secs(2))));
         children.push(child);
     }
-    let mut coord =
-        ClusterCoordinator::new(sharded.clone(), vec![replicas], ClusterConfig::default());
+    // Builder-validated config: bad geometry (zero deadline with retries,
+    // zero demote_after) is rejected here, not as a hang at request time.
+    let cfg = ClusterConfig::builder()
+        .request_deadline(Duration::from_millis(250))
+        .demote_after(3)
+        .build()
+        .expect("valid cluster config");
+    let coord = ClusterCoordinator::new(sharded.clone(), vec![replicas], cfg);
     coord.bootstrap().expect("bootstrap replicas");
 
     let w = MetricWeights::new(0.7);

@@ -54,14 +54,16 @@ fn main() {
         sharded.num_shards(),
         sharded.shards().iter().map(|s| s.len()).collect::<Vec<_>>()
     );
+    // Builder-validated config: zero batch/queue/reservoir sizes are
+    // rejected at build time instead of wedging the worker later.
     let service = AdvisorService::start(
         sharded,
-        ServeConfig {
-            max_batch: 8,
-            batch_deadline: Duration::from_millis(2),
-            reservoir_capacity: 8,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_batch(8)
+            .batch_deadline(Duration::from_millis(2))
+            .reservoir_capacity(8)
+            .build()
+            .expect("valid serve config"),
     );
 
     // Concurrent tenants: 4 client threads, each asking about several

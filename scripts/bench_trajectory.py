@@ -25,7 +25,10 @@ PAIRS = [
     ("BENCH_gnn.json", ["train_speedup", "stacked_train_speedup", "encode_speedup"]),
     ("BENCH_embed.json", ["stacked_speedup"]),
     ("BENCH_serve.json", ["serve_speedup", "cold_speedup", "cache_hit_speedup"]),
-    ("BENCH_cluster.json", ["cluster_vs_inproc", "failover_vs_healthy"]),
+    (
+        "BENCH_cluster.json",
+        ["cluster_vs_inproc", "failover_vs_healthy", "cluster_batched_vs_inproc"],
+    ),
 ]
 
 # Warn when measured/baseline drops below this.
