@@ -81,6 +81,21 @@ impl std::fmt::Display for AdvisorError {
 
 impl std::error::Error for AdvisorError {}
 
+/// One query in a [`AdvisorBackend::predict_batch`] call: the embedding
+/// to vote from, the metric weights, and the global RCS index to exclude
+/// (`usize::MAX` excludes nothing) — the same triple
+/// [`AdvisorBackend::predict_excluding`] takes, borrowed so a batcher can
+/// hand out slices of embeddings it already owns.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPredictRequest<'a> {
+    /// Query embedding bits.
+    pub embedding: &'a [f32],
+    /// Metric weights for the vote.
+    pub w: MetricWeights,
+    /// Global RCS index to exclude (`usize::MAX` = none).
+    pub exclude: usize,
+}
+
 /// The advisor query surface every serving tier implements: the flat
 /// [`AutoCe`], `ce-serve`'s `ShardedAdvisor`, and `ce-cluster`'s
 /// `ClusterCoordinator`. See the module docs for the determinism
@@ -128,6 +143,26 @@ pub trait AdvisorBackend: Send + Sync {
         w: MetricWeights,
         exclude: usize,
     ) -> Result<(ModelKind, Vec<f64>), AdvisorError>;
+
+    /// KNN prediction for a whole micro-batch — the batcher's entry point
+    /// for the vote half of a request, the way [`Self::embed_graph_batch`]
+    /// is for the encode half. Answers are returned in submission order
+    /// and must be **bit-identical** to calling
+    /// [`Self::predict_excluding`] per query; the default does exactly
+    /// that. Distributed backends override it to amortize transport costs
+    /// (one wire frame per shard range per batch instead of one per
+    /// query). A batch either answers in full or fails as a whole with
+    /// the first error — partial answers would let one range's failure
+    /// silently skew a subset of the batch.
+    fn predict_batch(
+        &self,
+        queries: &[BatchPredictRequest<'_>],
+    ) -> Result<Vec<(ModelKind, Vec<f64>)>, AdvisorError> {
+        queries
+            .iter()
+            .map(|q| self.predict_excluding(q.embedding, q.w, q.exclude))
+            .collect()
+    }
 
     /// KNN prediction from an embedding (no exclusion).
     fn predict_from_embedding(

@@ -27,7 +27,7 @@ pub mod incremental;
 pub mod online;
 
 pub use advisor::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
-pub use backend::{validate_nonzero, AdvisorBackend, AdvisorError};
+pub use backend::{validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest};
 pub use baselines::{
     KnnFeatureSelector, LearningAllSelector, MlpSelector, RegressionSelector, RuleSelector,
     SamplingSelector, Selector,

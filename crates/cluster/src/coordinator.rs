@@ -71,11 +71,14 @@
 
 use crate::health::{ClusterHealth, ReplicaHealth};
 use crate::protocol::{
-    EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong, Push, PushAck,
-    Query, SnapshotEpoch, Step, TopK,
+    BatchQuery, EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong,
+    Push, PushAck, Query, QueryBatch, SnapshotEpoch, Step, TopK, TopKBatch, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::transport::{Conn, Connector, WireError};
-use autoce::{knn_order, knn_vote, validate_nonzero, AdvisorBackend, AdvisorError};
+use autoce::{
+    knn_order, knn_vote, validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest,
+};
 use ce_features::{FeatureConfig, FeatureGraph};
 use ce_models::ModelKind;
 use ce_serve::ShardedAdvisor;
@@ -105,6 +108,12 @@ pub struct ClusterConfig {
     /// Seed for backoff jitter (jitter is deterministic given the seed
     /// and the failure sequence — it never appears in the event trace).
     pub seed: u64,
+    /// Highest protocol version the coordinator emits. Defaults to
+    /// [`PROTOCOL_VERSION`]; pinning it to 1 (the mixed-version rolling
+    /// upgrade, coordinator side) makes [`ClusterCoordinator::predict_batch`]
+    /// serve every batch through the serial per-query path — never a
+    /// batch frame, so never a skew NACK.
+    pub wire_version: u16,
 }
 
 impl Default for ClusterConfig {
@@ -116,6 +125,7 @@ impl Default for ClusterConfig {
             backoff_max: Duration::from_millis(100),
             demote_after: 3,
             seed: 0xc105,
+            wire_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -183,6 +193,13 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Pins the highest protocol version the coordinator emits (rolling
+    /// upgrades: a v1 pin suppresses batch frames entirely).
+    pub fn wire_version(mut self, v: u16) -> Self {
+        self.cfg.wire_version = v;
+        self
+    }
+
     /// Zeroes the backoff sleeps (deterministic-gauntlet mode).
     pub fn no_sleep(mut self) -> Self {
         self.cfg.backoff_base = Duration::ZERO;
@@ -203,6 +220,12 @@ impl ClusterConfigBuilder {
                  (every retry would time out instantly)"
                     .into(),
             ));
+        }
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&self.cfg.wire_version) {
+            return Err(AdvisorError::InvalidConfig(format!(
+                "wire_version {} is outside the supported range {}..={}",
+                self.cfg.wire_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
+            )));
         }
         Ok(self.cfg)
     }
@@ -266,6 +289,19 @@ struct RangeLane {
     /// The key is self-validating: any authority mutation changes the
     /// version (push) or the epoch (snapshot).
     load_frame: Option<(u64, u64, Frame)>,
+    /// Sticky mixed-version downgrade: set when a replica of this range
+    /// answered a batch frame with a `VersionSkew` NACK. A downgraded
+    /// lane serves batches through the per-query v1 path (bit-identical
+    /// by construction) instead of re-discovering the pin every batch.
+    batch_downgraded: bool,
+}
+
+/// Outcome of a batched range call: a non-NACK reply frame, or an
+/// instruction to downgrade this lane to the per-query path because a
+/// version-pinned replica refused the batch step.
+enum BatchOutcome {
+    Reply(Frame),
+    Downgrade,
 }
 
 impl RangeLane {
@@ -436,6 +472,12 @@ impl RangeLane {
                         // resend over a fresh one.
                         self.replicas[r].conn = None;
                     }
+                    NackCode::VersionSkew => {
+                        // Version-gated refusal: no repair applies, and a
+                        // retry of the same frame would skew again. The
+                        // batched path intercepts this code *before*
+                        // `on_nack` and downgrades the lane instead.
+                    }
                 }
             }
             Err(e) => {
@@ -476,6 +518,59 @@ impl RangeLane {
         }
         self.sub.push(format!("range-dark range={range}"));
         Err(ClusterError::RangeUnavailable { range })
+    }
+
+    /// [`Self::call_range`] for a batch frame: the identical bounded
+    /// retry/failover discipline, except a `VersionSkew` NACK returns
+    /// [`BatchOutcome::Downgrade`] immediately — a version-pinned peer
+    /// refuses every retry of the same step, so retrying to range-dark
+    /// would turn an operator's pin into an outage.
+    fn call_range_batch(
+        &mut self,
+        range: usize,
+        cfg: &ClusterConfig,
+        frame: &Frame,
+    ) -> Result<BatchOutcome, ClusterError> {
+        for (i, r) in self.candidates().into_iter().enumerate() {
+            if i > 0 {
+                self.sub.push(format!("failover range={range} to r={r}"));
+            }
+            for attempt in 0..cfg.max_attempts_per_replica {
+                let reply = match self.raw_call(range, cfg, r, frame) {
+                    Ok(reply) => reply,
+                    Err(_) => {
+                        // raw_call already traced and recorded the failure.
+                        self.backoff(cfg, attempt);
+                        continue;
+                    }
+                };
+                if reply.step != Step::ShardSendNack {
+                    return Ok(BatchOutcome::Reply(reply));
+                }
+                if self.nack_is_version_skew(range, r, &reply) {
+                    return Ok(BatchOutcome::Downgrade);
+                }
+                self.on_nack(range, cfg, r, &reply);
+                self.backoff(cfg, attempt);
+            }
+        }
+        self.sub.push(format!("range-dark range={range}"));
+        Err(ClusterError::RangeUnavailable { range })
+    }
+
+    /// Checks a NACK reply for the version-skew code, tracing it when it
+    /// matches (the caller then downgrades the lane instead of repairing).
+    fn nack_is_version_skew(&mut self, range: usize, r: usize, reply: &Frame) -> bool {
+        match Nack::from_frame(reply) {
+            Ok(nack) if nack.code == NackCode::VersionSkew => {
+                self.sub.push(format!(
+                    "nack range={range} r={r} {:?}: {}",
+                    nack.code, nack.detail
+                ));
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -645,6 +740,185 @@ impl CoordInner {
             k,
             w,
         ))
+    }
+
+    /// The wire-batched fan-out: one [`QueryBatch`] frame per non-empty
+    /// range carries the whole micro-batch, so a B-deep batch over R
+    /// ranges pays R round trips instead of B×R. The per-query clamp,
+    /// merge ([`knn_order`] sort + truncate) and [`knn_vote`] are the
+    /// exact arithmetic of [`Self::predict_excluding`], so the batched
+    /// path cannot move a bit. Mixed-version gates: a coordinator pinned
+    /// below v2 serves the batch serially per query, and a lane whose
+    /// replica NACKs `VersionSkew` is downgraded (sticky) to the same
+    /// serial per-query service — either way, full answers or a typed
+    /// error, never a partial merge.
+    fn predict_batch(
+        &mut self,
+        queries: &[BatchPredictRequest<'_>],
+    ) -> Result<Vec<(ModelKind, Vec<f64>)>, ClusterError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.cfg.wire_version < Step::CoordSendQueryBatch.min_version() {
+            // Coordinator-side version pin: never emit a batch frame.
+            return queries
+                .iter()
+                .map(|q| self.predict_excluding(q.embedding, q.w, q.exclude))
+                .collect();
+        }
+        assert!(!self.authority.is_empty(), "empty RCS");
+        let len = self.authority.len();
+        // Per-query clamp and wire exclusion — identical arithmetic to
+        // predict_excluding (k depends on each query's exclusion).
+        let per_query: Vec<(usize, u64)> = queries
+            .iter()
+            .map(|q| {
+                let selectable = len - usize::from(q.exclude < len);
+                assert!(
+                    selectable > 0,
+                    "KNN needs at least one non-excluded RCS entry"
+                );
+                let k = self.authority.config().k.clamp(1, selectable);
+                let wire_exclude = if q.exclude < len {
+                    q.exclude as u64
+                } else {
+                    u64::MAX
+                };
+                (k, wire_exclude)
+            })
+            .collect();
+        let ranges = self.lanes.len();
+
+        // Per-range batch frames: empty shards contribute nothing and
+        // skip the trip; downgraded lanes serve per-query below.
+        let mut frames: Vec<Option<Frame>> = Vec::with_capacity(ranges);
+        for range in 0..ranges {
+            let shard_len = self.authority.shards()[range].len() as u64;
+            frames.push(
+                (shard_len > 0 && !self.lanes[range].batch_downgraded).then(|| {
+                    QueryBatch {
+                        epoch: self.epoch,
+                        version: shard_len,
+                        queries: queries
+                            .iter()
+                            .zip(&per_query)
+                            .map(|(q, &(k, wire_exclude))| BatchQuery {
+                                embedding: q.embedding.to_vec(),
+                                k: k as u64,
+                                exclude: wire_exclude,
+                            })
+                            .collect(),
+                    }
+                    .into_frame()
+                }),
+            );
+            self.prime_load_frame(range);
+        }
+
+        // Issue phase: the batch frame rides the same pipelined
+        // first-candidate optimism as the per-query fan-out.
+        let mut issued: Vec<Option<usize>> = vec![None; ranges];
+        for range in 0..ranges {
+            let Some(frame) = frames[range].as_ref() else {
+                continue;
+            };
+            let lane = &mut self.lanes[range];
+            let r = lane.candidates()[0];
+            if lane.raw_send(range, &self.cfg, r, frame).is_ok() {
+                issued[range] = Some(r);
+            }
+        }
+
+        // Collect phase, fixed range order; one partial list per query
+        // accumulates across ranges.
+        let mut merged: Vec<Vec<(usize, f32)>> = queries.iter().map(|_| Vec::new()).collect();
+        for range in 0..ranges {
+            let shard_len = self.authority.shards()[range].len() as u64;
+            if shard_len == 0 {
+                continue;
+            }
+            let mut serve_serially = self.lanes[range].batch_downgraded;
+            if let Some(frame) = frames[range].as_ref() {
+                let lane = &mut self.lanes[range];
+                let mut fast = None;
+                if let Some(r) = issued[range] {
+                    match lane.raw_recv(range, &self.cfg, r) {
+                        Ok(f) if f.step != Step::ShardSendNack => {
+                            fast = Some(BatchOutcome::Reply(f))
+                        }
+                        Ok(f) => {
+                            if lane.nack_is_version_skew(range, r, &f) {
+                                fast = Some(BatchOutcome::Downgrade);
+                            } else {
+                                lane.on_nack(range, &self.cfg, r, &f);
+                            }
+                        }
+                        Err(_) => {}
+                    }
+                }
+                let outcome = match fast {
+                    Some(o) => o,
+                    None => lane.call_range_batch(range, &self.cfg, frame)?,
+                };
+                match outcome {
+                    BatchOutcome::Reply(reply) => {
+                        let tb = TopKBatch::from_frame(&reply)
+                            .map_err(|e| ClusterError::Protocol(e.to_string()))?;
+                        if tb.lists.len() != queries.len() {
+                            // Never a partial merge: a count mismatch is a
+                            // protocol violation, not a short answer.
+                            return Err(ClusterError::Protocol(format!(
+                                "batched reply carries {} lists for {} queries",
+                                tb.lists.len(),
+                                queries.len()
+                            )));
+                        }
+                        for (m, list) in merged.iter_mut().zip(&tb.lists) {
+                            m.extend(list.iter().map(|&(id, d)| (id as usize, d)));
+                        }
+                    }
+                    BatchOutcome::Downgrade => {
+                        let lane = &mut self.lanes[range];
+                        lane.batch_downgraded = true;
+                        lane.sub.push(format!("batch-downgrade range={range}"));
+                        serve_serially = true;
+                    }
+                }
+            }
+            if serve_serially {
+                // Per-query v1 frames through the serial retry/failover
+                // loop — the exact frames predict_excluding would send,
+                // so the downgraded lane's answers are bit-identical.
+                for (qi, (q, &(k, wire_exclude))) in queries.iter().zip(&per_query).enumerate() {
+                    let frame = Query {
+                        epoch: self.epoch,
+                        version: shard_len,
+                        embedding: q.embedding.to_vec(),
+                        k: k as u64,
+                        exclude: wire_exclude,
+                    }
+                    .into_frame();
+                    let lane = &mut self.lanes[range];
+                    let reply = lane.call_range(range, &self.cfg, &frame)?;
+                    let topk = TopK::from_frame(&reply)
+                        .map_err(|e| ClusterError::Protocol(e.to_string()))?;
+                    merged[qi].extend(topk.entries.iter().map(|&(id, d)| (id as usize, d)));
+                }
+            }
+        }
+
+        // Per-query merge: the same sort/truncate/vote as the per-query
+        // path, over the same per-range partial lists.
+        Ok(queries
+            .iter()
+            .zip(per_query)
+            .zip(merged)
+            .map(|((q, (k, _)), mut m)| {
+                m.sort_unstable_by(knn_order);
+                m.truncate(k);
+                knn_vote(m.iter().map(|&(id, _)| self.authority.entry(id)), k, q.w)
+            })
+            .collect())
     }
 
     fn push_entry(
@@ -835,6 +1109,7 @@ impl ClusterCoordinator {
                 ),
                 sub: Vec::new(),
                 load_frame: None,
+                batch_downgraded: false,
             })
             .collect();
         Ok(ClusterCoordinator {
@@ -957,6 +1232,23 @@ impl ClusterCoordinator {
         self.predict_excluding(embedding, w, usize::MAX)
     }
 
+    /// Batched KNN prediction over the wire: one `QueryBatch` frame per
+    /// shard range carries the whole micro-batch (protocol v2), so the
+    /// per-range round trip is paid once per *batch* instead of once per
+    /// query. Answers are bit-identical to per-query
+    /// [`Self::predict_excluding`] — same clamp, same merge, same vote —
+    /// and mixed-version peers degrade to exactly that per-query path
+    /// (see the `batch-downgrade` trace line), never to a partial merge.
+    pub fn predict_batch(
+        &self,
+        queries: &[BatchPredictRequest<'_>],
+    ) -> Result<Vec<(ModelKind, Vec<f64>)>, ClusterError> {
+        let mut inner = self.lock();
+        let out = inner.predict_batch(queries);
+        inner.merge_trace();
+        out
+    }
+
     /// Full recommendation from a feature graph: embed on the authority
     /// encoder, KNN over the wire.
     pub fn recommend_graph(
@@ -1052,6 +1344,16 @@ impl AdvisorBackend for ClusterCoordinator {
     ) -> Result<(ModelKind, Vec<f64>), AdvisorError> {
         ClusterCoordinator::predict_excluding(self, embedding, w, exclude)
             .map_err(AdvisorError::from)
+    }
+
+    /// Overrides the per-query default with the wire-batched fan-out:
+    /// this is where `ce-serve`'s micro-batcher stops paying one round
+    /// trip per request.
+    fn predict_batch(
+        &self,
+        queries: &[BatchPredictRequest<'_>],
+    ) -> Result<Vec<(ModelKind, Vec<f64>)>, AdvisorError> {
+        ClusterCoordinator::predict_batch(self, queries).map_err(AdvisorError::from)
     }
 
     fn distance_to_nearest(&self, x: &[f32]) -> f32 {

@@ -37,7 +37,8 @@ pub use coordinator::{ClusterConfig, ClusterConfigBuilder, ClusterCoordinator, C
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{ClusterHealth, ReplicaHealth, ReplicaStatus};
 pub use protocol::{
-    EpochTable, Frame, Message, NackCode, Step, PROTOCOL_VERSION, PTO_ID, PTO_NAME,
+    BatchQuery, EpochTable, Frame, Message, NackCode, QueryBatch, Step, TopKBatch,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, PTO_ID, PTO_NAME,
 };
 pub use server::{
     maybe_run_shard_server_from_args, shard_server_main, spawn_shard_process, ShardState,

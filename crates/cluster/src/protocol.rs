@@ -35,8 +35,17 @@ pub const PTO_NAME: &str = "CE23_CLUSTER_ADVISOR";
 /// Wire magic prefixing every frame.
 pub const MAGIC: u32 = 0xCEC7_0301;
 
-/// Version byte pair; bumped on any incompatible layout change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version byte pair; bumped on any incompatible layout change. Version 2
+/// adds the batched query steps ([`Step::CoordSendQueryBatch`],
+/// [`Step::ShardSendTopkBatch`]); every version-1 frame is still legal
+/// version-2 traffic, so a frame carries the *minimum* version its step
+/// requires and peers accept any version in
+/// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`].
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still speaks. Frames below this (or
+/// above [`PROTOCOL_VERSION`]) are rejected before the payload is touched.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Hard cap on payload size (64 MiB): a corrupt length field must not
 /// drive allocation.
@@ -83,6 +92,13 @@ pub enum Step {
     CoordSendShutdown = 11,
     /// Shard → coordinator: acknowledged, terminating.
     ShardAckShutdown = 12,
+    /// Coordinator → shard (v2): a whole micro-batch of partial top-k
+    /// queries pinned to one (epoch, version) — one frame per range per
+    /// batch instead of one per query.
+    CoordSendQueryBatch = 13,
+    /// Shard → coordinator (v2): the partial top-k list of every query in
+    /// the batch, in submission order.
+    ShardSendTopkBatch = 14,
 }
 
 impl Step {
@@ -102,8 +118,20 @@ impl Step {
             10 => Step::ShardSendNack,
             11 => Step::CoordSendShutdown,
             12 => Step::ShardAckShutdown,
+            13 => Step::CoordSendQueryBatch,
+            14 => Step::ShardSendTopkBatch,
             _ => return None,
         })
+    }
+
+    /// The minimum protocol version that defines this step. Frames carry
+    /// exactly this version, so legacy steps stay byte-identical to their
+    /// version-1 encoding and version-pinned peers keep serving them.
+    pub fn min_version(self) -> u16 {
+        match self {
+            Step::CoordSendQueryBatch | Step::ShardSendTopkBatch => 2,
+            _ => 1,
+        }
     }
 }
 
@@ -114,6 +142,14 @@ pub enum FrameError {
     BadMagic(u32),
     /// Version mismatch between peers.
     BadVersion(u16),
+    /// The frame's step is newer than the version the frame claims — a
+    /// peer emitted a v2-only step inside a v1 frame.
+    VersionSkew {
+        /// Version the frame header claimed.
+        version: u16,
+        /// Step the frame carried.
+        step: Step,
+    },
     /// Unknown step number.
     BadStep(u16),
     /// Payload length over [`MAX_PAYLOAD`].
@@ -134,6 +170,9 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::VersionSkew { version, step } => {
+                write!(f, "step {step:?} requires protocol version > {version}")
+            }
             FrameError::BadStep(s) => write!(f, "unknown protocol step {s}"),
             FrameError::Oversize(n) => write!(f, "payload length {n} exceeds cap"),
             FrameError::Payload(e) => write!(f, "payload decode: {e}"),
@@ -146,9 +185,13 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// One wire frame: a step number plus its encoded payload.
+/// One wire frame: a protocol version, a step number, and the encoded
+/// payload. The version is the step's [`Step::min_version`] on the encode
+/// side, so version-1 traffic stays byte-identical across the bump.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
+    /// Protocol version the frame travels under.
+    pub version: u16,
     /// Protocol step this frame performs.
     pub step: Step,
     /// Binary payload (message-specific).
@@ -160,32 +203,37 @@ impl Frame {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
         MAGIC.encode(&mut out);
-        PROTOCOL_VERSION.encode(&mut out);
+        self.version.encode(&mut out);
         (self.step as u16).encode(&mut out);
         (self.payload.len() as u32).encode(&mut out);
         out.extend_from_slice(&self.payload);
         out
     }
 
-    /// Parses and validates a frame header, returning the step and the
-    /// payload length still to be read.
-    pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(Step, usize), FrameError> {
+    /// Parses and validates a frame header, returning the version, the
+    /// step, and the payload length still to be read. Accepts any version
+    /// in [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`]; a step newer
+    /// than the claimed version is [`FrameError::VersionSkew`].
+    pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, Step, usize), FrameError> {
         let mut r = Reader::new(header);
         let magic = u32::decode(&mut r).expect("fixed-size header");
         if magic != MAGIC {
             return Err(FrameError::BadMagic(magic));
         }
         let version = u16::decode(&mut r).expect("fixed-size header");
-        if version != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(FrameError::BadVersion(version));
         }
         let step_raw = u16::decode(&mut r).expect("fixed-size header");
         let step = Step::from_u16(step_raw).ok_or(FrameError::BadStep(step_raw))?;
+        if step.min_version() > version {
+            return Err(FrameError::VersionSkew { version, step });
+        }
         let len = u32::decode(&mut r).expect("fixed-size header");
         if len > MAX_PAYLOAD {
             return Err(FrameError::Oversize(len));
         }
-        Ok((step, len as usize))
+        Ok((version, step, len as usize))
     }
 
     /// Decodes a full frame from one buffer (header + payload).
@@ -199,7 +247,7 @@ impl Frame {
         }
         let mut header = [0u8; HEADER_LEN];
         header.copy_from_slice(&buf[..HEADER_LEN]);
-        let (step, len) = Frame::parse_header(&header)?;
+        let (version, step, len) = Frame::parse_header(&header)?;
         let body = &buf[HEADER_LEN..];
         if body.len() != len {
             return Err(FrameError::Payload(serde::bin::Error::Truncated {
@@ -209,6 +257,7 @@ impl Frame {
             }));
         }
         Ok(Frame {
+            version,
             step,
             payload: body.to_vec(),
         })
@@ -226,11 +275,12 @@ pub trait Message: Sized {
     /// Decodes the payload.
     fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self>;
 
-    /// Wraps the message into a frame.
+    /// Wraps the message into a frame at the step's minimum version.
     fn into_frame(self) -> Frame {
         let mut payload = Vec::new();
         self.encode_payload(&mut payload);
         Frame {
+            version: Self::STEP.min_version(),
             step: Self::STEP,
             payload,
         }
@@ -438,6 +488,112 @@ impl Message for TopK {
     }
 }
 
+/// One query inside a [`QueryBatch`]: embedding bits plus the per-query
+/// `k` and exclusion (the coordinator clamps `k` to each query's
+/// selectable count, so it varies within a batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQuery {
+    /// Query embedding bits.
+    pub embedding: Vec<f32>,
+    /// Neighbors requested for this query.
+    pub k: u64,
+    /// Global RCS index to exclude (`u64::MAX` = none).
+    pub exclude: u64,
+}
+
+impl BatchQuery {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.embedding.encode(out);
+        self.k.encode(out);
+        self.exclude.encode(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(BatchQuery {
+            embedding: Vec::<f32>::decode(r)?,
+            k: u64::decode(r)?,
+            exclude: u64::decode(r)?,
+        })
+    }
+}
+
+/// `COORD_SEND_QUERY_BATCH` (v2): a whole micro-batch of partial top-k
+/// requests pinned to one (epoch, version). One frame per range per batch
+/// amortizes the round trip the per-query path pays per request. The same
+/// NACK discipline applies: a shard whose table does not match the pin
+/// refuses the *entire* batch — there is no per-query partial answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBatch {
+    /// Expected serving epoch.
+    pub epoch: u64,
+    /// Expected table version (entry count).
+    pub version: u64,
+    /// The batch, in submission order.
+    pub queries: Vec<BatchQuery>,
+}
+
+impl Message for QueryBatch {
+    const STEP: Step = Step::CoordSendQueryBatch;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.version.encode(out);
+        (self.queries.len() as u64).encode(out);
+        for q in &self.queries {
+            q.encode_into(out);
+        }
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        let epoch = u64::decode(r)?;
+        let version = u64::decode(r)?;
+        let n = usize::decode(r)?;
+        if n > r.remaining() {
+            return Err(serde::bin::Error::Corrupt(
+                "batch length prefix exceeds remaining bytes",
+            ));
+        }
+        let mut queries = Vec::with_capacity(n);
+        for _ in 0..n {
+            queries.push(BatchQuery::decode_from(r)?);
+        }
+        Ok(QueryBatch {
+            epoch,
+            version,
+            queries,
+        })
+    }
+}
+
+/// `SHARD_SEND_TOPK_BATCH` (v2): one partial top-k list per batched query,
+/// in submission order, each sorted by `autoce::knn_order` with distances
+/// bit-exact — the batched reply is the concatenation of what the
+/// per-query path would have answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKBatch {
+    /// Epoch the answers were computed under.
+    pub epoch: u64,
+    /// One `(global RCS id, distance)` list per query, slot-aligned with
+    /// the request batch.
+    pub lists: Vec<Vec<(u64, f32)>>,
+}
+
+impl Message for TopKBatch {
+    const STEP: Step = Step::ShardSendTopkBatch;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.lists.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(TopKBatch {
+            epoch: u64::decode(r)?,
+            lists: Vec::<Vec<(u64, f32)>>::decode(r)?,
+        })
+    }
+}
+
 /// `COORD_SEND_PUSH`: append one freshly labeled entry to the current
 /// epoch table (online adaptation routing a newcomer to its shard).
 #[derive(Debug, Clone, PartialEq)]
@@ -534,6 +690,10 @@ pub enum NackCode {
     Malformed = 2,
     /// The request referenced a table the shard never had.
     NoTable = 3,
+    /// The request's step is newer than the wire version this shard is
+    /// pinned to (rolling-upgrade gate): the coordinator must fall back to
+    /// the per-query path for this range, never merge a partial batch.
+    VersionSkew = 4,
 }
 
 impl NackCode {
@@ -542,6 +702,7 @@ impl NackCode {
             1 => NackCode::StaleTable,
             2 => NackCode::Malformed,
             3 => NackCode::NoTable,
+            4 => NackCode::VersionSkew,
             _ => return None,
         })
     }
@@ -609,12 +770,94 @@ mod tests {
 
     #[test]
     fn steps_roundtrip_their_numbers() {
-        for n in 0..=12u16 {
+        for n in 0..=14u16 {
             let step = Step::from_u16(n).expect("valid step");
             assert_eq!(step as u16, n);
         }
-        assert!(Step::from_u16(13).is_none());
+        assert!(Step::from_u16(15).is_none());
         assert!(Step::from_u16(u16::MAX).is_none());
+    }
+
+    #[test]
+    fn frames_carry_their_steps_minimum_version() {
+        // Legacy steps still encode version-1 frames: the v2 bump must not
+        // move a byte of existing traffic.
+        let legacy = Ping { nonce: 1 }.into_frame();
+        assert_eq!(legacy.version, 1);
+        assert_eq!(legacy.to_bytes()[4..6], 1u16.to_le_bytes());
+        // Batch steps encode version-2 frames.
+        let batched = QueryBatch {
+            epoch: 0,
+            version: 0,
+            queries: vec![],
+        }
+        .into_frame();
+        assert_eq!(batched.version, 2);
+        assert_eq!(batched.to_bytes()[4..6], 2u16.to_le_bytes());
+    }
+
+    #[test]
+    fn v1_framed_batch_step_is_version_skew() {
+        // A batch step squeezed into a version-1 frame is typed skew, not
+        // a generic bad step: the peer can answer a precise NACK.
+        let mut wire = QueryBatch {
+            epoch: 3,
+            version: 5,
+            queries: vec![BatchQuery {
+                embedding: vec![1.0],
+                k: 1,
+                exclude: u64::MAX,
+            }],
+        }
+        .into_frame()
+        .to_bytes();
+        wire[4] = 1;
+        wire[5] = 0;
+        assert!(matches!(
+            Frame::from_bytes(&wire),
+            Err(FrameError::VersionSkew {
+                version: 1,
+                step: Step::CoordSendQueryBatch
+            })
+        ));
+    }
+
+    #[test]
+    fn query_batch_roundtrips() {
+        let b = QueryBatch {
+            epoch: 9,
+            version: 33,
+            queries: vec![
+                BatchQuery {
+                    embedding: vec![1.5, -0.0, f32::MIN_POSITIVE],
+                    k: 2,
+                    exclude: u64::MAX,
+                },
+                BatchQuery {
+                    embedding: vec![f32::NAN],
+                    k: 1,
+                    exclude: 7,
+                },
+            ],
+        };
+        let frame = Frame::from_bytes(&b.clone().into_frame().to_bytes()).expect("parses");
+        let back = QueryBatch::from_frame(&frame).expect("decodes");
+        assert_eq!(back.epoch, b.epoch);
+        assert_eq!(back.version, b.version);
+        assert_eq!(back.queries.len(), 2);
+        for (a, want) in back.queries.iter().zip(&b.queries) {
+            assert_eq!(a.k, want.k);
+            assert_eq!(a.exclude, want.exclude);
+            let bits: Vec<u32> = a.embedding.iter().map(|f| f.to_bits()).collect();
+            let want_bits: Vec<u32> = want.embedding.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(bits, want_bits);
+        }
+        let t = TopKBatch {
+            epoch: 9,
+            lists: vec![vec![(3, 0.5), (1, 0.5)], vec![]],
+        };
+        let frame = Frame::from_bytes(&t.clone().into_frame().to_bytes()).expect("parses");
+        assert_eq!(TopKBatch::from_frame(&frame).expect("decodes"), t);
     }
 
     #[test]
@@ -677,6 +920,7 @@ mod tests {
         vec![1u64, 2].encode(&mut payload); // two ids
         vec![vec![1.0f32]].encode(&mut payload); // one embedding
         let frame = Frame {
+            version: Step::CoordSendLoad.min_version(),
             step: Step::CoordSendLoad,
             payload,
         };

@@ -14,7 +14,7 @@
 
 use crate::protocol::{
     EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong, Push, PushAck,
-    Query, ShutdownAck, Step, TopK,
+    Query, QueryBatch, ShutdownAck, Step, TopK, TopKBatch, PROTOCOL_VERSION,
 };
 use autoce::knn_order;
 use ce_nn::matrix::euclidean;
@@ -34,10 +34,23 @@ pub const LIVE_EPOCHS: usize = 2;
 pub const READY_LINE_PREFIX: &str = "CE-SHARD-LISTENING";
 
 /// In-memory state of one shard server.
-#[derive(Default)]
 pub struct ShardState {
     /// Live tables, oldest first (at most [`LIVE_EPOCHS`]).
     tables: Vec<EpochTable>,
+    /// Highest frame version this shard answers. Defaults to
+    /// [`PROTOCOL_VERSION`]; an operator mid-rolling-upgrade can pin a
+    /// replica to an older version, in which case newer-versioned frames
+    /// answer [`NackCode::VersionSkew`] instead of being served.
+    wire_version: u16,
+}
+
+impl Default for ShardState {
+    fn default() -> Self {
+        ShardState {
+            tables: Vec::new(),
+            wire_version: PROTOCOL_VERSION,
+        }
+    }
 }
 
 impl ShardState {
@@ -45,6 +58,15 @@ impl ShardState {
     /// must load a table before queries succeed).
     pub fn new() -> Self {
         ShardState::default()
+    }
+
+    /// Empty state pinned to an older wire version (rolling-upgrade
+    /// simulation: the binary speaks v2 but the operator holds it at v1).
+    pub fn with_wire_version(wire_version: u16) -> Self {
+        ShardState {
+            tables: Vec::new(),
+            wire_version,
+        }
     }
 
     /// The most recently installed table, if any.
@@ -81,8 +103,18 @@ impl ShardState {
 
     /// Handles one request frame, producing the answer frame. Never
     /// panics on malformed input: undecodable payloads answer
-    /// [`NackCode::Malformed`].
+    /// [`NackCode::Malformed`]; frames above the pinned wire version
+    /// answer [`NackCode::VersionSkew`] before the payload is touched.
     pub fn handle(&mut self, frame: &Frame) -> Frame {
+        if frame.version > self.wire_version {
+            return nack(
+                NackCode::VersionSkew,
+                format!(
+                    "frame version {} exceeds pinned wire version {}",
+                    frame.version, self.wire_version
+                ),
+            );
+        }
         match frame.step {
             Step::CoordSendLoad => match Load::from_frame(frame) {
                 Ok(Load(table)) => {
@@ -160,6 +192,38 @@ impl ShardState {
                 },
                 Err(e) => malformed(e),
             },
+            Step::CoordSendQueryBatch => match QueryBatch::from_frame(frame) {
+                Ok(b) => match self.tables.iter().find(|t| t.epoch == b.epoch) {
+                    Some(t) if t.version() == b.version => {
+                        // One (epoch, version) pin covers the whole batch:
+                        // either every query answers under it, or none do.
+                        let lists = b
+                            .queries
+                            .iter()
+                            .map(|q| Self::partial_topk(t, &q.embedding, q.k as usize, q.exclude))
+                            .collect();
+                        TopKBatch {
+                            epoch: b.epoch,
+                            lists,
+                        }
+                        .into_frame()
+                    }
+                    Some(t) => nack(
+                        NackCode::StaleTable,
+                        format!(
+                            "batch pins (epoch {}, version {}), have version {}",
+                            b.epoch,
+                            b.version,
+                            t.version()
+                        ),
+                    ),
+                    None => nack(
+                        NackCode::NoTable,
+                        format!("batch pins unloaded epoch {}", b.epoch),
+                    ),
+                },
+                Err(e) => malformed(e),
+            },
             Step::CoordSendPing => match Ping::from_frame(frame) {
                 Ok(p) => {
                     let (epoch, version) = self
@@ -227,7 +291,7 @@ fn serve_connection(
                     .try_into()
                     .expect("exact header slice");
                 match Frame::parse_header(header) {
-                    Ok((step, len)) => {
+                    Ok((version, step, len)) => {
                         if avail >= HEADER_LEN + len {
                             let at = start + HEADER_LEN;
                             let payload = buf[at..at + len].to_vec();
@@ -236,7 +300,11 @@ fn serve_connection(
                                 buf.clear();
                                 start = 0;
                             }
-                            break Frame { step, payload };
+                            break Frame {
+                                version,
+                                step,
+                                payload,
+                            };
                         }
                     }
                     Err(e) => {
@@ -500,6 +568,7 @@ mod tests {
         assert_eq!(nack.code, NackCode::NoTable);
         // Garbage payload under a valid step.
         let garbage = Frame {
+            version: Step::CoordSendQuery.min_version(),
             step: Step::CoordSendQuery,
             payload: vec![0xff; 3],
         };
@@ -508,5 +577,93 @@ mod tests {
         // Pong without a table reports the sentinel epoch.
         let pong = Pong::from_frame(&s.handle(&Ping { nonce: 5 }.into_frame())).expect("pong");
         assert_eq!((pong.nonce, pong.epoch, pong.version), (5, u64::MAX, 0));
+    }
+
+    #[test]
+    fn batched_query_answers_per_query_bits() {
+        use crate::protocol::{BatchQuery, QueryBatch, TopKBatch};
+        let mut s = ShardState::new();
+        s.handle(&Load(table(0, 4)).into_frame());
+        let queries = vec![
+            BatchQuery {
+                embedding: vec![0.1, 0.9],
+                k: 2,
+                exclude: u64::MAX,
+            },
+            BatchQuery {
+                embedding: vec![2.0, -1.0],
+                k: 3,
+                exclude: 2,
+            },
+            BatchQuery {
+                embedding: vec![0.0, 1.0],
+                k: 1,
+                exclude: 0,
+            },
+        ];
+        let batch = QueryBatch {
+            epoch: 0,
+            version: 4,
+            queries: queries.clone(),
+        };
+        let reply = TopKBatch::from_frame(&s.handle(&batch.into_frame())).expect("batched topk");
+        assert_eq!(reply.epoch, 0);
+        assert_eq!(reply.lists.len(), queries.len());
+        for (list, q) in reply.lists.iter().zip(&queries) {
+            let single = Query {
+                epoch: 0,
+                version: 4,
+                embedding: q.embedding.clone(),
+                k: q.k,
+                exclude: q.exclude,
+            };
+            let want = TopK::from_frame(&s.handle(&single.into_frame())).expect("topk");
+            assert_eq!(list.len(), want.entries.len());
+            for ((ia, da), (ib, db)) in list.iter().zip(&want.entries) {
+                assert_eq!(ia, ib);
+                assert_eq!(
+                    da.to_bits(),
+                    db.to_bits(),
+                    "distances must match bit-exactly"
+                );
+            }
+        }
+        // A stale pin refuses the whole batch — never a partial answer.
+        let stale = QueryBatch {
+            epoch: 0,
+            version: 3,
+            queries,
+        };
+        let nack = Nack::from_frame(&s.handle(&stale.into_frame())).expect("nack");
+        assert_eq!(nack.code, NackCode::StaleTable);
+    }
+
+    #[test]
+    fn version_pinned_shard_nacks_batch_frames() {
+        use crate::protocol::{BatchQuery, QueryBatch};
+        let mut s = ShardState::with_wire_version(1);
+        s.handle(&Load(table(0, 2)).into_frame());
+        // v1 traffic still serves.
+        let q = Query {
+            epoch: 0,
+            version: 2,
+            embedding: vec![0.0, 0.0],
+            k: 1,
+            exclude: u64::MAX,
+        };
+        assert!(TopK::from_frame(&s.handle(&q.into_frame())).is_ok());
+        // A v2 batch frame is refused with a typed skew NACK before the
+        // payload is decoded.
+        let batch = QueryBatch {
+            epoch: 0,
+            version: 2,
+            queries: vec![BatchQuery {
+                embedding: vec![0.0, 0.0],
+                k: 1,
+                exclude: u64::MAX,
+            }],
+        };
+        let nack = Nack::from_frame(&s.handle(&batch.into_frame())).expect("nack");
+        assert_eq!(nack.code, NackCode::VersionSkew);
     }
 }

@@ -7,7 +7,7 @@
 
 mod common;
 
-use autoce::{AdvisorBackend, AutoCe};
+use autoce::{AdvisorBackend, AutoCe, BatchPredictRequest};
 use ce_cluster::{ClusterConfig, ClusterCoordinator, FaultPlan, ShardedAdvisor, SimNet};
 use ce_features::FeatureGraph;
 use ce_models::ModelKind;
@@ -136,6 +136,135 @@ fn service_answers_identically_over_flat_sharded_and_cluster_backends() {
     }
 }
 
+/// Burst submissions ([`ce_serve::ServeHandle::recommend_graphs`]) over
+/// the cluster backend ride the wire-batched path — one `QueryBatch`
+/// frame per shard range per burst (protocol v2) — and must answer with
+/// exactly the flat advisor's bits at every client-thread count, cold and
+/// from the warm cache alike.
+#[test]
+fn burst_submissions_ride_the_batched_wire_path_bit_identically() {
+    let flat = common::synthetic_flat(11, 3);
+    let w = MetricWeights::new(0.7);
+    let want = expected(&flat, w);
+    let gs = graphs(&flat);
+
+    for clients in [1usize, 2, 4, 8] {
+        let net = SimNet::new(RANGES * REPLICAS_PER_RANGE, FaultPlan::none());
+        let coord = Arc::new(ClusterCoordinator::over_sim(
+            ShardedAdvisor::from_advisor(&flat, RANGES),
+            &net,
+            REPLICAS_PER_RANGE,
+            ClusterConfig::no_sleep(),
+        ));
+        coord.bootstrap().expect("bootstrap");
+        let service = AdvisorService::start_shared(coord.clone(), serve_config());
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let handle = service.handle();
+                let gs = &gs;
+                let want = &want;
+                scope.spawn(move || {
+                    // Rotate each thread's burst so concurrent batches
+                    // disagree about submission order.
+                    let mut burst: Vec<FeatureGraph> = gs.to_vec();
+                    let rot = t % burst.len();
+                    burst.rotate_left(rot);
+                    let recs = handle.recommend_graphs(burst, w).expect("burst");
+                    for (i, rec) in recs.into_iter().enumerate() {
+                        let j = (i + t) % want.len();
+                        assert_eq!(
+                            (rec.model, rec.scores),
+                            (want[j].0, want[j].1.clone()),
+                            "burst at {clients} clients: thread {t}, slot {i}"
+                        );
+                    }
+                });
+            }
+        });
+        // Warm pass: the whole burst is cache-servable and still batches
+        // its votes over the wire with identical bits.
+        let recs = service
+            .handle()
+            .recommend_graphs(gs.clone(), w)
+            .expect("warm burst");
+        for (rec, want) in recs.into_iter().zip(&want) {
+            assert!(rec.cache_hit, "warm burst must hit the cache");
+            assert_eq!((rec.model, rec.scores), (want.0, want.1.clone()));
+        }
+        assert!(
+            !coord.health().degraded(),
+            "batched traffic must keep a healthy net healthy"
+        );
+        service.shutdown();
+    }
+}
+
+/// Concurrent direct [`ClusterCoordinator::predict_batch`] calls — with
+/// per-query metric weights and exclusions mixed *inside* each batch —
+/// answer bit-identically to per-query `predict_excluding` on the
+/// in-process sharded advisor, from 1 to 8 caller threads.
+#[test]
+fn concurrent_predict_batch_matches_per_query_bits() {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let ws = [MetricWeights::new(0.7), MetricWeights::new(0.3)];
+    let cases: Vec<(Vec<f32>, MetricWeights, usize)> = graphs(&flat)
+        .iter()
+        .enumerate()
+        .flat_map(|(i, g)| {
+            let x = flat.embed_graph(g);
+            [usize::MAX, 0, 7]
+                .into_iter()
+                .map(move |exclude| (x.clone(), ws[i % 2], exclude))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let want: Vec<(ModelKind, Vec<f64>)> = cases
+        .iter()
+        .map(|(x, w, exclude)| sharded.predict_excluding(x, *w, *exclude))
+        .collect();
+
+    let net = SimNet::new(RANGES * REPLICAS_PER_RANGE, FaultPlan::none());
+    let coord = Arc::new(ClusterCoordinator::over_sim(
+        sharded,
+        &net,
+        REPLICAS_PER_RANGE,
+        ClusterConfig::no_sleep(),
+    ));
+    coord.bootstrap().expect("bootstrap");
+    for clients in [1usize, 2, 4, 8] {
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let coord = coord.clone();
+                let cases = &cases;
+                let want = &want;
+                scope.spawn(move || {
+                    // Each thread batches the workload at a different
+                    // depth, so concurrent calls interleave mid-workload.
+                    let depth = [2usize, 3, 4, 5][t % 4];
+                    let mut got = Vec::new();
+                    for chunk in cases.chunks(depth) {
+                        let reqs: Vec<BatchPredictRequest<'_>> = chunk
+                            .iter()
+                            .map(|(x, w, exclude)| BatchPredictRequest {
+                                embedding: x,
+                                w: *w,
+                                exclude: *exclude,
+                            })
+                            .collect();
+                        got.extend(coord.predict_batch(&reqs).expect("batched predict"));
+                    }
+                    assert_eq!(
+                        &got, want,
+                        "{clients} clients: thread {t} (depth {depth}) drifted"
+                    );
+                });
+            }
+        });
+    }
+    assert!(!coord.health().degraded());
+}
+
 /// Admin mutations through the caller-held coordinator handle — push and
 /// epoch snapshot — flow through to service answers with the same bits as
 /// an in-process mirror, and the embedding cache stays correct across the
@@ -185,6 +314,18 @@ fn service_fronted_cluster_tracks_push_and_snapshot_bit_identically() {
             "post-push answers must track the mirror"
         );
     }
+    // A whole burst against the post-push state: one wire batch per
+    // range, every answer tracking the mirror, all from the warm cache.
+    let recs = handle.recommend_graphs(gs.clone(), w).expect("burst");
+    for (rec, g) in recs.into_iter().zip(&gs) {
+        assert!(rec.cache_hit, "post-push burst must stay cache-served");
+        let x = mirror.embed_graph(g);
+        assert_eq!(
+            (rec.model, rec.scores),
+            mirror.predict_from_embedding(&x, w),
+            "post-push burst must track the mirror"
+        );
+    }
 
     // Epoch snapshot through the admin handle; embeddings refresh on both
     // sides.
@@ -202,6 +343,25 @@ fn service_fronted_cluster_tracks_push_and_snapshot_bit_identically() {
             (rec.model, rec.scores),
             mirror.predict_from_embedding(&x, w),
             "post-snapshot answers must track the mirror"
+        );
+    }
+    // And the direct batched fan-out against the new epoch: the whole
+    // workload in one `predict_batch`, bit-identical to the mirror.
+    let xs: Vec<Vec<f32>> = gs.iter().map(|g| mirror.embed_graph(g)).collect();
+    let reqs: Vec<BatchPredictRequest<'_>> = xs
+        .iter()
+        .map(|x| BatchPredictRequest {
+            embedding: x,
+            w,
+            exclude: usize::MAX,
+        })
+        .collect();
+    let batched = coord.predict_batch(&reqs).expect("post-snapshot batch");
+    for (got, x) in batched.into_iter().zip(&xs) {
+        assert_eq!(
+            got,
+            mirror.predict_from_embedding(x, w),
+            "post-snapshot batched fan-out must track the mirror"
         );
     }
     assert!(!coord.heartbeat().degraded());

@@ -4,7 +4,11 @@
 //! and no truncated, garbled, or outright random byte sequence may ever
 //! panic the decoder — malformed input is an `Err`, full stop.
 
-use ce_cluster::protocol::{EpochTable, Frame, Load, Message, Push, Query, TopK, HEADER_LEN};
+use ce_cluster::protocol::{
+    BatchQuery, EpochTable, Frame, Load, Message, Push, Query, QueryBatch, TopK, TopKBatch,
+    HEADER_LEN,
+};
+use ce_cluster::Step;
 use proptest::prelude::*;
 
 /// Bit-exact float comparison (NaN-safe, sign-of-zero-exact).
@@ -134,10 +138,170 @@ proptest! {
         // the message decode (the codec demands exact consumption).
         if cut > HEADER_LEN {
             let frame = Frame {
-                step: ce_cluster::Step::CoordSendPush,
+                version: Step::CoordSendPush.min_version(),
+                step: Step::CoordSendPush,
                 payload: wire[HEADER_LEN..cut].to_vec(),
             };
             prop_assert!(Push::from_frame(&frame).is_err());
+        }
+    }
+
+    /// Batched queries (protocol v2) round-trip bit-identically: every
+    /// per-query embedding keeps its exact bit pattern (NaNs, signed
+    /// zeros, subnormals, infinities), and per-query `k`/`exclude` ride
+    /// along untouched. Batch depths 0 (empty) and 1 are generated as
+    /// often as deep batches — the degenerate shapes are where length
+    /// prefixes go wrong.
+    #[test]
+    fn query_batch_roundtrips_bit_identically(
+        epoch in 0u64..=u64::MAX,
+        version in 0u64..=u64::MAX,
+        raws in prop::collection::vec(prop::collection::vec(0u32..=u32::MAX, 0..6), 0..5),
+        ks in prop::collection::vec(0u64..1000, 5),
+        excludes in prop::collection::vec(0u64..=u64::MAX, 5),
+    ) {
+        let qb = QueryBatch {
+            epoch,
+            version,
+            queries: raws
+                .iter()
+                .enumerate()
+                .map(|(i, raw)| BatchQuery {
+                    embedding: embedding_from(raw),
+                    k: ks[i],
+                    exclude: excludes[i],
+                })
+                .collect(),
+        };
+        let wire = qb.clone().into_frame().to_bytes();
+        // Batch frames declare protocol version 2 in the header.
+        prop_assert_eq!(
+            u16::from_le_bytes([wire[4], wire[5]]),
+            Step::CoordSendQueryBatch.min_version()
+        );
+        let frame = Frame::from_bytes(&wire).expect("self-encoded frame parses");
+        let back = QueryBatch::from_frame(&frame).expect("self-encoded payload decodes");
+        prop_assert_eq!(back.epoch, qb.epoch);
+        prop_assert_eq!(back.version, qb.version);
+        prop_assert_eq!(back.queries.len(), qb.queries.len());
+        for (a, b) in back.queries.iter().zip(&qb.queries) {
+            prop_assert_eq!(a.k, b.k);
+            prop_assert_eq!(a.exclude, b.exclude);
+            prop_assert_eq!(bits(&a.embedding), bits(&b.embedding));
+        }
+    }
+
+    /// Batched top-k replies keep every list's slot order and every
+    /// distance's bits — including empty lists (a range with fewer
+    /// entries than `k`) and tie-heavy quantized distances the merge's
+    /// tie-breaking depends on.
+    #[test]
+    fn topk_batch_roundtrips_bit_identically(
+        epoch in 0u64..1000,
+        lists in prop::collection::vec(
+            prop::collection::vec(0u64..64, 0..6),
+            0..5,
+        ),
+    ) {
+        // Quantized distances derived from the ids: heavy ties on a
+        // half-integer lattice, exactly the shape the merge tie-breaks.
+        let tb = TopKBatch {
+            epoch,
+            lists: lists
+                .iter()
+                .map(|l| l.iter().map(|&id| (id, (id % 5) as f32 / 2.0)).collect())
+                .collect(),
+        };
+        let wire = tb.clone().into_frame().to_bytes();
+        let frame = Frame::from_bytes(&wire).expect("frame parses");
+        let back = TopKBatch::from_frame(&frame).expect("payload decodes");
+        prop_assert_eq!(back.epoch, tb.epoch);
+        prop_assert_eq!(back.lists.len(), tb.lists.len());
+        for (a, b) in back.lists.iter().zip(&tb.lists) {
+            prop_assert_eq!(a.len(), b.len());
+            for ((ia, da), (ib, db)) in a.iter().zip(b) {
+                prop_assert_eq!(ia, ib);
+                prop_assert_eq!(da.to_bits(), db.to_bits());
+            }
+        }
+    }
+
+    /// Every strict prefix of a batch frame errors cleanly, and a batch
+    /// whose length prefix promises more queries than the payload holds
+    /// is `Corrupt` — never a panic, never a giant speculative
+    /// allocation.
+    #[test]
+    fn truncated_batch_frames_error_cleanly(
+        raw in prop::collection::vec(0u32..=u32::MAX, 0..4),
+        depth in 1usize..4,
+        cut_sel in 0usize..=10_000,
+        bogus_count in 5u64..=u64::MAX,
+    ) {
+        let qb = QueryBatch {
+            epoch: 3,
+            version: 9,
+            queries: (0..depth)
+                .map(|i| BatchQuery {
+                    embedding: embedding_from(&raw),
+                    k: i as u64 + 1,
+                    exclude: u64::MAX,
+                })
+                .collect(),
+        };
+        let wire = qb.into_frame().to_bytes();
+        let cut = cut_sel % wire.len();
+        prop_assert!(
+            Frame::from_bytes(&wire[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not parse",
+            wire.len()
+        );
+        if cut > HEADER_LEN {
+            let frame = Frame {
+                version: Step::CoordSendQueryBatch.min_version(),
+                step: Step::CoordSendQueryBatch,
+                payload: wire[HEADER_LEN..cut].to_vec(),
+            };
+            prop_assert!(QueryBatch::from_frame(&frame).is_err());
+        }
+        // Overwrite the batch-count prefix (payload bytes 16..24: epoch
+        // and version are 8 bytes each) with a count the payload cannot
+        // possibly hold.
+        let mut capped = wire.clone();
+        capped[HEADER_LEN + 16..HEADER_LEN + 24].copy_from_slice(&bogus_count.to_le_bytes());
+        let frame = Frame::from_bytes(&capped).expect("header untouched");
+        prop_assert!(QueryBatch::from_frame(&frame).is_err());
+    }
+
+    /// Single-byte corruption of a batch frame never panics — including
+    /// flips in the header's version bytes (which may legally downgrade
+    /// the declared version and must then be caught as `VersionSkew`, not
+    /// decoded).
+    #[test]
+    fn flipped_byte_in_batch_frame_never_panics(
+        raw in prop::collection::vec(0u32..=u32::MAX, 0..3),
+        idx_sel in 0usize..=10_000,
+        mask in 1u8..=255,
+    ) {
+        let qb = QueryBatch {
+            epoch: 1,
+            version: 2,
+            queries: vec![BatchQuery {
+                embedding: embedding_from(&raw),
+                k: 3,
+                exclude: u64::MAX,
+            }],
+        };
+        let mut wire = qb.into_frame().to_bytes();
+        let idx = idx_sel % wire.len();
+        wire[idx] ^= mask;
+        match Frame::from_bytes(&wire) {
+            Err(_) => {}
+            Ok(frame) => {
+                prop_assert_eq!(frame.to_bytes(), wire);
+                if let Ok(back) = QueryBatch::from_frame(&frame) {
+                    prop_assert_eq!(back.into_frame().to_bytes(), wire);
+                }
+            }
         }
     }
 

@@ -14,7 +14,7 @@
 
 mod common;
 
-use autoce::AdvisorError;
+use autoce::{AdvisorError, BatchPredictRequest};
 use ce_cluster::{
     ClusterConfig, ClusterCoordinator, ClusterError, FaultPlan, ShardedAdvisor, SimNet,
 };
@@ -231,6 +231,150 @@ fn kill_restart_cycle_heals_through_reload() {
     // heartbeat finds nothing left to repair.
     let health = coord.heartbeat();
     assert!(!health.any_range_dark());
+}
+
+/// Depth of each wire batch in the batched gauntlet: deep enough that a
+/// single injected fault hits several queries at once, small enough that
+/// the workload spans many batch frames.
+const BATCH_DEPTH: usize = 4;
+
+/// One full gauntlet run driving the same workload through the
+/// wire-batched path ([`ClusterCoordinator::predict_batch`], protocol
+/// v2): the whole chunk rides one `QueryBatch` frame per range, so every
+/// injected wire fault lands on a batch frame and fails (or heals) the
+/// chunk as a unit.
+fn run_batched_gauntlet(seed: u64) -> GauntletRun {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let replicas = RANGES * REPLICAS_PER_RANGE;
+    let plan = FaultPlan::seeded(seed, PLAN_STEPS, replicas, INTENSITY);
+    let net = SimNet::new(replicas, plan);
+    let coord =
+        ClusterCoordinator::over_sim(sharded, &net, REPLICAS_PER_RANGE, ClusterConfig::no_sleep());
+    let mut retries = 0usize;
+    let mut attempt = 0u32;
+    while let Err(e) = coord.bootstrap() {
+        attempt += 1;
+        retries += 1;
+        assert!(attempt < 100, "seed {seed}: bootstrap never converged: {e}");
+    }
+    let w = MetricWeights::new(0.7);
+    let cases = workload();
+    let mut answers = Vec::new();
+    for (ci, chunk) in cases.chunks(BATCH_DEPTH).enumerate() {
+        let reqs: Vec<BatchPredictRequest<'_>> = chunk
+            .iter()
+            .map(|(x, exclude)| BatchPredictRequest {
+                embedding: x,
+                w,
+                exclude: *exclude,
+            })
+            .collect();
+        let mut attempt = 0u32;
+        let batch = loop {
+            match coord.predict_batch(&reqs) {
+                Ok(a) => break a,
+                Err(ClusterError::RangeUnavailable { .. }) => {
+                    attempt += 1;
+                    retries += 1;
+                    assert!(attempt < 500, "seed {seed}: range stayed dark");
+                }
+                Err(e) => panic!("seed {seed}: non-transient failure: {e}"),
+            }
+        };
+        assert_eq!(batch.len(), chunk.len(), "a batch must answer in full");
+        answers.extend(batch);
+        if ci % 2 == 1 {
+            let _ = coord.heartbeat();
+        }
+    }
+    let health = coord.heartbeat();
+    let _ = health.report();
+    GauntletRun {
+        answers,
+        trace: coord.take_trace(),
+        retries,
+    }
+}
+
+/// The seeded sweep over the batched path: the same 8 seeds as the
+/// per-query sweep, with the fault schedule now landing on `QueryBatch`
+/// frames — and every answer still equals the in-process sharded advisor
+/// bit for bit. No version is pinned anywhere, so the mixed-version
+/// downgrade must never fire.
+#[test]
+fn batched_fault_sweep_is_bit_identical_to_flat() {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let w = MetricWeights::new(0.7);
+    let expected: Vec<(ModelKind, Vec<f64>)> = workload()
+        .iter()
+        .map(|(x, exclude)| sharded.predict_excluding(x, w, *exclude))
+        .collect();
+
+    let mut errors = 0usize;
+    let mut reloads = 0usize;
+    let mut failovers = 0usize;
+    let mut nacks = 0usize;
+    let mut retries = 0usize;
+    for seed in 1u64..=8 {
+        let run = run_batched_gauntlet(seed);
+        assert_eq!(
+            run.answers, expected,
+            "seed {seed}: a fault on the batched path changed an answer bit"
+        );
+        assert!(
+            !run.trace.iter().any(|l| l.starts_with("batch-downgrade")),
+            "seed {seed}: a same-version cluster must never downgrade: {:?}",
+            run.trace
+        );
+        errors += run
+            .trace
+            .iter()
+            .filter(|l| {
+                l.starts_with("dial-err") || l.starts_with("send-err") || l.starts_with("call-err")
+            })
+            .count();
+        reloads += run.trace.iter().filter(|l| l.starts_with("reload")).count();
+        failovers += run
+            .trace
+            .iter()
+            .filter(|l| l.starts_with("failover"))
+            .count();
+        nacks += run.trace.iter().filter(|l| l.starts_with("nack")).count();
+        retries += run.retries;
+    }
+    println!(
+        "batched gauntlet coverage over 8 seeds: {errors} transport errors, \
+         {nacks} NACKs, {reloads} reloads, {failovers} failovers, \
+         {retries} batch retries"
+    );
+    assert!(
+        errors > 0,
+        "no fault ever hit a batch frame — plan too gentle"
+    );
+    assert!(reloads > 0, "no reload was ever needed on the batched path");
+    assert!(failovers > 0, "no batch frame ever failed over");
+}
+
+/// Same seed, same batched-path trace — byte for byte. The batched
+/// fan-out shares the per-query path's retry/failover machinery, so its
+/// event history must be exactly as reproducible.
+#[test]
+fn batched_gauntlet_replays_the_same_event_trace() {
+    let a = run_batched_gauntlet(5);
+    let b = run_batched_gauntlet(5);
+    assert_eq!(
+        a.trace, b.trace,
+        "batched event trace must replay bit-identically"
+    );
+    assert_eq!(a.answers, b.answers);
+    assert_eq!(a.retries, b.retries);
+    let c = run_batched_gauntlet(6);
+    assert_ne!(
+        a.trace, c.trace,
+        "distinct seeds must produce distinct batched failure histories"
+    );
 }
 
 /// Answers, coordinator trace, and RangeUnavailable-retry count from one

@@ -1,0 +1,197 @@
+//! Mixed-version regression coverage: a protocol-v2 coordinator speaking
+//! to a v1-pinned shard, and a v1-pinned coordinator speaking to v2
+//! shards, must both degrade to the serial per-query path with answers
+//! bit-identical to a same-version cluster — gated by a *typed* protocol
+//! NACK (`VersionSkew`), never a partial merge, never a silent drop.
+//!
+//! The trace lines pinned here are part of the contract: operators
+//! diagnosing a rolling upgrade grep for exactly these strings.
+
+mod common;
+
+use autoce::BatchPredictRequest;
+use ce_cluster::protocol::{BatchQuery, FrameError, Message, QueryBatch};
+use ce_cluster::{
+    ClusterConfig, ClusterCoordinator, FaultPlan, Frame, ShardedAdvisor, SimNet, Step,
+};
+use ce_models::ModelKind;
+use ce_testbed::MetricWeights;
+
+const RANGES: usize = 2;
+const REPLICAS_PER_RANGE: usize = 2;
+
+fn workload() -> Vec<(Vec<f32>, usize)> {
+    let mut cases = Vec::new();
+    for x in common::queries() {
+        for exclude in [usize::MAX, 0, 7] {
+            cases.push((x.clone(), exclude));
+        }
+    }
+    cases
+}
+
+fn expected(sharded: &ShardedAdvisor, w: MetricWeights) -> Vec<(ModelKind, Vec<f64>)> {
+    workload()
+        .iter()
+        .map(|(x, exclude)| sharded.predict_excluding(x, w, *exclude))
+        .collect()
+}
+
+fn predict_all_batched(coord: &ClusterCoordinator, w: MetricWeights) -> Vec<(ModelKind, Vec<f64>)> {
+    let cases = workload();
+    let reqs: Vec<BatchPredictRequest<'_>> = cases
+        .iter()
+        .map(|(x, exclude)| BatchPredictRequest {
+            embedding: x,
+            w,
+            exclude: *exclude,
+        })
+        .collect();
+    coord.predict_batch(&reqs).expect("batched predict")
+}
+
+/// Direction 1: a v2 coordinator against a range whose primary is pinned
+/// to wire version 1 (an operator mid-rolling-upgrade). The first batch
+/// frame earns a typed `VersionSkew` NACK, the lane downgrades — with the
+/// exact trace lines pinned — and the batch is served per query,
+/// bit-identical to the in-process advisor. The downgrade is sticky: a
+/// second batch never re-probes the pinned peer with v2.
+#[test]
+fn v1_pinned_shard_downgrades_a_v2_coordinator_batch() {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let replicas = RANGES * REPLICAS_PER_RANGE;
+    let net = SimNet::new(replicas, FaultPlan::none());
+    // Replica 0 is range 0's primary in the flat numbering. Pin before
+    // bootstrap: pinning resets the shard's state.
+    net.pin_wire_version(0, 1);
+    let coord = ClusterCoordinator::over_sim(
+        sharded.clone(),
+        &net,
+        REPLICAS_PER_RANGE,
+        ClusterConfig::no_sleep(),
+    );
+    // Bootstrap's Load/Query traffic is v1-framed, so the pinned replica
+    // bootstraps like any other.
+    coord.bootstrap().expect("mixed-version bootstrap");
+    let w = MetricWeights::new(0.7);
+
+    let answers = predict_all_batched(&coord, w);
+    assert_eq!(
+        answers,
+        expected(&sharded, w),
+        "the downgraded serial fallback must not move a bit"
+    );
+    let trace = coord.take_trace();
+    // The exact contract lines, not substrings-of-something-else: the
+    // typed NACK from the pinned peer, then the sticky lane downgrade.
+    assert!(
+        trace
+            .iter()
+            .any(|l| l
+                == "nack range=0 r=0 VersionSkew: frame version 2 exceeds pinned wire version 1"),
+        "typed VersionSkew NACK missing from trace: {trace:?}"
+    );
+    assert!(
+        trace.iter().any(|l| l == "batch-downgrade range=0"),
+        "lane downgrade line missing from trace: {trace:?}"
+    );
+    assert!(
+        !trace
+            .iter()
+            .any(|l| l.starts_with("batch-downgrade range=1")),
+        "the unpinned range must keep its batched path: {trace:?}"
+    );
+    // No failover either: a version pin is a policy, not an outage.
+    assert!(
+        !trace.iter().any(|l| l.starts_with("failover")),
+        "a pinned peer must not be treated as dead: {trace:?}"
+    );
+
+    // Sticky: the second batch serves range 0 serially without probing
+    // v2 again — no new skew NACK, no second downgrade line.
+    let answers = predict_all_batched(&coord, w);
+    assert_eq!(answers, expected(&sharded, w));
+    let trace = coord.take_trace();
+    assert!(
+        !trace
+            .iter()
+            .any(|l| l.contains("VersionSkew") || l.starts_with("batch-downgrade")),
+        "the downgrade must be sticky, not re-negotiated per batch: {trace:?}"
+    );
+}
+
+/// Direction 2: a coordinator pinned to wire version 1 (via
+/// [`ClusterConfig`]) against v2-capable shards never emits a batch frame
+/// at all — `predict_batch` serves per query from the start, bit-identical
+/// and NACK-free.
+#[test]
+fn v1_pinned_coordinator_serves_batches_serially() {
+    let flat = common::synthetic_flat(11, 3);
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let replicas = RANGES * REPLICAS_PER_RANGE;
+    let net = SimNet::new(replicas, FaultPlan::none());
+    let cfg = ClusterConfig::builder()
+        .wire_version(1)
+        .no_sleep()
+        .build()
+        .expect("v1 pin is a valid config");
+    let coord = ClusterCoordinator::over_sim(sharded.clone(), &net, REPLICAS_PER_RANGE, cfg);
+    coord.bootstrap().expect("bootstrap");
+    let w = MetricWeights::new(0.7);
+    let answers = predict_all_batched(&coord, w);
+    assert_eq!(
+        answers,
+        expected(&sharded, w),
+        "the coordinator-side serial path must not move a bit"
+    );
+    let trace = coord.take_trace();
+    assert!(
+        !trace.iter().any(|l| {
+            l.contains("VersionSkew") || l.starts_with("batch-downgrade") || l.starts_with("nack")
+        }),
+        "a v1-pinned coordinator must never provoke a version NACK: {trace:?}"
+    );
+}
+
+/// The coordinator refuses version pins outside the supported window at
+/// build time — a typed `InvalidConfig`, not a runtime surprise.
+#[test]
+fn out_of_window_wire_version_pins_are_rejected() {
+    for v in [0u16, 3] {
+        let err = ClusterConfig::builder()
+            .wire_version(v)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, autoce::AdvisorError::InvalidConfig(_)),
+            "wire_version({v}) must be InvalidConfig, got {err:?}"
+        );
+    }
+}
+
+/// The frame layer's own typed gate: a batch step framed as v1 — a buggy
+/// or malicious peer claiming v1 while sending a v2-only step — fails
+/// header parsing with [`FrameError::VersionSkew`] before any payload is
+/// touched.
+#[test]
+fn v1_framed_batch_step_is_a_typed_frame_error() {
+    let qb = QueryBatch {
+        epoch: 1,
+        version: 5,
+        queries: vec![BatchQuery {
+            embedding: vec![0.5, -0.5],
+            k: 3,
+            exclude: u64::MAX,
+        }],
+    };
+    let mut wire = qb.into_frame().to_bytes();
+    wire[4..6].copy_from_slice(&1u16.to_le_bytes());
+    match Frame::from_bytes(&wire) {
+        Err(FrameError::VersionSkew { version, step }) => {
+            assert_eq!(version, 1);
+            assert_eq!(step, Step::CoordSendQueryBatch);
+        }
+        other => panic!("expected VersionSkew, got {other:?}"),
+    }
+}

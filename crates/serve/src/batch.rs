@@ -61,7 +61,7 @@ use crate::cache::{graph_fingerprint, EmbeddingCache};
 use crate::reservoir::Reservoir;
 use crate::shard::ShardedAdvisor;
 use autoce::online::DriftDetector;
-use autoce::{validate_nonzero, AdvisorBackend, AdvisorError};
+use autoce::{validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest};
 use ce_features::{extract_features, FeatureGraph};
 use ce_models::ModelKind;
 use ce_storage::Dataset;
@@ -460,22 +460,36 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
         }
         let mut out: Vec<Option<Recommendation>> = (0..n).map(|_| None).collect();
         let mut graphs: Vec<Option<Cow<'_, FeatureGraph>>> = graphs.into_iter().map(Some).collect();
+        let mut hit_idx: Vec<usize> = Vec::new();
         let mut missed: Vec<usize> = Vec::new();
-        for i in 0..n {
-            match &cached[i] {
-                Some(emb) => {
-                    let (model, scores) = snap.predict_from_embedding(emb, w)?;
-                    out[i] = Some(Recommendation {
-                        model,
-                        scores,
-                        generation: snap.generation(),
-                        cache_hit: true,
-                    });
-                }
+        for (i, slot) in cached.iter().enumerate() {
+            match slot {
+                Some(_) => hit_idx.push(i),
                 None => missed.push(i),
             }
         }
-        let hits = (n - missed.len()) as u64;
+        if !hit_idx.is_empty() {
+            // One batched vote over the whole hit set: against a cluster
+            // backend this is one wire frame per shard range instead of
+            // one per query, and it is bit-identical to voting per query.
+            let reqs: Vec<BatchPredictRequest<'_>> = hit_idx
+                .iter()
+                .map(|&i| BatchPredictRequest {
+                    embedding: cached[i].as_deref().expect("hit embedding present"),
+                    w,
+                    exclude: usize::MAX,
+                })
+                .collect();
+            for (&i, (model, scores)) in hit_idx.iter().zip(snap.predict_batch(&reqs)?) {
+                out[i] = Some(Recommendation {
+                    model,
+                    scores,
+                    generation: snap.generation(),
+                    cache_hit: true,
+                });
+            }
+        }
+        let hits = hit_idx.len() as u64;
         if hits > 0 {
             self.shared
                 .stats
@@ -515,9 +529,15 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                     cache.insert_ref(snap.generation(), fingerprints[i], emb);
                 }
             }
-            for &i in &missed {
-                let emb = &fresh[pos_of[&fingerprints[i]]];
-                let (model, scores) = snap.predict_from_embedding(emb, w)?;
+            let reqs: Vec<BatchPredictRequest<'_>> = missed
+                .iter()
+                .map(|&i| BatchPredictRequest {
+                    embedding: fresh[pos_of[&fingerprints[i]]].as_slice(),
+                    w,
+                    exclude: usize::MAX,
+                })
+                .collect();
+            for (&i, (model, scores)) in missed.iter().zip(snap.predict_batch(&reqs)?) {
                 out[i] = Some(Recommendation {
                     model,
                     scores,
@@ -896,10 +916,14 @@ fn fail_service<B>(shared: &Shared<B>) {
 }
 
 /// Serves one micro-batch: cache lookups, one stacked forward over the
-/// misses, cache fill, then the KNN vote per request. A backend failure
-/// on one request's vote (e.g. a cluster range going dark mid-batch) is
-/// sent to that submitter as its typed error; the rest of the batch still
-/// answers.
+/// misses, cache fill, then **one** batched KNN vote
+/// ([`AdvisorBackend::predict_batch`]) for every request — against a
+/// cluster backend that is one wire frame per shard range per batch
+/// instead of one per query. A backend failure (e.g. a cluster range
+/// going dark mid-batch) fails the batch as a whole: every submitter
+/// receives the same typed error, because every query in the batch fans
+/// out to the same ranges — a partial answer would let one range's
+/// failure silently skew a subset of the batch.
 fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
     let snap = shared.current();
     let mut embeddings: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
@@ -948,17 +972,31 @@ fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
     stats
         .cache_misses
         .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
-    for (i, (r, emb)) in batch.iter().zip(&embeddings).enumerate() {
-        let emb = emb.as_deref().expect("every request embedded");
-        let answer = snap
-            .predict_from_embedding(emb, r.w)
-            .map(|(model, scores)| Recommendation {
-                model,
-                scores,
-                generation: snap.generation(),
-                cache_hit: was_hit[i],
-            });
-        // A dropped receiver (client gave up) is not an error.
-        let _ = r.reply.send(answer);
+    let reqs: Vec<BatchPredictRequest<'_>> = batch
+        .iter()
+        .zip(&embeddings)
+        .map(|(r, emb)| BatchPredictRequest {
+            embedding: emb.as_deref().expect("every request embedded"),
+            w: r.w,
+            exclude: usize::MAX,
+        })
+        .collect();
+    match snap.predict_batch(&reqs) {
+        Ok(answers) => {
+            for (i, (r, (model, scores))) in batch.iter().zip(answers).enumerate() {
+                // A dropped receiver (client gave up) is not an error.
+                let _ = r.reply.send(Ok(Recommendation {
+                    model,
+                    scores,
+                    generation: snap.generation(),
+                    cache_hit: was_hit[i],
+                }));
+            }
+        }
+        Err(e) => {
+            for r in batch {
+                let _ = r.reply.send(Err(e.clone()));
+            }
+        }
     }
 }

@@ -27,9 +27,22 @@ PAIRS = [
     ("BENCH_serve.json", ["serve_speedup", "cold_speedup", "cache_hit_speedup"]),
     (
         "BENCH_cluster.json",
-        ["cluster_vs_inproc", "failover_vs_healthy", "cluster_batched_vs_inproc"],
+        [
+            "cluster_vs_inproc",
+            "failover_vs_healthy",
+            "cluster_batched_vs_inproc",
+            "cluster_queued_vs_inproc",
+            "wire_batch_amortization",
+        ],
     ),
 ]
+
+# Non-ratio fields that must ride along in the fresh artifact: losing one
+# means the bench stopped recording provenance (e.g. which wire protocol
+# version the cluster numbers were measured under) and fails the job.
+REQUIRED_FIELDS = {
+    "BENCH_cluster.json": ["protocol_version"],
+}
 
 # Warn when measured/baseline drops below this.
 REGRESSION_RATIO = 0.85
@@ -50,6 +63,12 @@ def main() -> int:
             new = json.load(f)
         with open(base_path) as f:
             base = json.load(f)
+        for field in REQUIRED_FIELDS.get(path, []):
+            if field not in new:
+                print(f"::error::{path}:{field} missing from the fresh measurement")
+                failed = True
+            else:
+                print(f"ok: {path}:{field} = {new[field]}")
         for key in keys:
             if key not in new and key not in base:
                 print(f"::error::{path}:{key} missing from both measurement and baseline")
