@@ -36,6 +36,7 @@ use crate::online::DriftDetector;
 use ce_features::{FeatureConfig, FeatureGraph};
 use ce_models::ModelKind;
 use ce_nn::matrix::euclidean;
+use ce_obs::MetricsSnapshot;
 use ce_testbed::{DatasetLabel, MetricWeights};
 
 /// The unified advisor error taxonomy. Backend- and service-specific
@@ -205,6 +206,17 @@ pub trait AdvisorBackend: Send + Sync {
     /// epoch on every replica). Returns the backend's post-refresh
     /// version marker (generation or epoch).
     fn refresh(&mut self) -> Result<u64, AdvisorError>;
+
+    /// Observability hook: a point-in-time [`MetricsSnapshot`] of
+    /// whatever this backend instruments. Strictly a read-only side
+    /// channel — implementations must not take serving locks, change any
+    /// float association, or append to deterministic event traces to
+    /// answer it. The default (and the flat [`AutoCe`]) reports nothing;
+    /// instrumented tiers (`ce-serve`, `ce-cluster`) override it. See
+    /// `docs/observability.md` for the metric name catalogue.
+    fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::empty()
+    }
 }
 
 impl AdvisorBackend for AutoCe {

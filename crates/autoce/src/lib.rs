@@ -28,8 +28,11 @@ pub mod online;
 
 pub use advisor::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
 pub use backend::{validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest};
+// Observability types surface through the backend trait; re-export them so
+// backend consumers need not name `ce-obs` directly.
 pub use baselines::{
     KnnFeatureSelector, LearningAllSelector, MlpSelector, RegressionSelector, RuleSelector,
     SamplingSelector, Selector,
 };
+pub use ce_obs::{MetricsRegistry, MetricsSnapshot};
 pub use incremental::IncrementalConfig;

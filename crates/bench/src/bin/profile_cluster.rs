@@ -42,7 +42,7 @@
 use autoce::{AutoCe, AutoCeConfig, RcsEntry};
 use ce_cluster::{
     maybe_run_shard_server_from_args, spawn_shard_process, ClusterConfig, ClusterCoordinator,
-    Connector, ShardedAdvisor, TcpConnector, PROTOCOL_VERSION,
+    Connector, MetricsRegistry, ShardedAdvisor, TcpConnector, PROTOCOL_VERSION,
 };
 use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
 use ce_features::{extract_features, FeatureConfig, FeatureGraph};
@@ -125,11 +125,14 @@ fn main() {
         }
         connectors.push(row);
     }
-    let coord = Arc::new(ClusterCoordinator::new(
-        sharded.clone(),
-        connectors,
-        ClusterConfig::no_sleep(),
-    ));
+    // One registry for the coordinator and the service front: the wire
+    // phase histograms (`ce_cluster_rtt_ns`) and the serving phase
+    // histograms (`ce_serve_*`) land in one snapshot, replacing
+    // hand-rolled phase timers with the spans production serving records.
+    let registry = MetricsRegistry::new();
+    let mut ccfg = ClusterConfig::no_sleep();
+    ccfg.metrics = registry.clone();
+    let coord = Arc::new(ClusterCoordinator::new(sharded.clone(), connectors, ccfg));
     coord.bootstrap().expect("bootstrap over loopback");
 
     // Correctness before timing: every path answers flat-identically.
@@ -154,11 +157,26 @@ fn main() {
             black_box(sharded.predict_from_embedding(x, w));
         }
     });
+    // Bracket the healthy loop with registry snapshots: the delta of the
+    // `ce_cluster_rtt_ns` sums is the wall time the loop spent inside
+    // wire round trips — the phase attribution the hand-rolled timer
+    // can't give, and the figure `bench_trajectory.py` cross-checks the
+    // end-to-end number against.
+    let rtt_total = |snap: &ce_cluster::MetricsSnapshot| -> u64 {
+        (0..RANGES)
+            .map(|r| {
+                snap.histogram_totals("ce_cluster_rtt_ns", &[("range", &r.to_string())])
+                    .0
+            })
+            .sum()
+    };
+    let rtt_before = rtt_total(&coord.metrics());
     let healthy_ns = time_ns(&mut || {
         for x in &xs {
             black_box(coord.predict_from_embedding(x, w).expect("healthy"));
         }
     });
+    let snapshot_rtt_ns = (rtt_total(&coord.metrics()) - rtt_before) as f64 / requests;
 
     // Pure wire-vote amortization (no encode anywhere in the loop): the
     // same embeddings voted serially (one `Query` frame per range per
@@ -212,6 +230,7 @@ fn main() {
             // requests that queue while the previous batch is in flight.
             .batch_deadline(Duration::ZERO)
             .cache_capacity(0)
+            .metrics(registry.clone())
             .build()
             .expect("valid serve config"),
     );
@@ -324,6 +343,49 @@ fn main() {
     let health = coord.health();
     assert!(health.degraded() && !health.any_range_dark());
 
+    // Registry-derived failover attribution: what the degraded phase cost
+    // in failovers/demotions, read from the coordinator's own counters.
+    let snap = coord.metrics();
+    let range0 = |name: &str| snap.counter(name, &[("range", "0")]);
+    println!(
+        "range-0 fault counters: replica_failures {} | failovers {} | demotes {} | retries {}",
+        range0("ce_cluster_replica_failures_total"),
+        range0("ce_cluster_failovers_total"),
+        range0("ce_cluster_demotes_total"),
+        range0("ce_cluster_retries_total"),
+    );
+    // Cluster-wide aggregation over the wire (protocol v2 metrics step):
+    // surviving shards report how many queries they actually served.
+    let cluster_snap = coord.cluster_metrics();
+    let shard_queries: u64 = (0..RANGES)
+        .flat_map(|r| (0..REPLICAS_PER_RANGE).map(move |p| (r, p)))
+        .map(|(r, p)| {
+            cluster_snap.counter(
+                "ce_shard_requests_total",
+                &[
+                    ("step", "coord_send_query"),
+                    ("range", &r.to_string()),
+                    ("replica", &p.to_string()),
+                ],
+            )
+        })
+        .sum();
+    assert!(shard_queries > 0, "aggregated shard metrics must be live");
+    println!("shard-reported serial queries (cluster_metrics): {shard_queries}");
+    // Service phase attribution for the graph path, from the same spans
+    // production serving records (worker = micro-batch queue path,
+    // inline = burst path).
+    for path in ["worker", "inline"] {
+        let (enc, enc_n) = snap.histogram_totals("ce_serve_encode_ns", &[("path", path)]);
+        let (vote, vote_n) = snap.histogram_totals("ce_serve_vote_ns", &[("path", path)]);
+        println!(
+            "service {path} phases: encode {:.1}µs/batch ({enc_n} batches) | \
+             vote {:.1}µs/batch ({vote_n} batches)",
+            enc as f64 * 1e-3 / enc_n.max(1) as f64,
+            vote as f64 * 1e-3 / vote_n.max(1) as f64,
+        );
+    }
+
     coord.shutdown_cluster();
     for mut child in children.into_iter().skip(1) {
         let _ = child.wait();
@@ -336,7 +398,9 @@ fn main() {
     println!(
         "cluster per-request ns: inproc {inproc_ns:.0} | healthy {healthy_ns:.0} \
          (cluster_vs_inproc {cluster_vs_inproc:.3}x) | degraded {failover_ns:.0} \
-         (failover_vs_healthy {failover_vs_healthy:.3}x)"
+         (failover_vs_healthy {failover_vs_healthy:.3}x) | registry wire-RTT share \
+         {snapshot_rtt_ns:.0} ({:.0}%)",
+        snapshot_rtt_ns / healthy_ns.max(1.0) * 100.0
     );
     println!(
         "wire vote per-query ns: serial {wire_vote_serial_ns:.0} | 16-deep batched \
@@ -357,6 +421,11 @@ fn main() {
         "requests_per_run": requests as u64,
         "inproc_ns_per_request": inproc_ns,
         "cluster_ns_per_request": healthy_ns,
+        // Snapshot-derived wire phase total for the healthy serial loop:
+        // the `ce_cluster_rtt_ns` sum delta per request. On loopback the
+        // RTT dominates cluster serving, so `bench_trajectory.py`
+        // cross-checks it against `cluster_ns_per_request` (warn > 15%).
+        "snapshot_rtt_ns_per_request": snapshot_rtt_ns,
         "failover_ns_per_request": failover_ns,
         "inproc_graph_ns_per_request": inproc_graph_ns,
         "cluster_batched_ns_per_request": batched_ns,

@@ -2,16 +2,18 @@
 //!
 //! Not a paper experiment: times one client's all-distinct burst stream
 //! through the inline-burst service path against the flat per-request
-//! advisor, single-threaded, and attributes the gap (fingerprint, cache
-//! ops, stacked encode, votes) so serving perf work knows where cold
-//! requests spend their time.
+//! advisor, single-threaded. Phase attribution (stacked encode, votes,
+//! batch depth) is read from the service's own `ce-obs` phase histograms
+//! — the same spans production serving records — instead of hand-rolled
+//! re-implementations of each phase, so the numbers attribute the *real*
+//! serving path and cannot drift from it.
 
 use autoce::{AutoCe, AutoCeConfig, RcsEntry};
 use ce_datagen::{generate_dataset, DatasetSpec, SpecRange};
 use ce_features::{extract_features, FeatureConfig, FeatureGraph};
 use ce_gnn::{DmlConfig, GinEncoder};
 use ce_models::ModelKind;
-use ce_serve::{graph_fingerprint, AdvisorService, ServeConfig, ShardedAdvisor};
+use ce_serve::{AdvisorService, MetricsRegistry, ServeConfig, ShardedAdvisor};
 use ce_testbed::MetricWeights;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,33 +76,16 @@ fn main() {
             black_box(flat.predict_from_embedding(&x, w));
         }
     });
-    // Phase: fingerprints only.
-    let fp = time(&mut || {
-        for g in &pool {
-            black_box(graph_fingerprint(g));
-        }
-    });
-    // Phase: stacked encode of GROUP-bursts (the inline path's forward).
-    let sharded = ShardedAdvisor::from_advisor(&flat, 4);
-    let enc_t = time(&mut || {
-        for c in pool.chunks(GROUP) {
-            let refs: Vec<&FeatureGraph> = c.iter().collect();
-            black_box(sharded.embed_graph_batch(&refs));
-        }
-    });
-    // Phase: votes only (on precomputed embeddings).
-    let xs: Vec<Vec<f32>> = pool.iter().map(|g| flat.embed_graph(g)).collect();
-    let vote_t = time(&mut || {
-        for x in &xs {
-            black_box(sharded.predict_from_embedding(x, w));
-        }
-    });
     // Full inline service path, single client (fresh service per rep so
     // the cache never hits; the service cost includes its construction
-    // amortized over POOL requests — printed separately).
+    // amortized over POOL requests — printed separately). Every service
+    // records into the same registry, so the phase histograms accumulate
+    // across all reps and attribute the measured loop itself.
+    let registry = MetricsRegistry::new();
     let cfg = ServeConfig {
         max_batch: 32,
         cache_capacity: 4096,
+        metrics: registry.clone(),
         ..ServeConfig::default()
     };
     let mut drive = 0.0f64;
@@ -118,38 +103,33 @@ fn main() {
         service.shutdown();
     }
     let serve_t = drive * 1e6 / (reps * POOL) as f64;
-    // Manual replica of the inline path (fingerprint + dedup + stacked
-    // encode + cache insert + vote) without the service plumbing.
-    let mut cache = ce_serve::EmbeddingCache::new(4096, 0);
-    let manual_t = time(&mut || {
-        cache = ce_serve::EmbeddingCache::new(4096, 0);
-        for c in pool.chunks(GROUP) {
-            let refs: Vec<&FeatureGraph> = c.iter().collect();
-            let fps: Vec<u64> = refs.iter().map(|g| graph_fingerprint(g)).collect();
-            let mut unique: Vec<usize> = Vec::with_capacity(refs.len());
-            let mut pos_of: std::collections::HashMap<u64, usize> =
-                std::collections::HashMap::new();
-            for (i, &fp) in fps.iter().enumerate() {
-                pos_of.entry(fp).or_insert_with(|| {
-                    unique.push(i);
-                    unique.len() - 1
-                });
-            }
-            let ug: Vec<&FeatureGraph> = unique.iter().map(|&i| refs[i]).collect();
-            let fresh = sharded.embed_graph_batch(&ug);
-            for (&i, emb) in unique.iter().zip(&fresh) {
-                cache.insert(0, fps[i], emb.clone());
-            }
-            for i in 0..refs.len() {
-                let emb = &fresh[pos_of[&fps[i]]];
-                black_box(sharded.predict_from_embedding(emb, w));
-            }
-        }
-    });
-    println!("manual inline replica: {manual_t:.1}µs/req");
+    // Phase attribution from the registry: per-request encode and vote
+    // cost come from the spans the inline path recorded while the loop
+    // above ran — no separately hand-timed phase replicas to drift.
+    let snap = registry.snapshot();
+    let requests = (reps * POOL) as f64;
+    let per_req = |name: &str, path: &str| {
+        let (sum, _) = snap.histogram_totals(name, &[("path", path)]);
+        sum as f64 * 1e-3 / requests
+    };
+    let enc_t = per_req("ce_serve_encode_ns", "inline");
+    let vote_t = per_req("ce_serve_vote_ns", "inline");
+    let inline_reqs = snap.counter("ce_serve_path_requests_total", &[("path", "inline")]);
+    let (depth_sum, depth_count) =
+        snap.histogram_totals("ce_serve_batch_depth", &[("path", "inline")]);
+    assert_eq!(
+        inline_reqs as f64, requests,
+        "every cold request must take the inline path"
+    );
+    println!(
+        "inline batches: {depth_count} at mean depth {:.1}",
+        depth_sum as f64 / depth_count.max(1) as f64
+    );
     println!(
         "cold per-request µs: flat {flat_t:.1} | inline-serve {serve_t:.1} (ratio {:.2}x) | \
-         phases: fingerprint {fp:.2}, stacked-encode {enc_t:.1}, vote {vote_t:.1}",
-        flat_t / serve_t
+         registry phases: stacked-encode {enc_t:.1}, vote {vote_t:.1}, \
+         other (fingerprint/cache/dispatch) {:.1}",
+        flat_t / serve_t,
+        (serve_t - enc_t - vote_t).max(0.0)
     );
 }

@@ -71,9 +71,9 @@
 
 use crate::health::{ClusterHealth, ReplicaHealth};
 use crate::protocol::{
-    BatchQuery, EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong,
-    Push, PushAck, Query, QueryBatch, SnapshotEpoch, Step, TopK, TopKBatch, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    BatchQuery, EpochAck, EpochTable, Frame, Load, LoadAck, Message, MetricsReply, MetricsRequest,
+    Nack, NackCode, Ping, Pong, Push, PushAck, Query, QueryBatch, SnapshotEpoch, Step, TopK,
+    TopKBatch, HEADER_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::transport::{Conn, Connector, WireError};
 use autoce::{
@@ -81,6 +81,7 @@ use autoce::{
 };
 use ce_features::{FeatureConfig, FeatureGraph};
 use ce_models::ModelKind;
+use ce_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, Span, LATENCY_NS_BUCKETS};
 use ce_serve::ShardedAdvisor;
 use ce_testbed::{DatasetLabel, MetricWeights};
 use rand::rngs::StdRng;
@@ -114,6 +115,16 @@ pub struct ClusterConfig {
     /// serve every batch through the serial per-query path — never a
     /// batch frame, so never a skew NACK.
     pub wire_version: u16,
+    /// Metrics registry the coordinator records into (default: disabled —
+    /// every handle is a no-op). Recording is a strictly read-only side
+    /// channel: it never takes a lock beyond the coordinator mutex the
+    /// caller already holds, never routes through the transport, and
+    /// never appends an event-trace line, so fault-plan step arithmetic
+    /// and trace bytes are identical with metrics on or off. Under
+    /// `SimNet`, pass [`MetricsRegistry::new_logical`] so RTT spans count
+    /// logical ticks instead of wall time and exposition replays
+    /// byte-equal.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for ClusterConfig {
@@ -126,6 +137,7 @@ impl Default for ClusterConfig {
             demote_after: 3,
             seed: 0xc105,
             wire_version: PROTOCOL_VERSION,
+            metrics: MetricsRegistry::disabled(),
         }
     }
 }
@@ -197,6 +209,12 @@ impl ClusterConfigBuilder {
     /// upgrades: a v1 pin suppresses batch frames entirely).
     pub fn wire_version(mut self, v: u16) -> Self {
         self.cfg.wire_version = v;
+        self
+    }
+
+    /// Sets the metrics registry (see [`ClusterConfig::metrics`]).
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.cfg.metrics = registry;
         self
     }
 
@@ -272,6 +290,80 @@ struct Replica {
     health: ReplicaHealth,
 }
 
+/// One lane's metrics handles, registered once at construction (the cold
+/// path) so every recording site is a plain `fetch_add` under the
+/// coordinator mutex the caller already holds — never a registry lock,
+/// never a transport call, never a trace line.
+struct LaneObs {
+    /// `ce_cluster_rtt_ns{range}`: completed round-trip attempts (success
+    /// or wire failure), serial and pipelined paths alike.
+    rtt_ns: Histogram,
+    /// `ce_cluster_retries_total{range}`: second-and-later attempts on the
+    /// same replica.
+    retries: Counter,
+    /// `ce_cluster_backoffs_total{range}`: actual backoff sleeps (zero
+    /// under `no_sleep` configs — the counter reports real waiting, not
+    /// retry pressure; see `retries` for that).
+    backoffs: Counter,
+    /// `ce_cluster_failovers_total{range}`.
+    failovers: Counter,
+    /// `ce_cluster_reloads_total{range}`.
+    reloads: Counter,
+    /// `ce_cluster_demotes_total{range}` / `ce_cluster_repromotes_total{range}`.
+    demotes: Counter,
+    repromotes: Counter,
+    /// `ce_cluster_batch_downgrades_total{range}`.
+    batch_downgrades: Counter,
+    /// `ce_cluster_replica_failures_total{range}`: every failed
+    /// dial/send/recv, pre-demotion.
+    replica_failures: Counter,
+    /// `ce_cluster_nacks_total{range,code}`, indexed by `NackCode as u16 - 1`.
+    nacks: [Counter; 4],
+    /// `ce_cluster_wire_bytes_out_total{step}` / `_in_total{step}`,
+    /// indexed by step number. The cells are shared across lanes (same
+    /// key → same cell), so these count cluster-wide wire traffic.
+    bytes_out: Vec<Counter>,
+    bytes_in: Vec<Counter>,
+}
+
+impl LaneObs {
+    fn new(reg: &MetricsRegistry, range: usize) -> Self {
+        let rs = range.to_string();
+        let labels = [("range", rs.as_str())];
+        let c = |name: &str| reg.counter(name, &labels);
+        let nack =
+            |code: &str| reg.counter("ce_cluster_nacks_total", &[("range", &rs), ("code", code)]);
+        let per_step = |name: &str| -> Vec<Counter> {
+            Step::all()
+                .map(|s| reg.counter(name, &[("step", s.name())]))
+                .collect()
+        };
+        LaneObs {
+            rtt_ns: reg.histogram("ce_cluster_rtt_ns", &labels, LATENCY_NS_BUCKETS),
+            retries: c("ce_cluster_retries_total"),
+            backoffs: c("ce_cluster_backoffs_total"),
+            failovers: c("ce_cluster_failovers_total"),
+            reloads: c("ce_cluster_reloads_total"),
+            demotes: c("ce_cluster_demotes_total"),
+            repromotes: c("ce_cluster_repromotes_total"),
+            batch_downgrades: c("ce_cluster_batch_downgrades_total"),
+            replica_failures: c("ce_cluster_replica_failures_total"),
+            nacks: [
+                nack("stale_table"),
+                nack("malformed"),
+                nack("no_table"),
+                nack("version_skew"),
+            ],
+            bytes_out: per_step("ce_cluster_wire_bytes_out_total"),
+            bytes_in: per_step("ce_cluster_wire_bytes_in_total"),
+        }
+    }
+
+    fn nack(&self, code: NackCode) {
+        self.nacks[code as u16 as usize - 1].inc();
+    }
+}
+
 /// One shard range's replica set plus everything range-scoped: health,
 /// demotion state, a private sub-trace, the lane's backoff jitter stream,
 /// and the cached repair (`Load`) frame.
@@ -294,6 +386,12 @@ struct RangeLane {
     /// lane serves batches through the per-query v1 path (bit-identical
     /// by construction) instead of re-discovering the pin every batch.
     batch_downgraded: bool,
+    /// Metrics handles (no-ops when the registry is disabled).
+    obs: LaneObs,
+    /// RTT span of the in-flight request, opened by [`Self::raw_send`]
+    /// and closed (recorded) by [`Self::raw_recv`]. At most one request
+    /// is ever in flight per lane.
+    rtt_span: Option<Span>,
 }
 
 /// Outcome of a batched range call: a non-NACK reply frame, or an
@@ -308,11 +406,13 @@ impl RangeLane {
     /// Records a failed dial/send/recv and applies the demotion
     /// transition when the dead-streak reaches the threshold.
     fn record_failure(&mut self, range: usize, cfg: &ClusterConfig, r: usize) {
+        self.obs.replica_failures.inc();
         let h = &mut self.replicas[r].health;
         h.record_failure();
         if !h.demoted && h.consecutive_failures >= u64::from(cfg.demote_after) {
             h.demoted = true;
             let streak = h.consecutive_failures;
+            self.obs.demotes.inc();
             self.sub
                 .push(format!("demote range={range} r={r} streak={streak}"));
         }
@@ -325,6 +425,7 @@ impl RangeLane {
         h.record_success();
         if h.demoted {
             h.demoted = false;
+            self.obs.repromotes.inc();
             self.sub.push(format!("repromote range={range} r={r}"));
         }
     }
@@ -354,10 +455,17 @@ impl RangeLane {
             .as_mut()
             .expect("dialed above")
             .send(frame, cfg.request_deadline);
-        if let Err(e) = &res {
-            self.replicas[r].conn = None;
-            self.sub.push(format!("send-err range={range} r={r}: {e}"));
-            self.record_failure(range, cfg, r);
+        match &res {
+            Ok(()) => {
+                self.obs.bytes_out[frame.step as u16 as usize]
+                    .add((HEADER_LEN + frame.payload.len()) as u64);
+                self.rtt_span = Some(self.obs.rtt_ns.start_span());
+            }
+            Err(e) => {
+                self.replicas[r].conn = None;
+                self.sub.push(format!("send-err range={range} r={r}: {e}"));
+                self.record_failure(range, cfg, r);
+            }
         }
         res
     }
@@ -372,8 +480,15 @@ impl RangeLane {
         let Some(conn) = self.replicas[r].conn.as_mut() else {
             return Err(WireError::Closed("recv without a live connection".into()));
         };
-        match conn.recv(cfg.request_deadline) {
+        let res = conn.recv(cfg.request_deadline);
+        // Dropping the span records the attempt's round trip — completed
+        // and failed attempts alike, so the histogram reflects what the
+        // wire actually cost, not only the happy path.
+        drop(self.rtt_span.take());
+        match res {
             Ok(reply) => {
+                self.obs.bytes_in[reply.step as u16 as usize]
+                    .add((HEADER_LEN + reply.payload.len()) as u64);
                 self.record_success(range, r);
                 Ok(reply)
             }
@@ -418,6 +533,7 @@ impl RangeLane {
         if base.is_zero() {
             return;
         }
+        self.obs.backoffs.inc();
         let exp = base.saturating_mul(1u32 << attempt.min(10));
         let capped = exp.min(cfg.backoff_max);
         // Up to +50% seeded jitter, deterministic per lane.
@@ -447,6 +563,7 @@ impl RangeLane {
             )));
         }
         self.replicas[r].health.record_reload();
+        self.obs.reloads.inc();
         self.sub.push(format!(
             "reload range={range} r={r} epoch={epoch} v={version}"
         ));
@@ -459,6 +576,7 @@ impl RangeLane {
     fn on_nack(&mut self, range: usize, cfg: &ClusterConfig, r: usize, reply: &Frame) {
         match Nack::from_frame(reply) {
             Ok(nack) => {
+                self.obs.nack(nack.code);
                 self.sub.push(format!(
                     "nack range={range} r={r} {:?}: {}",
                     nack.code, nack.detail
@@ -498,9 +616,13 @@ impl RangeLane {
     ) -> Result<Frame, ClusterError> {
         for (i, r) in self.candidates().into_iter().enumerate() {
             if i > 0 {
+                self.obs.failovers.inc();
                 self.sub.push(format!("failover range={range} to r={r}"));
             }
             for attempt in 0..cfg.max_attempts_per_replica {
+                if attempt > 0 {
+                    self.obs.retries.inc();
+                }
                 let reply = match self.raw_call(range, cfg, r, frame) {
                     Ok(reply) => reply,
                     Err(_) => {
@@ -533,9 +655,13 @@ impl RangeLane {
     ) -> Result<BatchOutcome, ClusterError> {
         for (i, r) in self.candidates().into_iter().enumerate() {
             if i > 0 {
+                self.obs.failovers.inc();
                 self.sub.push(format!("failover range={range} to r={r}"));
             }
             for attempt in 0..cfg.max_attempts_per_replica {
+                if attempt > 0 {
+                    self.obs.retries.inc();
+                }
                 let reply = match self.raw_call(range, cfg, r, frame) {
                     Ok(reply) => reply,
                     Err(_) => {
@@ -563,6 +689,7 @@ impl RangeLane {
     fn nack_is_version_skew(&mut self, range: usize, r: usize, reply: &Frame) -> bool {
         match Nack::from_frame(reply) {
             Ok(nack) if nack.code == NackCode::VersionSkew => {
+                self.obs.nack(nack.code);
                 self.sub.push(format!(
                     "nack range={range} r={r} {:?}: {}",
                     nack.code, nack.detail
@@ -571,6 +698,34 @@ impl RangeLane {
             }
             _ => false,
         }
+    }
+
+    /// Best-effort metrics fetch from replica `r` over
+    /// [`Step::CoordSendMetrics`]. Deliberately outside the normal call
+    /// discipline: no retries, no health transitions, no trace lines and
+    /// no wire-byte accounting — observing the cluster must not change
+    /// how the cluster is observed to behave. Any failure (down replica,
+    /// version-skew NACK from a v1-pinned shard, corrupt snapshot) just
+    /// yields `None`.
+    fn fetch_metrics(&mut self, cfg: &ClusterConfig, r: usize) -> Option<MetricsSnapshot> {
+        if self.replicas[r].conn.is_none() {
+            self.replicas[r].conn = self.replicas[r].connector.connect().ok();
+        }
+        let conn = self.replicas[r].conn.as_mut()?;
+        let frame = MetricsRequest.into_frame();
+        if conn.send(&frame, cfg.request_deadline).is_err() {
+            self.replicas[r].conn = None;
+            return None;
+        }
+        let reply = match conn.recv(cfg.request_deadline) {
+            Ok(f) => f,
+            Err(_) => {
+                self.replicas[r].conn = None;
+                return None;
+            }
+        };
+        let reply = MetricsReply::from_frame(&reply).ok()?;
+        MetricsSnapshot::from_bytes(&reply.snapshot).ok()
     }
 }
 
@@ -880,6 +1035,7 @@ impl CoordInner {
                     BatchOutcome::Downgrade => {
                         let lane = &mut self.lanes[range];
                         lane.batch_downgraded = true;
+                        lane.obs.batch_downgrades.inc();
                         lane.sub.push(format!("batch-downgrade range={range}"));
                         serve_serially = true;
                     }
@@ -1059,6 +1215,10 @@ impl CoordInner {
 /// an [`AdvisorBackend`] like any in-process backend.
 pub struct ClusterCoordinator {
     inner: Mutex<CoordInner>,
+    /// Clone of the config's registry, held outside the mutex so
+    /// [`Self::metrics`] exposes local counters without touching the
+    /// serving lock.
+    metrics: MetricsRegistry,
 }
 
 impl ClusterCoordinator {
@@ -1110,8 +1270,11 @@ impl ClusterCoordinator {
                 sub: Vec::new(),
                 load_frame: None,
                 batch_downgraded: false,
+                obs: LaneObs::new(&cfg.metrics, range),
+                rtt_span: None,
             })
             .collect();
+        let metrics = cfg.metrics.clone();
         Ok(ClusterCoordinator {
             inner: Mutex::new(CoordInner {
                 authority,
@@ -1121,6 +1284,7 @@ impl ClusterCoordinator {
                 ping_nonce: 0,
                 trace: Vec::new(),
             }),
+            metrics,
         })
     }
 
@@ -1310,6 +1474,45 @@ impl ClusterCoordinator {
         inner.shutdown_cluster();
         inner.merge_trace();
     }
+
+    /// The coordinator's *local* metrics snapshot — per-range RTT,
+    /// retries, failovers, NACKs, reloads, demotions, wire bytes per
+    /// step. Reads only pre-registered atomics; does **not** take the
+    /// coordinator mutex and sends nothing over the wire, so it is safe
+    /// to call from a scrape thread while requests are in flight.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Cluster-wide aggregation: the local snapshot merged with every
+    /// replica's shard snapshot, fetched over [`Step::CoordSendMetrics`]
+    /// and tagged with `range`/`replica` labels before merging. Replicas
+    /// that are down, v1-pinned (they NACK the v2 step) or answer a
+    /// corrupt snapshot are skipped, never an error. Unlike
+    /// [`Self::metrics`] this serializes behind the coordinator mutex and
+    /// does cross the wire — under `SimNet` the fetches advance the
+    /// simulated step counter like any other frames, so call it after a
+    /// scripted fault workload, not in the middle of one.
+    pub fn cluster_metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let mut inner = self.lock();
+        if inner.cfg.wire_version >= Step::CoordSendMetrics.min_version() {
+            let cfg = inner.cfg.clone();
+            for range in 0..inner.lanes.len() {
+                let lane = &mut inner.lanes[range];
+                for r in 0..lane.replicas.len() {
+                    if let Some(shard) = lane.fetch_metrics(&cfg, r) {
+                        snap.merge(
+                            &shard
+                                .with_label("range", &range.to_string())
+                                .with_label("replica", &r.to_string()),
+                        );
+                    }
+                }
+            }
+        }
+        snap
+    }
 }
 
 impl AdvisorBackend for ClusterCoordinator {
@@ -1374,6 +1577,17 @@ impl AdvisorBackend for ClusterCoordinator {
 
     fn refresh(&mut self) -> Result<u64, AdvisorError> {
         self.refresh_and_snapshot().map_err(AdvisorError::from)
+    }
+
+    /// The local coordinator snapshot (lock-free; see
+    /// [`ClusterCoordinator::metrics`]). `ce-serve`'s
+    /// `ServeHandle::metrics_snapshot` merges this into its own, so a
+    /// service fronting a cluster reports both layers in one exposition.
+    /// For shard-side data too, call
+    /// [`ClusterCoordinator::cluster_metrics`] explicitly — the trait
+    /// hook must stay side-effect free and off the wire.
+    fn metrics(&self) -> MetricsSnapshot {
+        ClusterCoordinator::metrics(self)
     }
 }
 
@@ -1649,6 +1863,97 @@ mod tests {
             ClusterCoordinator::try_new(sharded, connectors, ClusterConfig::no_sleep()),
             Err(AdvisorError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn metrics_are_a_read_only_side_channel() {
+        let flat = synthetic_flat(9, 3);
+        let w = MetricWeights::new(0.5);
+        // Same scripted fault sequence as the failover test: replica 0 of
+        // range 0 dies after bootstrap.
+        let run = |metrics: MetricsRegistry| {
+            let sharded = ShardedAdvisor::from_advisor(&flat, 2);
+            let plan = FaultPlan::none().with_kill(9, 0);
+            let net = SimNet::new(4, plan);
+            let cfg = ClusterConfig::builder()
+                .no_sleep()
+                .metrics(metrics)
+                .build()
+                .expect("valid config");
+            let coord = ClusterCoordinator::over_sim(sharded, &net, 2, cfg);
+            coord.bootstrap().expect("bootstrap");
+            let answers: Vec<_> = queries()
+                .iter()
+                .map(|x| coord.predict_from_embedding(x, w).expect("predict"))
+                .collect();
+            (coord, answers)
+        };
+
+        let (instrumented, a1) = run(MetricsRegistry::new_logical());
+        let (bare, a2) = run(MetricsRegistry::disabled());
+        // Enabling metrics changes no answer bit and no trace byte.
+        assert_eq!(a1, a2);
+        assert_eq!(instrumented.trace(), bare.trace());
+        assert!(bare.metrics().is_empty(), "disabled registry stays empty");
+
+        // Local snapshot: the scripted failure shows up as counters.
+        let local = instrumented.metrics();
+        assert!(local.counter("ce_cluster_replica_failures_total", &[("range", "0")]) > 0);
+        assert!(local.counter("ce_cluster_failovers_total", &[("range", "0")]) > 0);
+        assert!(local.counter("ce_cluster_retries_total", &[("range", "0")]) > 0);
+        let (rtt_sum, rtt_count) = local.histogram_totals("ce_cluster_rtt_ns", &[("range", "1")]);
+        assert!(rtt_count > 0 && rtt_sum > 0, "logical RTT spans recorded");
+        assert!(
+            local.counter(
+                "ce_cluster_wire_bytes_out_total",
+                &[("step", "coord_send_query")]
+            ) > 0
+        );
+        assert!(
+            local.counter(
+                "ce_cluster_wire_bytes_in_total",
+                &[("step", "shard_send_topk")]
+            ) > 0
+        );
+
+        // Cluster-wide aggregation pulls shard snapshots, tagged per
+        // replica; the dead replica is skipped silently.
+        let cluster = instrumented.cluster_metrics();
+        assert!(
+            cluster.counter(
+                "ce_shard_requests_total",
+                &[
+                    ("step", "coord_send_query"),
+                    ("range", "1"),
+                    ("replica", "0")
+                ],
+            ) > 0,
+            "shard-side samples carry range/replica tags:\n{}",
+            cluster.render_prometheus()
+        );
+        // Aggregation is itself side-effect free on the trace.
+        assert_eq!(instrumented.trace(), bare.trace());
+
+        // A v1-pinned coordinator never emits the v2 metrics step: the
+        // aggregate degrades to the local snapshot.
+        let sharded = ShardedAdvisor::from_advisor(&flat, 2);
+        let net = SimNet::new(4, FaultPlan::none());
+        let cfg = ClusterConfig::builder()
+            .no_sleep()
+            .wire_version(1)
+            .metrics(MetricsRegistry::new_logical())
+            .build()
+            .expect("valid config");
+        let pinned = ClusterCoordinator::over_sim(sharded, &net, 2, cfg);
+        pinned.bootstrap().expect("bootstrap");
+        let steps_before = net.step();
+        let agg = pinned.cluster_metrics();
+        assert_eq!(
+            net.step(),
+            steps_before,
+            "v1 pin keeps metrics off the wire"
+        );
+        assert_eq!(agg, pinned.metrics());
     }
 
     #[test]

@@ -37,9 +37,12 @@ pub use coordinator::{ClusterConfig, ClusterConfigBuilder, ClusterCoordinator, C
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{ClusterHealth, ReplicaHealth, ReplicaStatus};
 pub use protocol::{
-    BatchQuery, EpochTable, Frame, Message, NackCode, QueryBatch, Step, TopKBatch,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, PTO_ID, PTO_NAME,
+    BatchQuery, EpochTable, Frame, Message, MetricsReply, MetricsRequest, NackCode, QueryBatch,
+    Step, TopKBatch, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, PTO_ID, PTO_NAME,
 };
+// Observability surface: the registry/snapshot types cluster callers need
+// to configure `ClusterConfig::metrics` and read aggregations.
+pub use ce_obs::{MetricsRegistry, MetricsSnapshot};
 pub use server::{
     maybe_run_shard_server_from_args, shard_server_main, spawn_shard_process, ShardState,
     READY_LINE_PREFIX,

@@ -37,10 +37,11 @@ pub const MAGIC: u32 = 0xCEC7_0301;
 
 /// Version byte pair; bumped on any incompatible layout change. Version 2
 /// adds the batched query steps ([`Step::CoordSendQueryBatch`],
-/// [`Step::ShardSendTopkBatch`]); every version-1 frame is still legal
-/// version-2 traffic, so a frame carries the *minimum* version its step
-/// requires and peers accept any version in
-/// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`].
+/// [`Step::ShardSendTopkBatch`]) and the metrics side channel
+/// ([`Step::CoordSendMetrics`], [`Step::ShardSendMetrics`]); every
+/// version-1 frame is still legal version-2 traffic, so a frame carries
+/// the *minimum* version its step requires and peers accept any version
+/// in [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`].
 pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Oldest protocol version this build still speaks. Frames below this (or
@@ -99,6 +100,14 @@ pub enum Step {
     /// Shard → coordinator (v2): the partial top-k list of every query in
     /// the batch, in submission order.
     ShardSendTopkBatch = 14,
+    /// Coordinator → shard (v2): request the shard's metrics snapshot.
+    /// A pure read-only side channel — it never touches serving tables
+    /// and a NACK here never triggers repair.
+    CoordSendMetrics = 15,
+    /// Shard → coordinator (v2): the shard's metrics snapshot, carried as
+    /// opaque `ce-obs` snapshot bytes so the wire codec stays independent
+    /// of the metrics schema.
+    ShardSendMetrics = 16,
 }
 
 impl Step {
@@ -120,8 +129,40 @@ impl Step {
             12 => Step::ShardAckShutdown,
             13 => Step::CoordSendQueryBatch,
             14 => Step::ShardSendTopkBatch,
+            15 => Step::CoordSendMetrics,
+            16 => Step::ShardSendMetrics,
             _ => return None,
         })
+    }
+
+    /// Every defined step, in wire-number order.
+    pub fn all() -> impl Iterator<Item = Step> {
+        (0..).map_while(Step::from_u16)
+    }
+
+    /// Stable snake_case step name — the `step` label value on per-step
+    /// wire metrics (part of the metric-name API; see
+    /// `docs/observability.md`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::CoordSendLoad => "coord_send_load",
+            Step::ShardAckLoad => "shard_ack_load",
+            Step::CoordSendQuery => "coord_send_query",
+            Step::ShardSendTopk => "shard_send_topk",
+            Step::CoordSendSnapshotEpoch => "coord_send_snapshot_epoch",
+            Step::ShardAckEpoch => "shard_ack_epoch",
+            Step::CoordSendPush => "coord_send_push",
+            Step::ShardAckPush => "shard_ack_push",
+            Step::CoordSendPing => "coord_send_ping",
+            Step::ShardSendPong => "shard_send_pong",
+            Step::ShardSendNack => "shard_send_nack",
+            Step::CoordSendShutdown => "coord_send_shutdown",
+            Step::ShardAckShutdown => "shard_ack_shutdown",
+            Step::CoordSendQueryBatch => "coord_send_query_batch",
+            Step::ShardSendTopkBatch => "shard_send_topk_batch",
+            Step::CoordSendMetrics => "coord_send_metrics",
+            Step::ShardSendMetrics => "shard_send_metrics",
+        }
     }
 
     /// The minimum protocol version that defines this step. Frames carry
@@ -129,7 +170,10 @@ impl Step {
     /// version-1 encoding and version-pinned peers keep serving them.
     pub fn min_version(self) -> u16 {
         match self {
-            Step::CoordSendQueryBatch | Step::ShardSendTopkBatch => 2,
+            Step::CoordSendQueryBatch
+            | Step::ShardSendTopkBatch
+            | Step::CoordSendMetrics
+            | Step::ShardSendMetrics => 2,
             _ => 1,
         }
     }
@@ -763,6 +807,37 @@ empty_message!(
     ShutdownAck,
     Step::ShardAckShutdown
 );
+empty_message!(
+    /// `COORD_SEND_METRICS` (v2): ask the shard for its metrics snapshot.
+    MetricsRequest,
+    Step::CoordSendMetrics
+);
+
+/// `SHARD_SEND_METRICS` (v2): the shard's metrics snapshot as opaque
+/// `ce_obs::MetricsSnapshot::to_bytes` bytes. Carrying the snapshot
+/// pre-encoded keeps this protocol's codec independent of the metrics
+/// schema — the coordinator decodes (and version-checks) the inner bytes
+/// with `MetricsSnapshot::from_bytes` and simply skips replicas whose
+/// snapshots fail to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReply {
+    /// `MetricsSnapshot::to_bytes` output, opaque at this layer.
+    pub snapshot: Vec<u8>,
+}
+
+impl Message for MetricsReply {
+    const STEP: Step = Step::ShardSendMetrics;
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.snapshot.encode(out);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> serde::bin::Result<Self> {
+        Ok(MetricsReply {
+            snapshot: Vec::<u8>::decode(r)?,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -770,12 +845,27 @@ mod tests {
 
     #[test]
     fn steps_roundtrip_their_numbers() {
-        for n in 0..=14u16 {
+        for n in 0..=16u16 {
             let step = Step::from_u16(n).expect("valid step");
             assert_eq!(step as u16, n);
         }
-        assert!(Step::from_u16(15).is_none());
+        assert!(Step::from_u16(17).is_none());
         assert!(Step::from_u16(u16::MAX).is_none());
+        assert_eq!(Step::all().count(), 17);
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips_opaque_bytes() {
+        let m = MetricsReply {
+            snapshot: vec![0xCE, 0x0B, 0x00, 0x01, 0xff],
+        };
+        let frame = m.clone().into_frame();
+        assert_eq!(frame.version, 2, "metrics steps are v2-gated");
+        let back = Frame::from_bytes(&frame.to_bytes()).expect("parses");
+        assert_eq!(MetricsReply::from_frame(&back).expect("decodes"), m);
+        let req = MetricsRequest.into_frame();
+        assert_eq!(req.version, 2);
+        assert!(req.payload.is_empty());
     }
 
     #[test]

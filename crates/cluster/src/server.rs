@@ -13,11 +13,13 @@
 //! bits.
 
 use crate::protocol::{
-    EpochAck, EpochTable, Frame, Load, LoadAck, Message, Nack, NackCode, Ping, Pong, Push, PushAck,
-    Query, QueryBatch, ShutdownAck, Step, TopK, TopKBatch, PROTOCOL_VERSION,
+    EpochAck, EpochTable, Frame, Load, LoadAck, Message, MetricsReply, Nack, NackCode, Ping, Pong,
+    Push, PushAck, Query, QueryBatch, ShutdownAck, Step, TopK, TopKBatch, HEADER_LEN,
+    PROTOCOL_VERSION,
 };
 use autoce::knn_order;
 use ce_nn::matrix::euclidean;
+use ce_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
@@ -33,6 +35,44 @@ pub const LIVE_EPOCHS: usize = 2;
 /// connections; parents parse the address after the space.
 pub const READY_LINE_PREFIX: &str = "CE-SHARD-LISTENING";
 
+/// Shard-side metrics handles, registered once at state construction so
+/// the request path records with plain `fetch_add`s — never a registry
+/// lock. All values are counters (no wall-clock reads), so a shard's
+/// snapshot is a deterministic function of the requests it served.
+struct ShardObs {
+    registry: MetricsRegistry,
+    /// `ce_shard_requests_total{step}`, indexed by step number.
+    requests: Vec<Counter>,
+    /// `ce_shard_wire_bytes_in_total{step}` (request header + payload).
+    bytes_in: Vec<Counter>,
+    /// `ce_shard_wire_bytes_out_total{step}` (reply header + payload),
+    /// indexed by the *reply* step.
+    bytes_out: Vec<Counter>,
+}
+
+impl ShardObs {
+    fn new(registry: MetricsRegistry) -> Self {
+        let per_step = |name: &str| -> Vec<Counter> {
+            Step::all()
+                .map(|s| registry.counter(name, &[("step", s.name())]))
+                .collect()
+        };
+        ShardObs {
+            requests: per_step("ce_shard_requests_total"),
+            bytes_in: per_step("ce_shard_wire_bytes_in_total"),
+            bytes_out: per_step("ce_shard_wire_bytes_out_total"),
+            registry,
+        }
+    }
+
+    fn record(&self, request: &Frame, reply: &Frame) {
+        self.requests[request.step as u16 as usize].inc();
+        self.bytes_in[request.step as u16 as usize]
+            .add((HEADER_LEN + request.payload.len()) as u64);
+        self.bytes_out[reply.step as u16 as usize].add((HEADER_LEN + reply.payload.len()) as u64);
+    }
+}
+
 /// In-memory state of one shard server.
 pub struct ShardState {
     /// Live tables, oldest first (at most [`LIVE_EPOCHS`]).
@@ -42,6 +82,10 @@ pub struct ShardState {
     /// replica to an older version, in which case newer-versioned frames
     /// answer [`NackCode::VersionSkew`] instead of being served.
     wire_version: u16,
+    /// Per-step request/byte accounting, served back over
+    /// [`Step::CoordSendMetrics`]. Counters only: enabling them cannot
+    /// perturb replies or make two identically-driven shards diverge.
+    obs: ShardObs,
 }
 
 impl Default for ShardState {
@@ -49,6 +93,7 @@ impl Default for ShardState {
         ShardState {
             tables: Vec::new(),
             wire_version: PROTOCOL_VERSION,
+            obs: ShardObs::new(MetricsRegistry::new()),
         }
     }
 }
@@ -66,7 +111,14 @@ impl ShardState {
         ShardState {
             tables: Vec::new(),
             wire_version,
+            obs: ShardObs::new(MetricsRegistry::new()),
         }
+    }
+
+    /// This shard's metrics snapshot — the same data
+    /// [`Step::CoordSendMetrics`] serves over the wire.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.registry.snapshot()
     }
 
     /// The most recently installed table, if any.
@@ -106,6 +158,15 @@ impl ShardState {
     /// [`NackCode::Malformed`]; frames above the pinned wire version
     /// answer [`NackCode::VersionSkew`] before the payload is touched.
     pub fn handle(&mut self, frame: &Frame) -> Frame {
+        let reply = self.handle_inner(frame);
+        // Recorded after the reply is built, so a metrics reply reports
+        // the traffic *before* its own request — deterministic either
+        // way, just simpler to reason about.
+        self.obs.record(frame, &reply);
+        reply
+    }
+
+    fn handle_inner(&mut self, frame: &Frame) -> Frame {
         if frame.version > self.wire_version {
             return nack(
                 NackCode::VersionSkew,
@@ -240,6 +301,10 @@ impl ShardState {
                 Err(e) => malformed(e),
             },
             Step::CoordSendShutdown => ShutdownAck.into_frame(),
+            Step::CoordSendMetrics => MetricsReply {
+                snapshot: self.obs.registry.snapshot().to_bytes(),
+            }
+            .into_frame(),
             // Server-to-coordinator steps arriving at a server are
             // protocol violations; answer a NACK rather than crash.
             _ => nack(
@@ -280,7 +345,6 @@ fn serve_connection(
     let mut buf: Vec<u8> = Vec::new();
     let mut start = 0usize;
     let mut chunk = [0u8; 16 * 1024];
-    const HEADER_LEN: usize = crate::protocol::HEADER_LEN;
     loop {
         // Assemble the next complete frame from the buffer, refilling as
         // needed.
@@ -636,6 +700,54 @@ mod tests {
         };
         let nack = Nack::from_frame(&s.handle(&stale.into_frame())).expect("nack");
         assert_eq!(nack.code, NackCode::StaleTable);
+    }
+
+    #[test]
+    fn metrics_step_reports_per_step_traffic() {
+        let mut s = ShardState::new();
+        s.handle(&Load(table(0, 3)).into_frame());
+        let q = Query {
+            epoch: 0,
+            version: 3,
+            embedding: vec![0.1, 0.9],
+            k: 2,
+            exclude: u64::MAX,
+        };
+        s.handle(&q.clone().into_frame());
+        s.handle(&q.into_frame());
+        let reply = s.handle(&crate::protocol::MetricsRequest.into_frame());
+        let m = MetricsReply::from_frame(&reply).expect("metrics reply");
+        let snap = MetricsSnapshot::from_bytes(&m.snapshot).expect("snapshot decodes");
+        let req = |step: &str| snap.counter("ce_shard_requests_total", &[("step", step)]);
+        assert_eq!(req("coord_send_load"), 1);
+        assert_eq!(req("coord_send_query"), 2);
+        assert!(
+            snap.counter(
+                "ce_shard_wire_bytes_in_total",
+                &[("step", "coord_send_query")]
+            ) > 0
+        );
+        assert!(
+            snap.counter(
+                "ce_shard_wire_bytes_out_total",
+                &[("step", "shard_send_topk")]
+            ) > 0
+        );
+        // The wire snapshot was taken before its own request was counted;
+        // the in-process accessor afterwards sees the metrics request too.
+        assert_eq!(req("coord_send_metrics"), 0);
+        assert_eq!(
+            s.metrics()
+                .counter("ce_shard_requests_total", &[("step", "coord_send_metrics")]),
+            1
+        );
+        // A v1-pinned shard refuses the v2 metrics step with a typed skew
+        // NACK, so mixed-version aggregation degrades to "skip", never to
+        // an error.
+        let mut pinned = ShardState::with_wire_version(1);
+        let nack = Nack::from_frame(&pinned.handle(&crate::protocol::MetricsRequest.into_frame()))
+            .expect("nack");
+        assert_eq!(nack.code, NackCode::VersionSkew);
     }
 
     #[test]

@@ -16,7 +16,8 @@ mod common;
 
 use autoce::{AdvisorError, BatchPredictRequest};
 use ce_cluster::{
-    ClusterConfig, ClusterCoordinator, ClusterError, FaultPlan, ShardedAdvisor, SimNet,
+    ClusterConfig, ClusterCoordinator, ClusterError, FaultPlan, MetricsRegistry, ShardedAdvisor,
+    SimNet,
 };
 use ce_models::ModelKind;
 use ce_serve::{AdvisorService, ServeConfig};
@@ -49,13 +50,18 @@ fn workload() -> Vec<(Vec<f32>, usize)> {
 /// dark after the fault schedule has provably drained (which would be a
 /// real failover bug, not an injected fault).
 fn run_gauntlet(seed: u64) -> GauntletRun {
+    run_gauntlet_cfg(seed, ClusterConfig::no_sleep())
+}
+
+/// [`run_gauntlet`] with an explicit [`ClusterConfig`], so the metrics
+/// sweep can hand in an instrumented config and replay the exact same run.
+fn run_gauntlet_cfg(seed: u64, cfg: ClusterConfig) -> GauntletRun {
     let flat = common::synthetic_flat(11, 3);
     let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
     let replicas = RANGES * REPLICAS_PER_RANGE;
     let plan = FaultPlan::seeded(seed, PLAN_STEPS, replicas, INTENSITY);
     let net = SimNet::new(replicas, plan);
-    let coord =
-        ClusterCoordinator::over_sim(sharded, &net, REPLICAS_PER_RANGE, ClusterConfig::no_sleep());
+    let coord = ClusterCoordinator::over_sim(sharded, &net, REPLICAS_PER_RANGE, cfg);
     let mut retries = 0usize;
     let mut attempt = 0u32;
     // Bootstrap may land while a seeded kill holds a whole range down;
@@ -466,5 +472,146 @@ fn service_fronted_gauntlet_is_bit_identical_and_replays() {
             "seed {seed}: the service-fronted trace must replay byte-identically"
         );
         assert_eq!((answers, retries), (answers2, retries2), "seed {seed}");
+    }
+}
+
+/// A logically-clocked [`ClusterConfig`] plus the registry it records into.
+fn observed_cfg() -> (ClusterConfig, MetricsRegistry) {
+    let registry = MetricsRegistry::new_logical();
+    let mut cfg = ClusterConfig::no_sleep();
+    cfg.metrics = registry.clone();
+    (cfg, registry)
+}
+
+/// The observability invariant, sweep-tested: enabling metrics (in
+/// logical-clock mode, the SimNet regime) must not add a line to the
+/// deterministic event trace, flip an answer bit, or change a retry count
+/// on any of the 8 seeded fault schedules — and the recorded metrics must
+/// themselves be live and bit-reproducible across replays.
+#[test]
+fn metrics_enabled_sweep_is_byte_equal_to_unobserved() {
+    for seed in 1u64..=8 {
+        let plain = run_gauntlet(seed);
+        let (cfg, registry) = observed_cfg();
+        let observed = run_gauntlet_cfg(seed, cfg);
+        assert_eq!(
+            plain.trace, observed.trace,
+            "seed {seed}: metrics added or reordered an event-trace line"
+        );
+        assert_eq!(
+            plain.answers, observed.answers,
+            "seed {seed}: metrics changed an answer bit"
+        );
+        assert_eq!(plain.retries, observed.retries, "seed {seed}");
+        // The comparison is only meaningful if the registry actually saw
+        // the run: every answered query recorded an RTT span.
+        let snap = registry.snapshot();
+        let rtt_spans: u64 = (0..RANGES)
+            .map(|r| {
+                snap.histogram_totals("ce_cluster_rtt_ns", &[("range", &r.to_string())])
+                    .1
+            })
+            .sum();
+        assert!(
+            rtt_spans > 0,
+            "seed {seed}: instrumented run recorded nothing"
+        );
+        // And the metrics themselves replay: same seed, same logical
+        // clock, same snapshot bytes.
+        let (cfg2, registry2) = observed_cfg();
+        let _ = run_gauntlet_cfg(seed, cfg2);
+        assert_eq!(
+            registry.snapshot().to_bytes(),
+            registry2.snapshot().to_bytes(),
+            "seed {seed}: logical-clock metrics must replay bit-identically"
+        );
+    }
+}
+
+/// Metrics-enabled concurrency sweep: a healthy cluster behind the
+/// micro-batched service, hammered by 1, 2, 4, then 8 client threads with
+/// a live logical-clock registry on both the service and the coordinator.
+/// Every thread's answer stream equals the in-process advisor bit for bit
+/// at every width — batching, caching, and instrumentation included.
+#[test]
+fn metrics_enabled_service_is_bit_identical_at_every_thread_count() {
+    let flat = Arc::new(common::synthetic_flat(11, 3));
+    let sharded = ShardedAdvisor::from_advisor(&flat, RANGES);
+    let w = MetricWeights::new(0.7);
+    let expected: Arc<Vec<(ModelKind, Vec<f64>)>> = Arc::new(
+        flat.rcs()
+            .iter()
+            .map(|e| {
+                let x = sharded.embed_graph(&e.graph);
+                sharded.predict_from_embedding(&x, w)
+            })
+            .collect(),
+    );
+    for threads in [1usize, 2, 4, 8] {
+        // Coordinator and service each get their OWN registry: the
+        // unified snapshot merges the backend's metrics in, so sharing
+        // one registry across both layers would double-count it.
+        let (cfg, _cluster_registry) = observed_cfg();
+        let registry = MetricsRegistry::new_logical();
+        let replicas = RANGES * REPLICAS_PER_RANGE;
+        let net = SimNet::new(replicas, FaultPlan::none());
+        let coord = Arc::new(ClusterCoordinator::over_sim(
+            ShardedAdvisor::from_advisor(&flat, RANGES),
+            &net,
+            REPLICAS_PER_RANGE,
+            cfg,
+        ));
+        coord.bootstrap().expect("healthy bootstrap");
+        let service = AdvisorService::start_shared(
+            coord.clone(),
+            ServeConfig::builder()
+                .max_batch(4)
+                .batch_deadline(Duration::from_millis(1))
+                .cache_capacity(64)
+                .metrics(registry.clone())
+                .build()
+                .expect("valid serve config"),
+        );
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let handle = service.handle();
+                let flat = flat.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for (e, want) in flat.rcs().iter().zip(expected.iter()) {
+                        let rec = handle
+                            .recommend_graph(e.graph.clone(), w)
+                            .expect("healthy cluster");
+                        assert_eq!(
+                            (&rec.model, &rec.scores),
+                            (&want.0, &want.1),
+                            "answer drifted under concurrency with metrics on"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("no worker may panic");
+        }
+        // Liveness: the unified snapshot (registry + ledgers + backend)
+        // accounts for every request made at this width.
+        let snap = service.handle().metrics_snapshot();
+        assert_eq!(
+            snap.counter("ce_serve_requests_total", &[]),
+            (threads * flat.rcs().len()) as u64,
+            "{threads} threads: request counter must account for every call"
+        );
+        let path_total: u64 = ["cache_hit", "inline", "worker"]
+            .iter()
+            .map(|p| snap.counter("ce_serve_path_requests_total", &[("path", p)]))
+            .sum();
+        assert_eq!(
+            path_total,
+            (threads * flat.rcs().len()) as u64,
+            "{threads} threads: every request must be attributed to a path"
+        );
+        service.shutdown();
+        coord.shutdown_cluster();
     }
 }

@@ -34,4 +34,7 @@ pub use gin::{BackwardPlan, ForwardTape, GinEncoder, GinGrads, GraphCtx};
 pub use loss::{basic_contrastive, performance_similarity, weighted_contrastive, PairSets};
 pub use pool::{GradPool, StackedTapePool, TapePool, WorkspacePools};
 pub use stack::{StackedCtx, StackedTape, STACK_CHUNK_ROWS};
-pub use train::{train_encoder, train_encoder_per_graph, DmlConfig, LossKind};
+pub use train::{
+    train_encoder, train_encoder_incremental_observed, train_encoder_observed,
+    train_encoder_per_graph, DmlConfig, LossKind, TrainObs,
+};

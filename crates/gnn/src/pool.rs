@@ -27,7 +27,31 @@
 
 use crate::gin::{ForwardTape, GinEncoder, GinGrads};
 use crate::stack::StackedTape;
+use ce_obs::{Counter, MetricsRegistry};
 use std::sync::Mutex;
+
+/// Checkout statistics for one pool: total checkouts and misses (a miss is
+/// a checkout the pool could not serve from a recycled buffer — a fresh
+/// allocation). `misses / checkouts` is the pool's cold fraction; in
+/// steady-state training it should approach zero after the first batch.
+/// Counters default to the no-op handles of a disabled registry, so
+/// unobserved pools record nothing and cost nothing.
+#[derive(Default)]
+struct PoolObs {
+    checkouts: Counter,
+    misses: Counter,
+}
+
+impl PoolObs {
+    /// Registers `ce_gnn_pool_checkouts_total{pool}` and
+    /// `ce_gnn_pool_misses_total{pool}` on `registry`.
+    fn new(registry: &MetricsRegistry, pool: &str) -> Self {
+        PoolObs {
+            checkouts: registry.counter("ce_gnn_pool_checkouts_total", &[("pool", pool)]),
+            misses: registry.counter("ce_gnn_pool_misses_total", &[("pool", pool)]),
+        }
+    }
+}
 
 /// Recycling pool for [`ForwardTape`]s. A checked-out tape may hold stale
 /// contents; every consumer overwrites it via
@@ -35,6 +59,7 @@ use std::sync::Mutex;
 #[derive(Default)]
 pub struct TapePool {
     slots: Mutex<Vec<ForwardTape>>,
+    obs: PoolObs,
 }
 
 impl TapePool {
@@ -43,15 +68,25 @@ impl TapePool {
         TapePool::default()
     }
 
+    /// An empty pool recording checkout stats into `registry` as
+    /// `ce_gnn_pool_{checkouts,misses}_total{pool="tape"}`.
+    pub fn observed(registry: &MetricsRegistry) -> Self {
+        TapePool {
+            slots: Mutex::new(Vec::new()),
+            obs: PoolObs::new(registry, "tape"),
+        }
+    }
+
     /// Pops a pooled tape (or builds an empty one). The returned tape's
     /// contents are unspecified — it must be filled with
     /// [`GinEncoder::forward_tape_into`] before use.
     pub fn checkout(&self) -> ForwardTape {
-        self.slots
-            .lock()
-            .expect("tape pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.obs.checkouts.inc();
+        let pooled = self.slots.lock().expect("tape pool poisoned").pop();
+        pooled.unwrap_or_else(|| {
+            self.obs.misses.inc();
+            ForwardTape::default()
+        })
     }
 
     /// Returns one tape to the pool.
@@ -73,6 +108,7 @@ impl TapePool {
 #[derive(Default)]
 pub struct StackedTapePool {
     slots: Mutex<Vec<StackedTape>>,
+    obs: PoolObs,
 }
 
 impl StackedTapePool {
@@ -81,15 +117,25 @@ impl StackedTapePool {
         StackedTapePool::default()
     }
 
+    /// An empty pool recording checkout stats into `registry` as
+    /// `ce_gnn_pool_{checkouts,misses}_total{pool="stacked"}`.
+    pub fn observed(registry: &MetricsRegistry) -> Self {
+        StackedTapePool {
+            slots: Mutex::new(Vec::new()),
+            obs: PoolObs::new(registry, "stacked"),
+        }
+    }
+
     /// Pops a pooled stacked tape (or builds an empty one). The returned
     /// tape's contents are unspecified — it must be filled with
     /// [`GinEncoder::forward_stacked_tape_into`] before use.
     pub fn checkout(&self) -> StackedTape {
-        self.slots
-            .lock()
-            .expect("stacked tape pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.obs.checkouts.inc();
+        let pooled = self.slots.lock().expect("stacked tape pool poisoned").pop();
+        pooled.unwrap_or_else(|| {
+            self.obs.misses.inc();
+            StackedTape::default()
+        })
     }
 
     /// Returns one stacked tape to the pool.
@@ -114,6 +160,7 @@ impl StackedTapePool {
 #[derive(Default)]
 pub struct GradPool {
     slots: Mutex<Vec<GinGrads>>,
+    obs: PoolObs,
 }
 
 impl GradPool {
@@ -122,18 +169,33 @@ impl GradPool {
         GradPool::default()
     }
 
+    /// An empty pool recording checkout stats into `registry` as
+    /// `ce_gnn_pool_{checkouts,misses}_total{pool="grad"}`. A pooled
+    /// accumulator whose shape no longer matches the encoder counts as a
+    /// miss — it is dropped and replaced by a fresh allocation.
+    pub fn observed(registry: &MetricsRegistry) -> Self {
+        GradPool {
+            slots: Mutex::new(Vec::new()),
+            obs: PoolObs::new(registry, "grad"),
+        }
+    }
+
     /// Checks out an all-zero accumulator shaped for `encoder`. Pooled
     /// buffers are zeroed here — on checkout — and the invariant is
     /// asserted in debug builds, so a workspace restored dirty (the normal
     /// case) or leaked dirty (a bug) can never corrupt gradients.
     pub fn checkout(&self, encoder: &GinEncoder) -> GinGrads {
+        self.obs.checkouts.inc();
         let pooled = self.slots.lock().expect("grad pool poisoned").pop();
         let grads = match pooled {
             Some(mut g) if g.shape_matches(encoder) => {
                 g.zero();
                 g
             }
-            _ => GinGrads::zeros_like(encoder),
+            _ => {
+                self.obs.misses.inc();
+                GinGrads::zeros_like(encoder)
+            }
         };
         debug_assert!(
             grads.is_zero(),
@@ -168,6 +230,18 @@ impl WorkspacePools {
     /// Empty pools.
     pub fn new() -> Self {
         WorkspacePools::default()
+    }
+
+    /// Empty pools recording checkout stats into `registry` under
+    /// `ce_gnn_pool_checkouts_total{pool}` / `ce_gnn_pool_misses_total{pool}`
+    /// with `pool` ∈ `tape` | `grad` | `stacked`. With a disabled registry
+    /// this is identical to [`WorkspacePools::new`].
+    pub fn observed(registry: &MetricsRegistry) -> Self {
+        WorkspacePools {
+            tapes: TapePool::observed(registry),
+            grads: GradPool::observed(registry),
+            stacked: StackedTapePool::observed(registry),
+        }
     }
 }
 
@@ -205,6 +279,40 @@ mod tests {
         pool.restore(acc);
         let again = pool.checkout(&enc);
         assert!(again.is_zero(), "pooled buffer must be zeroed on checkout");
+    }
+
+    /// Observed pools report checkouts and misses exactly: a cold checkout
+    /// is a miss, a recycled one is not, and a shape-mismatched grad
+    /// checkout counts as a miss again (fresh allocation).
+    #[test]
+    fn observed_pools_count_checkouts_and_misses() {
+        use ce_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let pools = WorkspacePools::observed(&reg);
+        // Tape pool: cold miss, then a recycled hit.
+        let t = pools.tapes.checkout();
+        pools.tapes.restore(t);
+        let _t = pools.tapes.checkout();
+        // Grad pool: cold miss, dirty restore, recycled hit, then a
+        // shape-mismatched checkout that must count as a second miss.
+        let small = GinEncoder::new(2, &[4], 3, 1);
+        let big = GinEncoder::new(2, &[8, 8], 5, 2);
+        let g = pools.grads.checkout(&small);
+        pools.grads.restore(g);
+        let g = pools.grads.checkout(&small);
+        pools.grads.restore(g);
+        let _g = pools.grads.checkout(&big);
+        let snap = reg.snapshot();
+        let c = |name: &str, pool: &str| snap.counter(name, &[("pool", pool)]);
+        assert_eq!(c("ce_gnn_pool_checkouts_total", "tape"), 2);
+        assert_eq!(c("ce_gnn_pool_misses_total", "tape"), 1);
+        assert_eq!(c("ce_gnn_pool_checkouts_total", "grad"), 3);
+        assert_eq!(c("ce_gnn_pool_misses_total", "grad"), 2);
+        // Unobserved pools stay silent and free.
+        let silent = WorkspacePools::new();
+        let t = silent.tapes.checkout();
+        silent.tapes.restore(t);
+        assert_eq!(c("ce_gnn_pool_checkouts_total", "tape"), 2);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::loss::{basic_contrastive, pair_sets_with_sims, weighted_contrastive_p
 use crate::pool::WorkspacePools;
 use crate::stack::{chunk_ranges, StackedCtx, StackedTape};
 use ce_features::FeatureGraph;
+use ce_obs::{Counter, Histogram, MetricsRegistry, LATENCY_NS_BUCKETS};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -92,14 +93,36 @@ pub fn train_encoder<G: Borrow<FeatureGraph> + Sync>(
     cfg: &DmlConfig,
     seed: u64,
 ) -> GinEncoder {
+    train_encoder_observed(graphs, labels, cfg, seed, &MetricsRegistry::disabled())
+}
+
+/// [`train_encoder`] with per-phase timing recorded into `metrics` (see
+/// [`TrainObs`] for the metric names). Bit-identical to the unobserved
+/// path: spans only read the clock, never the data.
+pub fn train_encoder_observed<G: Borrow<FeatureGraph> + Sync>(
+    graphs: &[G],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+    seed: u64,
+    metrics: &MetricsRegistry,
+) -> GinEncoder {
     assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
     let input_dim = graphs.first().map_or(1, |g| g.borrow().vertex_dim());
     let mut encoder = GinEncoder::new(input_dim, &cfg.hidden, cfg.embed_dim, seed);
     if graphs.is_empty() {
         return encoder;
     }
-    let ctxs = prepare_ctxs(graphs);
-    run_epochs(&mut encoder, &ctxs, labels, cfg, seed ^ 0xd31, train_batch);
+    let obs = TrainObs::new(metrics);
+    let ctxs = obs.timed_prepare(|| prepare_ctxs(graphs));
+    run_epochs(
+        &mut encoder,
+        &ctxs,
+        labels,
+        cfg,
+        seed ^ 0xd31,
+        train_batch,
+        &obs,
+    );
     encoder
 }
 
@@ -129,6 +152,7 @@ pub fn train_encoder_per_graph<G: Borrow<FeatureGraph> + Sync>(
         cfg,
         seed ^ 0xd31,
         train_batch_per_graph,
+        &TrainObs::new(&MetricsRegistry::disabled()),
     );
     encoder
 }
@@ -144,15 +168,79 @@ pub fn train_encoder_incremental<G: Borrow<FeatureGraph> + Sync>(
     cfg: &DmlConfig,
     seed: u64,
 ) {
+    train_encoder_incremental_observed(
+        encoder,
+        graphs,
+        labels,
+        cfg,
+        seed,
+        &MetricsRegistry::disabled(),
+    )
+}
+
+/// [`train_encoder_incremental`] with per-phase timing recorded into
+/// `metrics` — the entry point the serving layer's online adaptation uses
+/// so refresh/train costs show up in the unified metrics surface.
+pub fn train_encoder_incremental_observed<G: Borrow<FeatureGraph> + Sync>(
+    encoder: &mut GinEncoder,
+    graphs: &[G],
+    labels: &[Vec<f64>],
+    cfg: &DmlConfig,
+    seed: u64,
+    metrics: &MetricsRegistry,
+) {
     if graphs.is_empty() {
         return;
     }
-    let ctxs = prepare_ctxs(graphs);
-    run_epochs(encoder, &ctxs, labels, cfg, seed ^ 0x1c2, train_batch);
+    let obs = TrainObs::new(metrics);
+    let ctxs = obs.timed_prepare(|| prepare_ctxs(graphs));
+    run_epochs(encoder, &ctxs, labels, cfg, seed ^ 0x1c2, train_batch, &obs);
+}
+
+/// Per-phase training observability. One batch records four spans into
+/// `ce_gnn_train_phase_ns{phase}` — `forward` (context stacking + taped
+/// forward), `loss` (pair sets + contrastive loss), `backward` (segmented
+/// backward fan-out), `step` (fixed-order reduction + Adam) — plus
+/// `phase="prepare"` once per training run (graph-context building) and a
+/// `ce_gnn_train_batches_total` count. Spans are driver-thread only (they
+/// bracket the rayon fan-outs, never run inside them), are a read-only
+/// side channel, and cost nothing on a disabled registry.
+pub struct TrainObs {
+    registry: MetricsRegistry,
+    prepare_ns: Histogram,
+    forward_ns: Histogram,
+    loss_ns: Histogram,
+    backward_ns: Histogram,
+    step_ns: Histogram,
+    batches: Counter,
+}
+
+impl TrainObs {
+    /// Registers the training phase metrics on `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let phase = |p: &str| {
+            registry.histogram("ce_gnn_train_phase_ns", &[("phase", p)], LATENCY_NS_BUCKETS)
+        };
+        TrainObs {
+            registry: registry.clone(),
+            prepare_ns: phase("prepare"),
+            forward_ns: phase("forward"),
+            loss_ns: phase("loss"),
+            backward_ns: phase("backward"),
+            step_ns: phase("step"),
+            batches: registry.counter("ce_gnn_train_batches_total", &[]),
+        }
+    }
+
+    fn timed_prepare<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _span = self.prepare_ns.start_span();
+        f()
+    }
 }
 
 /// A batch engine: one gradient step over the chunk's graph indices.
-type BatchFn = fn(&mut GinEncoder, &[GraphCtx], &[Vec<f64>], &[usize], &DmlConfig, &WorkspacePools);
+type BatchFn =
+    fn(&mut GinEncoder, &[GraphCtx], &[Vec<f64>], &[usize], &DmlConfig, &WorkspacePools, &TrainObs);
 
 /// Shared epoch loop: shuffle, batch, step — parameterized over the batch
 /// engine so the stacked path and the per-graph baseline stay in lockstep
@@ -164,14 +252,16 @@ fn run_epochs(
     cfg: &DmlConfig,
     shuffle_seed: u64,
     batch_fn: BatchFn,
+    obs: &TrainObs,
 ) {
-    let pools = WorkspacePools::new();
+    let pools = WorkspacePools::observed(&obs.registry);
     let mut rng = StdRng::seed_from_u64(shuffle_seed);
     let mut order: Vec<usize> = (0..ctxs.len()).collect();
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.batch_size) {
-            batch_fn(encoder, ctxs, labels, chunk, cfg, &pools);
+            obs.batches.inc();
+            batch_fn(encoder, ctxs, labels, chunk, cfg, &pools, obs);
         }
     }
 }
@@ -198,6 +288,7 @@ fn train_batch(
     chunk: &[usize],
     cfg: &DmlConfig,
     pools: &WorkspacePools,
+    obs: &TrainObs,
 ) {
     let enc: &GinEncoder = encoder;
     let ranges = chunk_ranges(chunk.iter().map(|&i| ctxs[i].num_vertices()));
@@ -205,6 +296,7 @@ fn train_batch(
     // per batch (shuffling recomposes them), but the tall tapes come from
     // the workspace pool and the build cost is a fraction of the kernel
     // dispatches it replaces.
+    let forward_span = obs.forward_ns.start_span();
     let stacks: Vec<(StackedCtx, StackedTape)> = ranges
         .par_iter()
         .map(|r| {
@@ -215,6 +307,8 @@ fn train_batch(
             (sctx, tape)
         })
         .collect();
+    drop(forward_span);
+    let loss_span = obs.loss_ns.start_span();
     let embeddings: Vec<Vec<f32>> = stacks
         .iter()
         .flat_map(|(_, t)| (0..t.num_graphs()).map(move |i| t.embedding(i).to_vec()))
@@ -225,9 +319,11 @@ fn train_batch(
         LossKind::Weighted => weighted_contrastive_presim(&embeddings, &sims, &pairs, cfg.gamma),
         LossKind::Basic => basic_contrastive(&embeddings, &pairs, cfg.gamma),
     };
+    drop(loss_span);
     // One segmented backward per stack, fanned out over the pool; each
     // returns per-graph accumulators (pooled, zeroed on checkout; `None`
     // for zero-gradient graphs, matching the per-graph skip)...
+    let backward_span = obs.backward_ns.start_span();
     let plan = enc.backward_plan();
     let slots: Vec<usize> = (0..stacks.len()).collect();
     let grads: Vec<Vec<Option<GinGrads>>> = slots
@@ -243,12 +339,15 @@ fn train_batch(
             )
         })
         .collect();
+    drop(backward_span);
     // ...reduced per graph in fixed batch order, then one Adam step.
+    let step_span = obs.step_ns.start_span();
     let mut total = pools.grads.checkout(enc);
     for g in grads.iter().flatten().flatten() {
         total.add_assign(g);
     }
     encoder.step_with(&total, cfg.lr);
+    drop(step_span);
     // Workspaces go back dirty; the next checkout re-zeroes what it needs.
     pools.grads.restore(total);
     pools
@@ -268,11 +367,13 @@ fn train_batch_per_graph(
     chunk: &[usize],
     cfg: &DmlConfig,
     pools: &WorkspacePools,
+    obs: &TrainObs,
 ) {
     let enc: &GinEncoder = encoder;
     // Single taped forward per graph, fanned out over the pool; the tapes
     // serve both the loss embeddings and backprop (no second pass). Tape
     // buffers are recycled across batches via the workspace pool.
+    let forward_span = obs.forward_ns.start_span();
     let tapes: Vec<ForwardTape> = chunk
         .par_iter()
         .map(|&i| {
@@ -281,6 +382,8 @@ fn train_batch_per_graph(
             tape
         })
         .collect();
+    drop(forward_span);
+    let loss_span = obs.loss_ns.start_span();
     let embeddings: Vec<Vec<f32>> = tapes.iter().map(|t| t.embedding().to_vec()).collect();
     let batch_labels: Vec<Vec<f64>> = chunk.iter().map(|&i| labels[i].clone()).collect();
     let (pairs, sims) = pair_sets_with_sims(&batch_labels, cfg.tau);
@@ -288,9 +391,11 @@ fn train_batch_per_graph(
         LossKind::Weighted => weighted_contrastive_presim(&embeddings, &sims, &pairs, cfg.gamma),
         LossKind::Basic => basic_contrastive(&embeddings, &pairs, cfg.gamma),
     };
+    drop(loss_span);
     // Parallel backward into per-graph accumulators (pooled, zeroed on
     // checkout); the backward plan (per-layer Wᵀ) is built once and shared
     // read-only by every stream...
+    let backward_span = obs.backward_ns.start_span();
     let plan = enc.backward_plan();
     let slots: Vec<usize> = (0..chunk.len()).collect();
     let grads: Vec<Option<GinGrads>> = slots
@@ -304,12 +409,15 @@ fn train_batch_per_graph(
             Some(acc)
         })
         .collect();
+    drop(backward_span);
     // ...reduced in fixed batch order, then one Adam step.
+    let step_span = obs.step_ns.start_span();
     let mut total = pools.grads.checkout(enc);
     for g in grads.iter().flatten() {
         total.add_assign(g);
     }
     encoder.step_with(&total, cfg.lr);
+    drop(step_span);
     // Workspaces go back dirty; the next checkout re-zeroes what it needs.
     pools.grads.restore(total);
     pools.grads.restore_all(grads.into_iter().flatten());
@@ -517,6 +625,49 @@ mod tests {
             let loss_per_graph = evaluate_loss(&per_graph, &graphs, &labels, &cfg);
             assert_eq!(loss_stacked, loss_per_graph);
         }
+    }
+
+    /// Observed training is bit-identical to unobserved training (spans
+    /// only read the clock), and the phase histograms/pool counters come
+    /// back populated with exactly the expected structure.
+    #[test]
+    fn observed_training_is_bit_identical_and_reports_phases() {
+        use ce_obs::MetricsRegistry;
+        let (graphs, labels) = toy_multivertex_data();
+        let cfg = DmlConfig {
+            epochs: 4,
+            batch_size: 6,
+            hidden: vec![8],
+            embed_dim: 4,
+            ..DmlConfig::default()
+        };
+        let plain = train_encoder(&graphs, &labels, &cfg, 17);
+        let reg = MetricsRegistry::new();
+        let observed = train_encoder_observed(&graphs, &labels, &cfg, 17, &reg);
+        assert_eq!(
+            plain.flat_params(),
+            observed.flat_params(),
+            "metrics must not perturb training"
+        );
+        let snap = reg.snapshot();
+        let batches = graphs.len().div_ceil(cfg.batch_size) * cfg.epochs;
+        assert_eq!(
+            snap.counter("ce_gnn_train_batches_total", &[]),
+            batches as u64
+        );
+        for phase in ["forward", "loss", "backward", "step"] {
+            let (_, count) = snap.histogram_totals("ce_gnn_train_phase_ns", &[("phase", phase)]);
+            assert_eq!(count, batches as u64, "one {phase} span per batch");
+        }
+        let (_, prep) = snap.histogram_totals("ce_gnn_train_phase_ns", &[("phase", "prepare")]);
+        assert_eq!(prep, 1, "one prepare span per training run");
+        // The workspace pools report through the same registry, and after
+        // the first batch recycling keeps the miss count strictly below
+        // the checkout count.
+        let checkouts = snap.counter("ce_gnn_pool_checkouts_total", &[("pool", "grad")]);
+        let misses = snap.counter("ce_gnn_pool_misses_total", &[("pool", "grad")]);
+        assert!(checkouts > 0, "grad pool must see checkouts");
+        assert!(misses < checkouts, "recycling must serve some checkouts");
     }
 
     /// The rayon-fanned engine must be bit-for-bit deterministic across

@@ -57,13 +57,17 @@
 //! untouched — a cache-hit request and a batched request fail with the
 //! same variant the direct call would.
 
-use crate::cache::{graph_fingerprint, EmbeddingCache};
+use crate::cache::{graph_fingerprint, CacheStats, EmbeddingCache};
 use crate::reservoir::Reservoir;
 use crate::shard::ShardedAdvisor;
 use autoce::online::DriftDetector;
 use autoce::{validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest};
 use ce_features::{extract_features, FeatureGraph};
 use ce_models::ModelKind;
+use ce_obs::{
+    Counter, Histogram, MetricsRegistry, MetricsSnapshot, Sample, SampleValue, DEPTH_BUCKETS,
+    LATENCY_NS_BUCKETS,
+};
 use ce_storage::Dataset;
 use ce_testbed::{label_dataset, MetricWeights, TestbedConfig};
 use std::borrow::Cow;
@@ -82,7 +86,7 @@ use std::time::{Duration, Instant};
 /// validation then happens at [`AdvisorService::start`] as before — but
 /// is **deprecated in favor of the builder** and will stop being the
 /// documented path once downstream call sites migrate.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Maximum requests embedded in one stacked forward.
     pub max_batch: usize,
@@ -126,6 +130,30 @@ pub struct ServeConfig {
     pub reservoir_capacity: usize,
     /// Seed for the reservoir's deterministic sampling.
     pub seed: u64,
+    /// Metrics registry the service records into. The default
+    /// ([`MetricsRegistry::disabled`]) makes every instrumentation point
+    /// a no-op — recording is lock-free `fetch_add` on pre-registered
+    /// atomics either way, and never touches a serving lock (see
+    /// `docs/observability.md`).
+    pub metrics: MetricsRegistry,
+}
+
+// Manual impl: `MetricsRegistry` is deliberately opaque (handles and
+// atomics), so derive is unavailable; print whether it records instead.
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("max_batch", &self.max_batch)
+            .field("batch_deadline", &self.batch_deadline)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("inline_burst_misses", &self.inline_burst_misses)
+            .field("admit_on_second_touch", &self.admit_on_second_touch)
+            .field("reservoir_capacity", &self.reservoir_capacity)
+            .field("seed", &self.seed)
+            .field("metrics_enabled", &self.metrics.is_enabled())
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -139,6 +167,7 @@ impl Default for ServeConfig {
             admit_on_second_touch: false,
             reservoir_capacity: 64,
             seed: 0xce5e,
+            metrics: MetricsRegistry::disabled(),
         }
     }
 }
@@ -207,6 +236,12 @@ impl ServeConfigBuilder {
     /// Seed for the reservoir's deterministic sampling.
     pub fn seed(mut self, v: u64) -> Self {
         self.cfg.seed = v;
+        self
+    }
+
+    /// Metrics registry the service records into (default: disabled).
+    pub fn metrics(mut self, v: MetricsRegistry) -> Self {
+        self.cfg.metrics = v;
         self
     }
 
@@ -301,11 +336,92 @@ struct Stats {
     adaptations: AtomicU64,
 }
 
+/// Pre-registered observability handles. Registration happens once at
+/// service start (under the registry's own mutex — a cold path that is
+/// not a serving lock); recording afterwards is lock-free `fetch_add`,
+/// and with a disabled registry every handle is a no-op. Metric names
+/// are stable API — the catalogue lives in `docs/observability.md`.
+struct ObsHandles {
+    registry: MetricsRegistry,
+    /// `ce_serve_queue_wait_ns`: enqueue → worker-drain wait per queued
+    /// request.
+    queue_wait_ns: Histogram,
+    /// `ce_serve_encode_ns{path}`: the stacked-forward phase.
+    encode_ns_worker: Histogram,
+    encode_ns_inline: Histogram,
+    /// `ce_serve_vote_ns{path}`: the batched-KNN-vote phase.
+    vote_ns_worker: Histogram,
+    vote_ns_inline: Histogram,
+    vote_ns_cache_hit: Histogram,
+    /// `ce_serve_batch_depth{path}`: requests per processed micro-batch.
+    batch_depth_worker: Histogram,
+    batch_depth_inline: Histogram,
+    /// `ce_serve_path_requests_total{path}`: which serving path answered.
+    path_cache_hit: Counter,
+    path_inline: Counter,
+    path_worker: Counter,
+    /// `ce_serve_snapshot_swaps_total`: adaptations applied.
+    snapshot_swaps: Counter,
+}
+
+impl ObsHandles {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let r = registry;
+        ObsHandles {
+            registry: r.clone(),
+            queue_wait_ns: r.histogram("ce_serve_queue_wait_ns", &[], LATENCY_NS_BUCKETS),
+            encode_ns_worker: r.histogram(
+                "ce_serve_encode_ns",
+                &[("path", "worker")],
+                LATENCY_NS_BUCKETS,
+            ),
+            encode_ns_inline: r.histogram(
+                "ce_serve_encode_ns",
+                &[("path", "inline")],
+                LATENCY_NS_BUCKETS,
+            ),
+            vote_ns_worker: r.histogram(
+                "ce_serve_vote_ns",
+                &[("path", "worker")],
+                LATENCY_NS_BUCKETS,
+            ),
+            vote_ns_inline: r.histogram(
+                "ce_serve_vote_ns",
+                &[("path", "inline")],
+                LATENCY_NS_BUCKETS,
+            ),
+            vote_ns_cache_hit: r.histogram(
+                "ce_serve_vote_ns",
+                &[("path", "cache_hit")],
+                LATENCY_NS_BUCKETS,
+            ),
+            batch_depth_worker: r.histogram(
+                "ce_serve_batch_depth",
+                &[("path", "worker")],
+                DEPTH_BUCKETS,
+            ),
+            batch_depth_inline: r.histogram(
+                "ce_serve_batch_depth",
+                &[("path", "inline")],
+                DEPTH_BUCKETS,
+            ),
+            path_cache_hit: r.counter("ce_serve_path_requests_total", &[("path", "cache_hit")]),
+            path_inline: r.counter("ce_serve_path_requests_total", &[("path", "inline")]),
+            path_worker: r.counter("ce_serve_path_requests_total", &[("path", "worker")]),
+            snapshot_swaps: r.counter("ce_serve_snapshot_swaps_total", &[]),
+        }
+    }
+}
+
 struct Request {
     graph: FeatureGraph,
     fingerprint: u64,
     w: MetricWeights,
     reply: mpsc::Sender<Result<Recommendation, AdvisorError>>,
+    /// Measures enqueue → worker-drain; dropped (recording) when the
+    /// worker takes the request out of its batch. `None` under a
+    /// disabled registry costs one branch.
+    queue_span: Option<ce_obs::Span>,
 }
 
 struct QueueState {
@@ -340,6 +456,7 @@ struct Shared<B> {
     snapshot: Mutex<Arc<B>>,
     cache: Mutex<EmbeddingCache>,
     stats: Stats,
+    obs: ObsHandles,
 }
 
 impl<B> Shared<B> {
@@ -480,7 +597,11 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                     exclude: usize::MAX,
                 })
                 .collect();
-            for (&i, (model, scores)) in hit_idx.iter().zip(snap.predict_batch(&reqs)?) {
+            let answers = {
+                let _vote = self.shared.obs.vote_ns_cache_hit.start_span();
+                snap.predict_batch(&reqs)?
+            };
+            for (&i, (model, scores)) in hit_idx.iter().zip(answers) {
                 out[i] = Some(Recommendation {
                     model,
                     scores,
@@ -499,6 +620,7 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                 .stats
                 .cache_hits
                 .fetch_add(hits, Ordering::Relaxed);
+            self.shared.obs.path_cache_hit.add(hits);
         }
         if missed.len() >= self.shared.cfg.inline_burst_misses.max(1) {
             // Inline burst serving: a burst with enough misses is its own
@@ -519,7 +641,10 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                 .iter()
                 .map(|&i| graphs[i].as_deref().expect("miss graph present"))
                 .collect();
-            let fresh = snap.embed_graph_batch(&unique_graphs);
+            let fresh = {
+                let _encode = self.shared.obs.encode_ns_inline.start_span();
+                snap.embed_graph_batch(&unique_graphs)
+            };
             {
                 // Inserts are generation-tagged: if a snapshot swap raced
                 // this burst, the cache drops them (same rule as worker
@@ -537,7 +662,11 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                     exclude: usize::MAX,
                 })
                 .collect();
-            for (&i, (model, scores)) in missed.iter().zip(snap.predict_batch(&reqs)?) {
+            let answers = {
+                let _vote = self.shared.obs.vote_ns_inline.start_span();
+                snap.predict_batch(&reqs)?
+            };
+            for (&i, (model, scores)) in missed.iter().zip(answers) {
                 out[i] = Some(Recommendation {
                     model,
                     scores,
@@ -553,6 +682,11 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                 .cache_misses
                 .fetch_add(missed.len() as u64, Ordering::Relaxed);
             stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.shared.obs.path_inline.add(missed.len() as u64);
+            self.shared
+                .obs
+                .batch_depth_inline
+                .observe(missed.len() as u64);
         } else if !missed.is_empty() {
             let mut rxs = Vec::with_capacity(missed.len());
             {
@@ -595,6 +729,11 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
                             rxs.push(rx);
                             tx
                         },
+                        queue_span: if self.shared.obs.registry.is_enabled() {
+                            Some(self.shared.obs.queue_wait_ns.start_span())
+                        } else {
+                            None
+                        },
                     });
                 }
             }
@@ -632,6 +771,70 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
             adaptations: s.adaptations.load(Ordering::Relaxed),
         }
+    }
+
+    /// The embedding cache's own hit/miss/insert/reject ledger (see
+    /// [`CacheStats`] for how it relates to [`ServiceStats`]). Takes the
+    /// cache mutex for the copy — the same brief hold a single lookup
+    /// costs, on an admin path.
+    pub fn cache_stats(&self) -> CacheStats {
+        plock(&self.shared.cache).stats()
+    }
+
+    /// A point-in-time metrics snapshot: everything the service's
+    /// registry recorded (phase histograms, path counters), the
+    /// [`ServiceStats`] and [`CacheStats`] ledgers re-expressed as
+    /// samples under their stable names, and — when the backend is
+    /// itself instrumented, e.g. a cluster coordinator — the backend's
+    /// own [`AdvisorBackend::metrics`], merged in. Works (returning the
+    /// ledger samples) even under a disabled registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.obs.registry.snapshot();
+        let stats = self.stats();
+        let cache = self.cache_stats();
+        let counter = |name: &str, labels: &[(&str, &str)], v: u64| Sample {
+            name: name.to_string(),
+            labels: {
+                let mut l: Vec<(String, String)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect();
+                l.sort();
+                l
+            },
+            value: SampleValue::Counter(v),
+        };
+        snap.samples.extend([
+            counter("ce_serve_requests_total", &[], stats.requests),
+            counter("ce_serve_batches_total", &[], stats.batches),
+            counter("ce_serve_cache_hits_total", &[], stats.cache_hits),
+            counter("ce_serve_cache_misses_total", &[], stats.cache_misses),
+            counter("ce_serve_adaptations_total", &[], stats.adaptations),
+            counter("ce_serve_cache_inserts_total", &[], cache.inserts),
+            counter(
+                "ce_serve_cache_rejects_total",
+                &[("reason", "first_touch")],
+                cache.rejected_first_touch,
+            ),
+            counter(
+                "ce_serve_cache_rejects_total",
+                &[("reason", "stale_generation")],
+                cache.rejected_stale_generation,
+            ),
+            counter(
+                "ce_serve_cache_rejects_total",
+                &[("reason", "disabled")],
+                cache.rejected_disabled,
+            ),
+            Sample {
+                name: "ce_serve_cache_resident".to_string(),
+                labels: Vec::new(),
+                value: SampleValue::Gauge(cache.resident as u64),
+            },
+        ]);
+        snap.normalize();
+        snap.merge(&self.shared.current().metrics());
+        snap
     }
 }
 
@@ -680,11 +883,15 @@ impl<B: AdvisorBackend + 'static> AdvisorService<B> {
         let detector = advisor.drift_detector();
         let reservoir =
             Reservoir::over_initial(advisor.rcs_len(), cfg.reservoir_capacity, cfg.seed);
+        // Register every handle up front (the registry's own mutex, cold
+        // path): nothing on the serving path ever registers.
+        let obs = ObsHandles::new(&cfg.metrics);
         let shared = Arc::new(Shared {
             cache: Mutex::new(
                 EmbeddingCache::new(cfg.cache_capacity, advisor.generation())
                     .with_second_touch(cfg.admit_on_second_touch),
             ),
+            obs,
             cfg,
             shutting_down: AtomicBool::new(false),
             worker_failed: AtomicBool::new(false),
@@ -735,6 +942,17 @@ impl<B: AdvisorBackend + 'static> AdvisorService<B> {
         self.handle().stats()
     }
 
+    /// The embedding cache's own ledger (see [`ServeHandle::cache_stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.handle().cache_stats()
+    }
+
+    /// A point-in-time metrics snapshot (see
+    /// [`ServeHandle::metrics_snapshot`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.handle().metrics_snapshot()
+    }
+
     /// Stops the worker: no new requests are accepted, already-queued
     /// requests are answered, then the thread exits and is joined.
     pub fn shutdown(mut self) {
@@ -779,6 +997,9 @@ impl AdvisorService<ShardedAdvisor> {
         }
         let label = label_dataset(ds, testbed, seed);
         let mut next = (*snap).clone();
+        // Adapt through the service's own registry so refresh/train phase
+        // timings join the serving metrics in one snapshot.
+        next.set_metrics(self.shared.obs.registry.clone());
         next.adapt_with_reservoir(graph, &label, &mut admin.reservoir, seed);
         admin.detector = next.drift_detector();
         let generation = next.generation();
@@ -797,6 +1018,7 @@ impl AdvisorService<ShardedAdvisor> {
             .stats
             .adaptations
             .fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.snapshot_swaps.inc();
         true
     }
 }
@@ -889,7 +1111,7 @@ fn worker_loop<B: AdvisorBackend>(shared: &Shared<B>) {
         // reply senders drop *after* the failure flag is set — their
         // submitters must wake into `WorkerFailed`, not `ShuttingDown`.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_batch(shared, &batch)
+            process_batch(shared, &mut batch)
         }));
         if outcome.is_err() {
             fail_service(shared);
@@ -924,7 +1146,14 @@ fn fail_service<B>(shared: &Shared<B>) {
 /// receives the same typed error, because every query in the batch fans
 /// out to the same ranges — a partial answer would let one range's
 /// failure silently skew a subset of the batch.
-fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
+fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &mut [Request]) {
+    // The requests just left the queue: close their wait spans first so
+    // queue wait never includes encode time.
+    for r in batch.iter_mut() {
+        drop(r.queue_span.take());
+    }
+    shared.obs.batch_depth_worker.observe(batch.len() as u64);
+    shared.obs.path_worker.add(batch.len() as u64);
     let snap = shared.current();
     let mut embeddings: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
     {
@@ -932,7 +1161,7 @@ fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
         // Entries are only valid for the snapshot they were computed
         // under; after a swap the batch recomputes everything.
         if cache.generation() == snap.generation() {
-            for (slot, r) in embeddings.iter_mut().zip(batch) {
+            for (slot, r) in embeddings.iter_mut().zip(batch.iter()) {
                 *slot = cache.get(r.fingerprint).map(<[f32]>::to_vec);
             }
         }
@@ -952,7 +1181,10 @@ fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
             });
         }
         let graphs: Vec<&FeatureGraph> = unique.iter().map(|&i| &batch[i].graph).collect();
-        let fresh = snap.embed_graph_batch(&graphs);
+        let fresh = {
+            let _encode = shared.obs.encode_ns_worker.start_span();
+            snap.embed_graph_batch(&graphs)
+        };
         {
             let mut cache = plock(&shared.cache);
             for (&i, emb) in unique.iter().zip(&fresh) {
@@ -981,7 +1213,11 @@ fn process_batch<B: AdvisorBackend>(shared: &Shared<B>, batch: &[Request]) {
             exclude: usize::MAX,
         })
         .collect();
-    match snap.predict_batch(&reqs) {
+    let answers = {
+        let _vote = shared.obs.vote_ns_worker.start_span();
+        snap.predict_batch(&reqs)
+    };
+    match answers {
         Ok(answers) => {
             for (i, (r, (model, scores))) in batch.iter().zip(answers).enumerate() {
                 // A dropped receiver (client gave up) is not an error.

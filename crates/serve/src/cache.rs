@@ -69,6 +69,52 @@ pub fn graph_fingerprint(g: &FeatureGraph) -> u64 {
     h ^ (h >> 29)
 }
 
+/// Why an insert was refused. Returned by the admission decision so the
+/// cache can count each reason distinctly — a first touch under
+/// second-touch admission is *policy working as intended*, while a storm
+/// of stale-generation rejects means batches keep racing snapshot swaps,
+/// and conflating the two hides both signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Stored (or refreshed an existing entry).
+    Admitted,
+    /// Second-touch admission is on and this was the key's first insert:
+    /// the fingerprint was recorded, the value dropped.
+    RejectedFirstTouch,
+    /// The insert carried a generation other than the cache's (an
+    /// in-flight batch raced a snapshot swap); the value was dropped.
+    RejectedStaleGeneration,
+    /// The cache is disabled (capacity 0).
+    RejectedDisabled,
+}
+
+/// Lifetime cache counters (monotonic; reset only with the cache itself).
+/// This is the cache's *own* ledger, counted where the decisions happen:
+/// `hits`/`misses` cover actual lookups (the service additionally counts
+/// generation-mismatch rounds as misses without consulting the cache —
+/// see `ServiceStats` — so the two views legitimately differ), and the
+/// reject counters split by [`Admission`] reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned an embedding.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Inserts that stored or refreshed an entry.
+    pub inserts: u64,
+    /// Inserts refused because second-touch admission recorded a first
+    /// touch.
+    pub rejected_first_touch: u64,
+    /// Inserts refused because they carried a stale generation.
+    pub rejected_stale_generation: u64,
+    /// Inserts refused because the cache is disabled (capacity 0).
+    pub rejected_disabled: u64,
+    /// Entries currently resident.
+    pub resident: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
 /// Slot of the intrusive LRU list.
 struct Slot {
     key: u64,
@@ -111,6 +157,10 @@ pub struct EmbeddingCache {
     /// `seen_cap`); overflow resets it, which only costs extra first
     /// touches, never correctness.
     seen_once: HashSet<u64>,
+    /// Hit/miss/insert/reject ledger. Plain integers: every path that
+    /// updates them already holds the service's cache mutex, so counting
+    /// costs nothing extra and needs no atomics.
+    counters: CacheStats,
 }
 
 impl EmbeddingCache {
@@ -126,6 +176,7 @@ impl EmbeddingCache {
             generation,
             second_touch: false,
             seen_once: HashSet::new(),
+            counters: CacheStats::default(),
         }
     }
 
@@ -183,12 +234,20 @@ impl EmbeddingCache {
         self.head = i;
     }
 
-    /// Looks up an embedding, refreshing its recency on a hit. Hit/miss
-    /// accounting lives in the service's atomic counters
-    /// ([`ServiceStats`](crate::ServiceStats)), not here — one source of
-    /// truth.
+    /// Looks up an embedding, refreshing its recency on a hit. The cache
+    /// counts its own hits and misses (see [`CacheStats`]); the service's
+    /// [`ServiceStats`](crate::ServiceStats) counts per-request outcomes,
+    /// which also cover rounds that never consult the cache (generation
+    /// mismatch).
     pub fn get(&mut self, key: u64) -> Option<&[f32]> {
-        let i = self.map.get(&key).copied()?;
+        let i = match self.map.get(&key).copied() {
+            Some(i) => i,
+            None => {
+                self.counters.misses += 1;
+                return None;
+            }
+        };
+        self.counters.hits += 1;
         if self.head != i {
             self.unlink(i);
             self.link_front(i);
@@ -200,28 +259,40 @@ impl EmbeddingCache {
     /// `generation`, evicting the least recently used entry when at
     /// capacity. Inserts from a stale generation are dropped (see the
     /// `generation` field).
-    pub fn insert(&mut self, generation: u64, key: u64, value: Vec<f32>) {
-        if self.admits(generation, key) {
+    pub fn insert(&mut self, generation: u64, key: u64, value: Vec<f32>) -> Admission {
+        let a = self.admits(generation, key);
+        if a == Admission::Admitted {
             self.store(key, value);
         }
+        a
     }
 
     /// Like [`Self::insert`] for callers holding a borrowed embedding:
     /// the admission decision runs first, so a rejected insert (stale
     /// generation, first touch under second-touch admission) costs no
     /// clone at all.
-    pub fn insert_ref(&mut self, generation: u64, key: u64, value: &[f32]) {
-        if self.admits(generation, key) {
+    pub fn insert_ref(&mut self, generation: u64, key: u64, value: &[f32]) -> Admission {
+        let a = self.admits(generation, key);
+        if a == Admission::Admitted {
             self.store(key, value.to_vec());
         }
+        a
     }
 
-    /// The admission decision, including second-touch bookkeeping: `false`
+    /// The admission decision, including second-touch bookkeeping and the
+    /// per-reason reject counters: anything but [`Admission::Admitted`]
     /// means the value must be dropped (and, on a first touch, that its
-    /// fingerprint was recorded for next time).
-    fn admits(&mut self, generation: u64, key: u64) -> bool {
-        if self.capacity == 0 || generation != self.generation {
-            return false;
+    /// fingerprint was recorded for next time). The checks are ordered so
+    /// each reject is attributed to exactly one reason — disabled before
+    /// stale generation before first touch.
+    fn admits(&mut self, generation: u64, key: u64) -> Admission {
+        if self.capacity == 0 {
+            self.counters.rejected_disabled += 1;
+            return Admission::RejectedDisabled;
+        }
+        if generation != self.generation {
+            self.counters.rejected_stale_generation += 1;
+            return Admission::RejectedStaleGeneration;
         }
         if self.second_touch && !self.map.contains_key(&key) {
             if self.seen_once.len() >= self.seen_cap() {
@@ -229,12 +300,23 @@ impl EmbeddingCache {
             }
             if self.seen_once.insert(key) {
                 // First touch: remember the fingerprint, keep the slot.
-                return false;
+                self.counters.rejected_first_touch += 1;
+                return Admission::RejectedFirstTouch;
             }
             // Second touch: admit and forget the marker.
             self.seen_once.remove(&key);
         }
-        true
+        self.counters.inserts += 1;
+        Admission::Admitted
+    }
+
+    /// The cache's lifetime counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident: self.map.len(),
+            capacity: self.capacity,
+            ..self.counters
+        }
     }
 
     fn store(&mut self, key: u64, value: Vec<f32>) {
@@ -393,6 +475,42 @@ mod tests {
             c.insert(1, k, vec![0.0]);
         }
         assert!(c.seen_once.len() <= cap.max(1024));
+    }
+
+    #[test]
+    fn stats_count_each_reject_reason_distinctly() {
+        // Disabled cache: rejects attribute to `disabled`, not stale-gen.
+        let mut off = EmbeddingCache::new(0, 0);
+        assert_eq!(off.insert(5, 1, vec![1.0]), Admission::RejectedDisabled);
+        assert_eq!(off.stats().rejected_disabled, 1);
+        assert_eq!(off.stats().rejected_stale_generation, 0);
+
+        let mut c = EmbeddingCache::new(4, 0).with_second_touch(true);
+        // First touch is a first-touch reject, NOT a stale-generation one
+        // (the historical conflation this counter split exists to fix).
+        assert_eq!(c.insert(0, 1, vec![1.0]), Admission::RejectedFirstTouch);
+        // Stale generation is counted as its own reason — even for a key
+        // whose first touch was already recorded.
+        assert_eq!(
+            c.insert(9, 1, vec![1.0]),
+            Admission::RejectedStaleGeneration
+        );
+        assert_eq!(c.insert(0, 1, vec![1.0]), Admission::Admitted);
+        let _ = c.get(1); // hit
+        let _ = c.get(2); // miss
+        let s = c.stats();
+        assert_eq!(
+            (
+                s.hits,
+                s.misses,
+                s.inserts,
+                s.rejected_first_touch,
+                s.rejected_stale_generation,
+                s.rejected_disabled,
+            ),
+            (1, 1, 1, 1, 1, 0)
+        );
+        assert_eq!((s.resident, s.capacity), (1, 4));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::shard::ShardedAdvisor;
 use autoce::online::{online_update_config, DriftDetector};
 use ce_features::{extract_features, FeatureGraph};
-use ce_gnn::train::train_encoder_incremental;
+use ce_gnn::train::train_encoder_incremental_observed;
 use ce_storage::Dataset;
 use ce_testbed::{label_dataset, DatasetLabel, TestbedConfig};
 use rand::rngs::StdRng;
@@ -113,6 +113,7 @@ impl ShardedAdvisor {
                 encoder,
                 shards,
                 directory,
+                metrics,
                 ..
             } = self;
             let graphs: Vec<&FeatureGraph> = ids
@@ -122,7 +123,18 @@ impl ShardedAdvisor {
                     &shards[s].entries[t].graph
                 })
                 .collect();
-            train_encoder_incremental(encoder, &graphs, &labels, &cfg, seed ^ 0x0ada);
+            // The observed trainer lands refresh/train phase timings
+            // (`ce_gnn_train_phase_ns`, pool checkout stats) in the same
+            // registry as the serving metrics; with the default disabled
+            // registry it is identical to the plain trainer.
+            train_encoder_incremental_observed(
+                encoder,
+                &graphs,
+                &labels,
+                &cfg,
+                seed ^ 0x0ada,
+                metrics,
+            );
         }
         self.refresh_embeddings();
         self.bump_generation();

@@ -32,6 +32,7 @@ use ce_gnn::{GinEncoder, StackedCtx};
 use ce_models::ModelKind;
 use ce_nn::matrix::euclidean;
 use ce_nn::Matrix;
+use ce_obs::{MetricsRegistry, LATENCY_NS_BUCKETS};
 use ce_storage::Dataset;
 use ce_testbed::{DatasetLabel, MetricWeights};
 use rayon::prelude::*;
@@ -139,6 +140,11 @@ pub struct ShardedAdvisor {
     /// in global-index order (global ids are never reused).
     pub(crate) directory: Vec<(usize, usize)>,
     generation: u64,
+    /// Registry the refresh/adaptation paths record into (default:
+    /// disabled). [`AdvisorService::adapt`](crate::AdvisorService) wires
+    /// its own registry in before adapting, so refresh/train phase timings
+    /// land in the same snapshot as the serving metrics.
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl ShardedAdvisor {
@@ -172,6 +178,7 @@ impl ShardedAdvisor {
             shards,
             directory,
             generation: 0,
+            metrics: MetricsRegistry::disabled(),
         };
         // Pre-warm the serving chunks at construction: packing is pure
         // data movement (no floats change), and doing it here keeps the
@@ -228,6 +235,15 @@ impl ShardedAdvisor {
 
     pub(crate) fn bump_generation(&mut self) {
         self.generation += 1;
+    }
+
+    /// Points the refresh/adaptation instrumentation at `registry`:
+    /// embedding refreshes record `ce_serve_refresh_ns` and incremental
+    /// DML updates record the `ce_gnn_*` training metrics there. A
+    /// disabled registry (the default) makes every site a no-op; the
+    /// query hot path is unaffected either way.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        self.metrics = registry;
     }
 
     /// The RCS entry at a global index.
@@ -354,6 +370,13 @@ impl ShardedAdvisor {
     /// (rebuilt only where membership changed) with the refresh fanned out
     /// over the rayon pool. Bit-identical to per-graph encoding.
     pub fn refresh_embeddings(&mut self) {
+        // Refresh is a cold path (it follows a retrain), so registering
+        // the histogram here — under the registry's own mutex, never a
+        // serving lock — is fine.
+        let _span = self
+            .metrics
+            .histogram("ce_serve_refresh_ns", &[], LATENCY_NS_BUCKETS)
+            .start_span();
         for shard in &mut self.shards {
             shard.rebuild_chunks();
         }

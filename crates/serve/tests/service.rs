@@ -23,6 +23,7 @@ fn serve_config() -> ServeConfig {
         admit_on_second_touch: false,
         reservoir_capacity: 4,
         seed: 99,
+        ..ServeConfig::default()
     }
 }
 
@@ -322,4 +323,80 @@ fn second_touch_admission_caches_on_reuse_only() {
         vec![false, false, true],
         "miss (record), miss (admit), hit"
     );
+}
+
+/// The observability side channel: an instrumented service exposes phase
+/// histograms, path counters and the cache ledger through
+/// `metrics_snapshot()` — and recording changes no recommendation bit
+/// (every answer is still compared against the flat advisor).
+#[test]
+fn metrics_snapshot_reports_instrumented_serving() {
+    let (datasets, flat) = common::trained_advisor(6, 0x0b5e);
+    let w = MetricWeights::new(0.8);
+    let registry = autoce::MetricsRegistry::new();
+    let cfg = ServeConfig {
+        metrics: registry.clone(),
+        inline_burst_misses: 2,
+        ..serve_config()
+    };
+    let service = AdvisorService::start(ShardedAdvisor::from_advisor(&flat, 2), cfg);
+    let handle = service.handle();
+    let graphs: Vec<_> = datasets
+        .iter()
+        .map(|ds| extract_features(ds, &flat.config.feature))
+        .collect();
+    // A cold burst (inline path), then the same burst again (cache hits).
+    for round in 0..2 {
+        let recs = handle
+            .recommend_graphs(graphs.clone(), w)
+            .expect("burst served");
+        for (g, r) in graphs.iter().zip(&recs) {
+            let x = flat.embed_graph(g);
+            assert_eq!(
+                (r.model, &r.scores),
+                {
+                    let (m, s) = flat.predict_from_embedding(&x, w);
+                    (m, &s.clone())
+                },
+                "metrics must not change answer bits (round {round})"
+            );
+        }
+    }
+    let snap = service.metrics_snapshot();
+    // Path counters: every request went inline (cold) or cache-hit (warm).
+    assert_eq!(
+        snap.counter("ce_serve_path_requests_total", &[("path", "inline")]),
+        datasets.len() as u64
+    );
+    assert_eq!(
+        snap.counter("ce_serve_path_requests_total", &[("path", "cache_hit")]),
+        datasets.len() as u64
+    );
+    // Phase histograms observed the inline batch and both vote rounds.
+    let (encode_sum, encode_count) =
+        snap.histogram_totals("ce_serve_encode_ns", &[("path", "inline")]);
+    assert_eq!(encode_count, 1, "one stacked forward for the cold burst");
+    assert!(encode_sum > 0, "wall-clock encode span must be nonzero");
+    let (_, vote_hits) = snap.histogram_totals("ce_serve_vote_ns", &[("path", "cache_hit")]);
+    assert_eq!(vote_hits, 1, "one batched vote over the warm burst");
+    let (_, depth_count) = snap.histogram_totals("ce_serve_batch_depth", &[("path", "inline")]);
+    assert_eq!(depth_count, 1);
+    // Ledger samples mirror ServiceStats / CacheStats.
+    let stats = service.stats();
+    assert_eq!(snap.counter("ce_serve_requests_total", &[]), stats.requests);
+    assert_eq!(
+        snap.counter("ce_serve_cache_hits_total", &[]),
+        datasets.len() as u64
+    );
+    let cache = service.cache_stats();
+    assert_eq!(cache.inserts, datasets.len() as u64);
+    assert_eq!(
+        snap.counter("ce_serve_cache_inserts_total", &[]),
+        cache.inserts
+    );
+    // Stable exposition: render → parse → render must be byte-identical.
+    let text = snap.render_prometheus();
+    let reparsed = autoce::MetricsSnapshot::from_bytes(&snap.to_bytes()).expect("binary codec");
+    assert_eq!(reparsed.render_prometheus(), text);
+    drop(service);
 }

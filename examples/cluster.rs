@@ -9,7 +9,7 @@
 use autoce_suite::autoce::{AutoCe, AutoCeConfig};
 use autoce_suite::cluster::{
     maybe_run_shard_server_from_args, spawn_shard_process, ClusterConfig, ClusterCoordinator,
-    Connector, TcpConnector,
+    Connector, MetricsRegistry, TcpConnector,
 };
 use autoce_suite::datagen::{generate_batch, DatasetSpec};
 use autoce_suite::gnn::DmlConfig;
@@ -68,9 +68,13 @@ fn main() {
     }
     // Builder-validated config: bad geometry (zero deadline with retries,
     // zero demote_after) is rejected here, not as a hang at request time.
+    // The registry turns on per-range RTT/failover counters (see
+    // docs/observability.md); default is disabled and free.
+    let registry = MetricsRegistry::new();
     let cfg = ClusterConfig::builder()
         .request_deadline(Duration::from_millis(250))
         .demote_after(3)
+        .metrics(registry.clone())
         .build()
         .expect("valid cluster config");
     let coord = ClusterCoordinator::new(sharded.clone(), vec![replicas], cfg);
@@ -101,6 +105,27 @@ fn main() {
         );
     }
     println!("{}", coord.heartbeat().report());
+
+    // The coordinator's own counters saw the failover; the cluster-wide
+    // aggregation additionally pulls each live shard's counters over the
+    // v2 metrics step, tagged range/replica (the dead replica is
+    // silently skipped — observing never changes behavior).
+    let local = coord.metrics();
+    println!(
+        "coordinator metrics (range 0): {} failovers, {} replica failures, {} retries",
+        local.counter("ce_cluster_failovers_total", &[("range", "0")]),
+        local.counter("ce_cluster_replica_failures_total", &[("range", "0")]),
+        local.counter("ce_cluster_retries_total", &[("range", "0")]),
+    );
+    let agg = coord.cluster_metrics();
+    println!("aggregated shard metrics (excerpt, non-zero):");
+    for line in agg
+        .render_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("ce_shard_requests_total") && !l.ends_with(" 0"))
+    {
+        println!("  {line}");
+    }
 
     coord.shutdown_cluster();
     for mut child in children.into_iter().skip(1) {

@@ -9,7 +9,7 @@ use autoce_suite::autoce::{AutoCe, AutoCeConfig};
 use autoce_suite::datagen::{generate_batch, generate_dataset, DatasetSpec, SpecRange};
 use autoce_suite::gnn::DmlConfig;
 use autoce_suite::models::ModelKind;
-use autoce_suite::serve::{AdvisorService, ServeConfig, ShardedAdvisor};
+use autoce_suite::serve::{AdvisorService, MetricsRegistry, ServeConfig, ShardedAdvisor};
 use autoce_suite::testbed::{label_datasets, MetricWeights, TestbedConfig};
 use autoce_suite::workload::WorkloadSpec;
 use rand::rngs::StdRng;
@@ -55,13 +55,17 @@ fn main() {
         sharded.shards().iter().map(|s| s.len()).collect::<Vec<_>>()
     );
     // Builder-validated config: zero batch/queue/reservoir sizes are
-    // rejected at build time instead of wedging the worker later.
+    // rejected at build time instead of wedging the worker later. The
+    // registry turns on phase histograms and path counters (see
+    // docs/observability.md); the default is disabled and free.
+    let registry = MetricsRegistry::new();
     let service = AdvisorService::start(
         sharded,
         ServeConfig::builder()
             .max_batch(8)
             .batch_deadline(Duration::from_millis(2))
             .reservoir_capacity(8)
+            .metrics(registry.clone())
             .build()
             .expect("valid serve config"),
     );
@@ -145,6 +149,26 @@ fn main() {
     println!(
         "post-adaptation recommendation for tenant-odd: {}",
         rec.model
+    );
+
+    // The unified exposition: the registry's phase histograms and path
+    // counters plus the service/cache ledgers, rendered as Prometheus
+    // text in stable order. An excerpt of the counters this run moved:
+    let snap = service.handle().metrics_snapshot();
+    println!("\nmetrics exposition (excerpt):");
+    for line in snap.render_prometheus().lines().filter(|l| {
+        l.starts_with("ce_serve_path_requests_total")
+            || l.starts_with("ce_serve_snapshot_swaps_total")
+            || l.starts_with("ce_serve_cache_resident")
+            || l.starts_with("ce_gnn_train_batches_total")
+    }) {
+        println!("  {line}");
+    }
+    let (encode_ns, encode_batches) =
+        snap.histogram_totals("ce_serve_encode_ns", &[("path", "worker")]);
+    println!(
+        "  worker stacked-encode: {encode_batches} batches, {:.1} µs mean",
+        encode_ns as f64 * 1e-3 / encode_batches.max(1) as f64
     );
     service.shutdown();
 }

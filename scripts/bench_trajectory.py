@@ -41,11 +41,30 @@ PAIRS = [
 # means the bench stopped recording provenance (e.g. which wire protocol
 # version the cluster numbers were measured under) and fails the job.
 REQUIRED_FIELDS = {
-    "BENCH_cluster.json": ["protocol_version"],
+    "BENCH_cluster.json": ["protocol_version", "snapshot_rtt_ns_per_request"],
+    # The instrumented-vs-disabled serving ratio: the bench gates it at
+    # 1.03x; losing the field means the gate stopped being measured.
+    "BENCH_serve.json": ["obs_overhead_ratio"],
 }
+
+# Cross-checks between a hand-timed wall measurement and the same cost as
+# derived from the ce-obs registry's phase histograms (see
+# docs/observability.md). The two attribute the same work two independent
+# ways, so a large disagreement means one of them has drifted from the
+# real serving path — warn, since shared runners add noise on top of the
+# inherent attribution gap (clock reads, timer resolution).
+CONSISTENCY = [
+    # (artifact, snapshot-derived field, wall-clock field): loopback RTT
+    # dominates cluster serving, so registry RTT-per-request should match
+    # end-to-end wall time per request.
+    ("BENCH_cluster.json", "snapshot_rtt_ns_per_request", "cluster_ns_per_request"),
+]
 
 # Warn when measured/baseline drops below this.
 REGRESSION_RATIO = 0.85
+
+# Warn when snapshot-derived and wall-clock attribution disagree by more.
+CONSISTENCY_TOLERANCE = 0.15
 
 
 def main() -> int:
@@ -88,6 +107,29 @@ def main() -> int:
                 print(f"::warning::perf trajectory regression >15%: {line}")
             else:
                 print(f"ok: {line}")
+    for path, derived_key, wall_key in CONSISTENCY:
+        if not os.path.exists(path):
+            continue  # already reported as a missing artifact above
+        with open(path) as f:
+            new = json.load(f)
+        if derived_key not in new or wall_key not in new:
+            print(f"::error::{path}: consistency pair {derived_key}/{wall_key} incomplete")
+            failed = True
+            continue
+        derived, wall = float(new[derived_key]), float(new[wall_key])
+        if wall <= 0:
+            print(f"::error::{path}:{wall_key} is non-positive ({wall})")
+            failed = True
+            continue
+        drift = abs(derived / wall - 1.0)
+        line = (
+            f"{path}: registry-derived {derived_key} = {derived:.0f}ns vs "
+            f"wall {wall_key} = {wall:.0f}ns (drift {drift:.0%})"
+        )
+        if drift > CONSISTENCY_TOLERANCE:
+            print(f"::warning::bench/metrics attribution disagree >15%: {line}")
+        else:
+            print(f"ok: {line}")
     return 1 if failed else 0
 
 
