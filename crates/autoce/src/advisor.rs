@@ -11,12 +11,15 @@
 //! one dispatch per graph per layer. The stacked path is bit-identical to
 //! per-graph encoding, so switching it in changes no recommendation.
 
+use crate::backend::AdvisorError;
 use crate::incremental::{run_incremental_learning, IncrementalConfig};
+use crate::index::{IndexConfig, IndexState};
 use ce_features::{extract_features, FeatureConfig, FeatureGraph};
 use ce_gnn::{train_encoder, DmlConfig, GinEncoder, StackedCtx};
 use ce_models::ModelKind;
 use ce_nn::matrix::euclidean;
 use ce_nn::Matrix;
+use ce_obs::MetricsRegistry;
 use ce_storage::Dataset;
 use ce_testbed::score::best_index;
 use ce_testbed::{DatasetLabel, MetricWeights};
@@ -138,6 +141,12 @@ where
     (first.kinds[best], avg)
 }
 
+/// The flat advisor's serving generation: it has no snapshot-swap
+/// discipline of its own, so the generation never advances and index
+/// staleness is carried entirely by the RCS-length half of the tag
+/// (membership pushes) plus eager rebuild-on-refresh (embedding changes).
+pub(crate) const FLAT_GENERATION: u64 = 0;
+
 /// The trained advisor.
 pub struct AutoCe {
     /// Configuration it was trained with.
@@ -149,6 +158,11 @@ pub struct AutoCe {
     /// block-diagonal CSR + offsets) survives every encoder update; only
     /// RCS membership changes invalidate it.
     serving: Option<Vec<StackedCtx>>,
+    /// Optional two-stage KNN index ([`crate::index`]): built on
+    /// [`Self::refresh_embeddings`], invalidated by RCS pushes, and
+    /// bypassed (via its generation tag) whenever it is stale — so the
+    /// flat advisor's answers never depend on index freshness.
+    index: Option<IndexState>,
 }
 
 impl AutoCe {
@@ -213,6 +227,7 @@ impl AutoCe {
             encoder,
             rcs: entries,
             serving: None,
+            index: None,
         }
     }
 
@@ -268,6 +283,20 @@ impl AutoCe {
         exclude: usize,
     ) -> (ModelKind, Vec<f64>) {
         assert!(!self.rcs.is_empty(), "empty RCS");
+        let selectable = self.rcs.len() - usize::from(exclude < self.rcs.len());
+        assert!(
+            selectable > 0,
+            "KNN needs at least one non-excluded RCS entry"
+        );
+        let k = self.config.k.clamp(1, selectable);
+        // Two-stage index first: when it answers, the candidate list is
+        // provably the flat scan's top k (same exact distances, same
+        // [`knn_order`] ranking), so the vote below sees identical input
+        // either way. A stale or inadmissible index yields `None` and the
+        // flat scan serves the query.
+        if let Some(topk) = self.indexed_topk(embedding, k, exclude) {
+            return knn_vote(topk.iter().map(|&(i, _)| &self.rcs[i]), k, w);
+        }
         let mut dists: Vec<(usize, f32)> = self
             .rcs
             .iter()
@@ -275,20 +304,30 @@ impl AutoCe {
             .filter(|(i, _)| *i != exclude)
             .map(|(i, e)| (i, euclidean(embedding, &e.embedding)))
             .collect();
-        assert!(
-            !dists.is_empty(),
-            "KNN needs at least one non-excluded RCS entry"
-        );
         // Partial selection: only the k nearest need ordering; sorting the
         // whole RCS per query is wasted work on the serving path. The
         // comparator is a strict total order, so the selected prefix is
         // uniquely determined regardless of input order.
-        let k = self.config.k.clamp(1, dists.len());
         if k < dists.len() {
             dists.select_nth_unstable_by(k - 1, knn_order);
         }
         dists[..k].sort_unstable_by(knn_order);
         knn_vote(dists[..k].iter().map(|&(i, _)| &self.rcs[i]), k, w)
+    }
+
+    /// The indexed top-k, if an index is installed, fresh (tag check) and
+    /// admissible for this query.
+    fn indexed_topk(
+        &self,
+        embedding: &[f32],
+        k: usize,
+        exclude: usize,
+    ) -> Option<Vec<(usize, f32)>> {
+        let idx = self
+            .index
+            .as_ref()?
+            .current(FLAT_GENERATION, self.rcs.len())?;
+        idx.query_topk(embedding, k, exclude, |i| self.rcs[i].embedding.as_slice())
     }
 
     /// Full Stage-4 recommendation for a dataset.
@@ -310,10 +349,47 @@ impl AutoCe {
 
     /// Adds a freshly labeled dataset to the RCS (online adapting, §V-E).
     pub fn push_rcs_entry(&mut self, graph: FeatureGraph, label: &DatasetLabel) {
-        // RCS membership changed; the stacked serving chunks are stale.
+        // RCS membership changed; the stacked serving chunks are stale,
+        // and so is any KNN index (its length tag would bypass it — the
+        // invalidation just frees the memory immediately).
         self.serving = None;
+        if let Some(state) = &mut self.index {
+            state.invalidate();
+        }
         let embedding = self.encoder.encode(&graph);
         self.rcs.push(RcsEntry::from_label(graph, label, embedding));
+    }
+
+    /// Installs (or replaces) a two-stage KNN index configuration and
+    /// builds the index over the current embeddings. Counters land in
+    /// `metrics`; pass a disabled registry for free no-ops.
+    ///
+    /// Rejects a cutover below the advisor's `k` — correctness never
+    /// depends on this (an index short of `k` candidates falls back),
+    /// it is builder-style validation like the serve/cluster configs.
+    pub fn set_index_config(
+        &mut self,
+        cfg: IndexConfig,
+        metrics: MetricsRegistry,
+    ) -> Result<(), AdvisorError> {
+        cfg.validate_for_k(self.config.k)?;
+        self.index = Some(IndexState::new(cfg, metrics));
+        self.rebuild_index();
+        Ok(())
+    }
+
+    /// The installed index configuration, if any.
+    pub fn index_config(&self) -> Option<&IndexConfig> {
+        self.index.as_ref().map(IndexState::config)
+    }
+
+    /// Rebuilds the KNN index over the live embeddings (no-op without an
+    /// installed configuration, empty below the cutover).
+    fn rebuild_index(&mut self) {
+        if let Some(state) = &mut self.index {
+            let embeddings: Vec<&[f32]> = self.rcs.iter().map(|e| e.embedding.as_slice()).collect();
+            state.rebuild(&embeddings, FLAT_GENERATION);
+        }
     }
 
     /// Reassembles an advisor from its parts — the inverse of
@@ -327,6 +403,7 @@ impl AutoCe {
             encoder,
             rcs,
             serving: None,
+            index: None,
         }
     }
 
@@ -375,6 +452,10 @@ impl AutoCe {
             e.embedding.extend_from_slice(row);
         }
         assert!(rows.next().is_none(), "pooled rows must match RCS size");
+        // Embeddings moved; rebuild the index over them in the same
+        // mutation scope, so a caller holding `&self` can never observe a
+        // refreshed RCS under a pre-refresh index or vice versa.
+        self.rebuild_index();
     }
 
     /// Embeds many datasets at once: features are extracted in parallel and

@@ -207,6 +207,24 @@ pub trait AdvisorBackend: Send + Sync {
     /// version marker (generation or epoch).
     fn refresh(&mut self) -> Result<u64, AdvisorError>;
 
+    /// Installs a two-stage KNN index configuration
+    /// ([`crate::index::IndexConfig`]) on backends that scan embeddings
+    /// locally; counters land in `metrics`. Purely a performance knob —
+    /// the bit-determinism contract above holds with or without an index
+    /// (indexed answers are provably the flat scan's, stale or
+    /// inadmissible indexes fall back). The default ignores the request:
+    /// backends whose scans happen remotely (the cluster coordinator's
+    /// shard servers hold their own operator-side index config) have
+    /// nothing to install here.
+    fn install_index(
+        &mut self,
+        cfg: &crate::index::IndexConfig,
+        metrics: &ce_obs::MetricsRegistry,
+    ) -> Result<(), AdvisorError> {
+        let _ = (cfg, metrics);
+        Ok(())
+    }
+
     /// Observability hook: a point-in-time [`MetricsSnapshot`] of
     /// whatever this backend instruments. Strictly a read-only side
     /// channel — implementations must not take serving locks, change any
@@ -276,6 +294,14 @@ impl AdvisorBackend for AutoCe {
     fn refresh(&mut self) -> Result<u64, AdvisorError> {
         self.refresh_embeddings();
         Ok(AdvisorBackend::generation(self))
+    }
+
+    fn install_index(
+        &mut self,
+        cfg: &crate::index::IndexConfig,
+        metrics: &ce_obs::MetricsRegistry,
+    ) -> Result<(), AdvisorError> {
+        self.set_index_config(cfg.clone(), metrics.clone())
     }
 }
 

@@ -17,17 +17,22 @@
 
 //! * [`backend`]: the unified [`AdvisorBackend`] query surface every
 //!   serving tier (flat, sharded, clustered) implements, plus the shared
-//!   [`AdvisorError`] taxonomy.
+//!   [`AdvisorError`] taxonomy;
+//! * [`index`]: the two-stage deterministic KNN index (coarse IVF probe +
+//!   exact re-rank under [`knn_order`]) that keeps serving sub-linear in
+//!   RCS size while staying bit-identical to the flat scan.
 
 pub mod advisor;
 pub mod backend;
 pub mod baselines;
 pub mod beta;
 pub mod incremental;
+pub mod index;
 pub mod online;
 
 pub use advisor::{knn_order, knn_vote, AutoCe, AutoCeConfig, RcsEntry};
 pub use backend::{validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest};
+pub use index::{IndexConfig, IndexConfigBuilder, IndexState, KnnIndex, QuantMode};
 // Observability types surface through the backend trait; re-export them so
 // backend consumers need not name `ce-obs` directly.
 pub use baselines::{

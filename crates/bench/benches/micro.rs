@@ -99,6 +99,28 @@ fn time_ns(f: &mut dyn FnMut()) -> f64 {
     t.elapsed().as_nanos() as f64
 }
 
+/// Read-merge-write of a shared BENCH_*.json artifact: each bench
+/// contributes its own keys without clobbering what another bench in the
+/// same (or an earlier) run recorded into the same file.
+fn write_bench_json_merged(path: &str, record: serde_json::Value) {
+    let mut root = match std::fs::read(path)
+        .ok()
+        .and_then(|b| serde_json::from_slice(&b).ok())
+    {
+        Some(v @ serde_json::Value::Object(_)) => v,
+        _ => serde_json::json!({}),
+    };
+    if let (serde_json::Value::Object(dst), serde_json::Value::Object(src)) = (&mut root, &record) {
+        for (k, v) in src.iter() {
+            dst.insert(k.clone(), v.clone());
+        }
+    }
+    if let Ok(bytes) = serde_json::to_vec_pretty(&root) {
+        let _ = std::fs::write(path, bytes);
+        println!("[bench] wrote {path}");
+    }
+}
+
 fn bench_optimizer(c: &mut Criterion) {
     if !criterion::filter_allows("optimize_query_dp") {
         return;
@@ -689,10 +711,7 @@ fn bench_advisor_service(c: &mut Criterion) {
         "threads": rayon::current_num_threads()
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    if let Ok(bytes) = serde_json::to_vec_pretty(&record) {
-        let _ = std::fs::write(path, bytes);
-        println!("[bench] wrote {path}");
-    }
+    write_bench_json_merged(path, record);
     assert!(
         speedup >= 1.5,
         "advisor service speedup gate: {speedup:.2}x < 1.5x under concurrent load"
@@ -707,12 +726,201 @@ fn bench_advisor_service(c: &mut Criterion) {
     );
 }
 
+/// The perf gate of the two-stage KNN index (`autoce::index`): indexed
+/// `predict_from_embedding` vs the flat scan at RCS sizes 10³/10⁴/10⁵.
+/// Embeddings are clustered Gaussian blobs (the regime IVF indexes are
+/// for — RCS entries from related workloads embed near each other), so
+/// the admissibility bound genuinely holds and the speedup is earned by
+/// the probed re-rank, not by silently returning different neighbors:
+/// every answer is asserted bit-identical to the flat scan *before*
+/// anything is timed, with the i8-quantized coarse stage engaged. Merges
+/// per-scale numbers and the gated `indexed_knn_speedup` (the 10⁵ point)
+/// into `BENCH_serve.json`; the flat scan stays recorded as the baseline.
+fn bench_indexed_knn(c: &mut Criterion) {
+    let names = ["knn_indexed", "knn_flat_scan"];
+    if !names.iter().any(|n| criterion::filter_allows(n)) {
+        return;
+    }
+    use autoce::{AutoCe, AutoCeConfig, IndexConfig, QuantMode, RcsEntry};
+    use ce_serve::MetricsRegistry;
+    use rand::Rng;
+
+    const DIM: usize = 32;
+    const QUERIES: usize = 64;
+    const K: usize = 8;
+    let kinds = [ModelKind::Postgres, ModelKind::LwXgb, ModelKind::LwNn];
+    let w = MetricWeights::new(0.7);
+    // (entries, partitions, probe): partitions ≈ √n, probe widened with
+    // scale so the candidate pool keeps ≥ k entries with slack.
+    let scales: [(usize, usize, usize); 3] = [(1_000, 32, 4), (10_000, 100, 4), (100_000, 256, 4)];
+    let mut per_scale = Vec::new();
+    let mut gated_speedup = f64::NAN;
+    for (n, partitions, probe) in scales {
+        let mut rng = StdRng::seed_from_u64(0x1d7 + n as u64);
+        let blob_centers: Vec<Vec<f32>> = (0..partitions)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
+            .collect();
+        let entries: Vec<RcsEntry> = (0..n)
+            .map(|i| RcsEntry {
+                name: format!("b{i}"),
+                graph: FeatureGraph {
+                    vertices: vec![vec![i as f32, 0.0, 0.0, 1.0]],
+                    edges: vec![vec![0.0]],
+                },
+                embedding: blob_centers[i % partitions]
+                    .iter()
+                    .map(|&v| v + rng.gen_range(-0.3f32..0.3))
+                    .collect(),
+                kinds: kinds.to_vec(),
+                sa: (0..3).map(|m| ((i + m) % 4) as f64 / 3.0).collect(),
+                se: (0..3).map(|m| ((i + 2 * m) % 3) as f64 / 2.0).collect(),
+            })
+            .collect();
+        let queries: Vec<Vec<f32>> = (0..QUERIES)
+            .map(|i| {
+                blob_centers[(i * 7) % partitions]
+                    .iter()
+                    .map(|&v| v + rng.gen_range(-0.3f32..0.3))
+                    .collect()
+            })
+            .collect();
+        let cfg = AutoCeConfig {
+            k: K,
+            incremental: None,
+            dml: DmlConfig {
+                hidden: vec![8],
+                embed_dim: DIM,
+                ..DmlConfig::default()
+            },
+            ..AutoCeConfig::default()
+        };
+        let flat = AutoCe::from_parts(
+            cfg.clone(),
+            GinEncoder::new(4, &[8], DIM, 17),
+            entries.clone(),
+        );
+        let mut indexed = AutoCe::from_parts(cfg, GinEncoder::new(4, &[8], DIM, 17), entries);
+        let metrics = MetricsRegistry::new();
+        indexed
+            .set_index_config(
+                IndexConfig::builder()
+                    .partitions(partitions)
+                    .probe(probe)
+                    .quant(QuantMode::I8)
+                    // Extra k-means quality at build time: a larger sample
+                    // and more refinement keep partitions near the true
+                    // blobs, which keeps probed candidate pools small.
+                    .sample_cap(16_384)
+                    .kmeans_iters(12)
+                    .build()
+                    .expect("valid index config"),
+                metrics.clone(),
+            )
+            .expect("cutover admits k");
+
+        // Gate: every timed answer must be the flat scan's exact bits —
+        // model choice and the full f64 score vector — including under
+        // exclusions (the leave-one-out path the suite uses).
+        for (qi, x) in queries.iter().enumerate() {
+            let exclude = if qi % 4 == 0 {
+                (qi * 37) % n
+            } else {
+                usize::MAX
+            };
+            let (fm, fs) = flat.predict_excluding(x, w, exclude);
+            let (im, is) = indexed.predict_excluding(x, w, exclude);
+            let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                (fm, bits(&fs)),
+                (im, bits(&is)),
+                "indexed ≠ flat at n={n}, query {qi}"
+            );
+        }
+
+        if n == 100_000 {
+            c.bench_function("knn_indexed", |b| {
+                b.iter(|| {
+                    for x in &queries {
+                        black_box(indexed.predict_from_embedding(x, w));
+                    }
+                })
+            });
+            c.bench_function("knn_flat_scan", |b| {
+                b.iter(|| {
+                    for x in &queries {
+                        black_box(flat.predict_from_embedding(x, w));
+                    }
+                })
+            });
+        }
+
+        // Speedup: sides timed in alternating rounds, minimum of each
+        // (container-noise drift hits both sides equally).
+        let (mut flat_ns, mut idx_ns) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            flat_ns = flat_ns.min(time_ns(&mut || {
+                for x in &queries {
+                    black_box(flat.predict_from_embedding(x, w));
+                }
+            }));
+            idx_ns = idx_ns.min(time_ns(&mut || {
+                for x in &queries {
+                    black_box(indexed.predict_from_embedding(x, w));
+                }
+            }));
+        }
+        let speedup = flat_ns / idx_ns.max(1.0);
+
+        // Honesty counters: the index must actually have served (not
+        // fallen back to the very scan it is being compared against).
+        let snap = metrics.snapshot();
+        let served = snap.counter("ce_index_queries_total", &[("outcome", "indexed")]);
+        let fellback = snap.counter("ce_index_queries_total", &[("outcome", "fallback")]);
+        let bypassed = snap.counter("ce_index_queries_total", &[("outcome", "bypass")]);
+        let total = (served + fellback + bypassed).max(1);
+        let fallback_rate = (fellback + bypassed) as f64 / total as f64;
+        assert!(served > 0, "index never served at n={n}");
+        println!(
+            "indexed knn: n={n} p={partitions}/{probe} → {speedup:.2}x \
+             (flat {:.0}ns/q, indexed {:.0}ns/q, fallback rate {fallback_rate:.3})",
+            flat_ns / QUERIES as f64,
+            idx_ns / QUERIES as f64,
+        );
+        if n == 100_000 {
+            gated_speedup = speedup;
+        }
+        per_scale.push(serde_json::json!({
+            "rcs": n,
+            "partitions": partitions,
+            "probe": probe,
+            "quant": "i8",
+            "flat_ns_per_query": flat_ns / QUERIES as f64,
+            "indexed_ns_per_query": idx_ns / QUERIES as f64,
+            "speedup": speedup,
+            "fallback_rate": fallback_rate,
+        }));
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    write_bench_json_merged(
+        path,
+        serde_json::json!({
+            "indexed_knn_speedup": gated_speedup,
+            "indexed_knn": per_scale,
+        }),
+    );
+    assert!(
+        gated_speedup >= 5.0,
+        "indexed KNN speedup gate: {gated_speedup:.2}x < 5x at 10^5 RCS entries"
+    );
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_gnn_engine,
         bench_embedding_service,
         bench_advisor_service,
+        bench_indexed_knn,
         bench_feature_extraction,
         bench_advisor_paths,
         bench_model_inference,

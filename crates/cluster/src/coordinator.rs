@@ -125,6 +125,12 @@ pub struct ClusterConfig {
     /// logical ticks instead of wall time and exposition replays
     /// byte-equal.
     pub metrics: MetricsRegistry,
+    /// Two-stage KNN index configuration for the coordinator's
+    /// **authority** advisor (installed at construction). Shard servers
+    /// carry their own operator-side knob ([`crate::server::ShardState::set_index_config`]);
+    /// nothing index-related crosses the wire, and indexed and flat
+    /// answers are bit-identical, so the two knobs need not agree.
+    pub index: Option<autoce::index::IndexConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -138,6 +144,7 @@ impl Default for ClusterConfig {
             seed: 0xc105,
             wire_version: PROTOCOL_VERSION,
             metrics: MetricsRegistry::disabled(),
+            index: None,
         }
     }
 }
@@ -218,6 +225,15 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the authority-side KNN index configuration (see
+    /// [`ClusterConfig::index`]). Structural validation runs at
+    /// [`Self::build`]; the `k`-dependent cutover check runs at
+    /// coordinator construction, when the authority's `k` is known.
+    pub fn index(mut self, cfg: autoce::index::IndexConfig) -> Self {
+        self.cfg.index = Some(cfg);
+        self
+    }
+
     /// Zeroes the backoff sleeps (deterministic-gauntlet mode).
     pub fn no_sleep(mut self) -> Self {
         self.cfg.backoff_base = Duration::ZERO;
@@ -244,6 +260,9 @@ impl ClusterConfigBuilder {
                 "wire_version {} is outside the supported range {}..={}",
                 self.cfg.wire_version, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION
             )));
+        }
+        if let Some(index) = &self.cfg.index {
+            index.validate()?;
         }
         Ok(self.cfg)
     }
@@ -1234,10 +1253,13 @@ impl ClusterCoordinator {
     /// invalid topology (mismatched range count, a range with zero
     /// replicas) at build time. Call [`Self::bootstrap`] before serving.
     pub fn try_new(
-        authority: ShardedAdvisor,
+        mut authority: ShardedAdvisor,
         connectors: Vec<Vec<Box<dyn Connector>>>,
         cfg: ClusterConfig,
     ) -> Result<Self, AdvisorError> {
+        if let Some(index) = &cfg.index {
+            authority.install_index(index, &cfg.metrics)?;
+        }
         if connectors.len() != authority.num_shards() {
             return Err(AdvisorError::InvalidConfig(format!(
                 "replica sets ({}) must match authority shard ranges ({})",

@@ -17,6 +17,7 @@ use crate::protocol::{
     Push, PushAck, Query, QueryBatch, ShutdownAck, Step, TopK, TopKBatch, HEADER_LEN,
     PROTOCOL_VERSION,
 };
+use autoce::index::{IndexConfig, KnnIndex};
 use autoce::knn_order;
 use ce_nn::matrix::euclidean;
 use ce_obs::{Counter, MetricsRegistry, MetricsSnapshot};
@@ -86,6 +87,17 @@ pub struct ShardState {
     /// [`Step::CoordSendMetrics`]. Counters only: enabling them cannot
     /// perturb replies or make two identically-driven shards diverge.
     obs: ShardObs,
+    /// Operator-side two-stage KNN index knob. `Some` (the default)
+    /// builds a coarse-probe index lazily over large-enough tables;
+    /// `None` serves every query by flat scan. **Not a protocol
+    /// field** — answers are bit-identical either way, so a fleet may
+    /// mix indexed and flat replicas freely.
+    index_cfg: Option<IndexConfig>,
+    /// Single-slot lazy index cache: `(epoch, version, build result)`.
+    /// Any mismatch with the queried table drops and rebuilds; a
+    /// declined build (`None`, e.g. below the cutover) is cached too so
+    /// small tables pay the decision once per version, not per query.
+    index_slot: Option<(u64, u64, Option<KnnIndex>)>,
 }
 
 impl Default for ShardState {
@@ -94,6 +106,8 @@ impl Default for ShardState {
             tables: Vec::new(),
             wire_version: PROTOCOL_VERSION,
             obs: ShardObs::new(MetricsRegistry::new()),
+            index_cfg: Some(IndexConfig::default()),
+            index_slot: None,
         }
     }
 }
@@ -109,10 +123,18 @@ impl ShardState {
     /// simulation: the binary speaks v2 but the operator holds it at v1).
     pub fn with_wire_version(wire_version: u16) -> Self {
         ShardState {
-            tables: Vec::new(),
             wire_version,
-            obs: ShardObs::new(MetricsRegistry::new()),
+            ..ShardState::default()
         }
+    }
+
+    /// Replaces the operator-side index knob (`None` forces flat
+    /// scans) and drops any cached build. Safe to flip at any time:
+    /// the indexed and flat paths answer bit-identically, so this
+    /// changes shard-local work, never wire bits.
+    pub fn set_index_config(&mut self, cfg: Option<IndexConfig>) {
+        self.index_cfg = cfg;
+        self.index_slot = None;
     }
 
     /// This shard's metrics snapshot — the same data
@@ -130,10 +152,81 @@ impl ShardState {
         self.tables.iter_mut().find(|t| t.epoch == epoch)
     }
 
+    /// Refreshes the single-slot index cache against `table`: a hit on
+    /// `(epoch, version)` is free, anything else rebuilds (or caches the
+    /// decline). Builds are refused for tables whose ids are not
+    /// strictly ascending — the index breaks distance ties by member
+    /// *position* and the flat scan by global *id*, so bit-identity
+    /// needs position order ≡ id order (always true for
+    /// coordinator-built tables; hand-built ones fall back to flat).
+    fn ensure_index(
+        slot: &mut Option<(u64, u64, Option<KnnIndex>)>,
+        cfg: Option<&IndexConfig>,
+        table: &EpochTable,
+        registry: &MetricsRegistry,
+    ) {
+        let Some(cfg) = cfg else {
+            *slot = None;
+            return;
+        };
+        let (epoch, version) = (table.epoch, table.version());
+        if matches!(slot, Some((e, v, _)) if *e == epoch && *v == version) {
+            return;
+        }
+        let built = if table.ids.windows(2).all(|w| w[0] < w[1]) {
+            let embeddings: Vec<&[f32]> = table.embeddings.iter().map(Vec::as_slice).collect();
+            KnnIndex::build(&embeddings, cfg, version, registry)
+        } else {
+            None
+        };
+        *slot = Some((epoch, version, built));
+    }
+
+    /// The cached index for `table`, when its slot key matches.
+    fn index_for<'s>(
+        slot: &'s Option<(u64, u64, Option<KnnIndex>)>,
+        table: &EpochTable,
+    ) -> Option<&'s KnnIndex> {
+        slot.as_ref().and_then(|(e, v, ix)| {
+            (*e == table.epoch && *v == table.version())
+                .then_some(ix.as_ref())
+                .flatten()
+        })
+    }
+
     /// The shard's partial top-k: up to `k` nearest non-excluded entries
     /// as `(global id, distance)`, sorted by [`knn_order`]. Mirrors
-    /// `AdvisorShard::partial_topk` operation for operation.
-    fn partial_topk(table: &EpochTable, x: &[f32], k: usize, exclude: u64) -> Vec<(u64, f32)> {
+    /// `AdvisorShard::partial_topk` operation for operation — including
+    /// the indexed fast path, which answers from the coarse probe only
+    /// when admissible and is bit-identical to the flat scan below.
+    fn partial_topk(
+        table: &EpochTable,
+        index: Option<&KnnIndex>,
+        x: &[f32],
+        k: usize,
+        exclude: u64,
+    ) -> Vec<(u64, f32)> {
+        if let Some(ix) = index {
+            if ix.tag_matches(table.version(), table.ids.len()) {
+                let local_exclude = table
+                    .ids
+                    .iter()
+                    .position(|&id| id == exclude)
+                    .unwrap_or(usize::MAX);
+                let selectable = table.ids.len() - usize::from(local_exclude != usize::MAX);
+                let k_eff = k.min(selectable);
+                if k_eff == 0 {
+                    return Vec::new();
+                }
+                if let Some(hits) =
+                    ix.query_topk(x, k_eff, local_exclude, |i| table.embeddings[i].as_slice())
+                {
+                    return hits.into_iter().map(|(m, d)| (table.ids[m], d)).collect();
+                }
+            } else {
+                ix.note_bypass();
+            }
+        }
         let mut dists: Vec<(usize, f32)> = table
             .ids
             .iter()
@@ -228,22 +321,31 @@ impl ShardState {
                 Err(e) => malformed(e),
             },
             Step::CoordSendQuery => match Query::from_frame(frame) {
-                Ok(q) => match self.tables.iter().find(|t| t.epoch == q.epoch) {
-                    Some(t) if t.version() == q.version => {
-                        let entries = Self::partial_topk(t, &q.embedding, q.k as usize, q.exclude);
+                Ok(q) => match self.tables.iter().position(|t| t.epoch == q.epoch) {
+                    Some(ti) if self.tables[ti].version() == q.version => {
+                        Self::ensure_index(
+                            &mut self.index_slot,
+                            self.index_cfg.as_ref(),
+                            &self.tables[ti],
+                            &self.obs.registry,
+                        );
+                        let t = &self.tables[ti];
+                        let index = Self::index_for(&self.index_slot, t);
+                        let entries =
+                            Self::partial_topk(t, index, &q.embedding, q.k as usize, q.exclude);
                         TopK {
                             epoch: q.epoch,
                             entries,
                         }
                         .into_frame()
                     }
-                    Some(t) => nack(
+                    Some(ti) => nack(
                         NackCode::StaleTable,
                         format!(
                             "query pins (epoch {}, version {}), have version {}",
                             q.epoch,
                             q.version,
-                            t.version()
+                            self.tables[ti].version()
                         ),
                     ),
                     None => nack(
@@ -254,14 +356,25 @@ impl ShardState {
                 Err(e) => malformed(e),
             },
             Step::CoordSendQueryBatch => match QueryBatch::from_frame(frame) {
-                Ok(b) => match self.tables.iter().find(|t| t.epoch == b.epoch) {
-                    Some(t) if t.version() == b.version => {
+                Ok(b) => match self.tables.iter().position(|t| t.epoch == b.epoch) {
+                    Some(ti) if self.tables[ti].version() == b.version => {
                         // One (epoch, version) pin covers the whole batch:
-                        // either every query answers under it, or none do.
+                        // either every query answers under it, or none do —
+                        // and one index-slot refresh covers it too.
+                        Self::ensure_index(
+                            &mut self.index_slot,
+                            self.index_cfg.as_ref(),
+                            &self.tables[ti],
+                            &self.obs.registry,
+                        );
+                        let t = &self.tables[ti];
+                        let index = Self::index_for(&self.index_slot, t);
                         let lists = b
                             .queries
                             .iter()
-                            .map(|q| Self::partial_topk(t, &q.embedding, q.k as usize, q.exclude))
+                            .map(|q| {
+                                Self::partial_topk(t, index, &q.embedding, q.k as usize, q.exclude)
+                            })
                             .collect();
                         TopKBatch {
                             epoch: b.epoch,
@@ -269,13 +382,13 @@ impl ShardState {
                         }
                         .into_frame()
                     }
-                    Some(t) => nack(
+                    Some(ti) => nack(
                         NackCode::StaleTable,
                         format!(
                             "batch pins (epoch {}, version {}), have version {}",
                             b.epoch,
                             b.version,
-                            t.version()
+                            self.tables[ti].version()
                         ),
                     ),
                     None => nack(
@@ -748,6 +861,92 @@ mod tests {
         let nack = Nack::from_frame(&pinned.handle(&crate::protocol::MetricsRequest.into_frame()))
             .expect("nack");
         assert_eq!(nack.code, NackCode::VersionSkew);
+    }
+
+    #[test]
+    fn indexed_shard_answers_flat_bits_across_versions() {
+        use crate::protocol::{BatchQuery, QueryBatch, TopKBatch};
+        // Two states over identical tables: one probing through a KNN
+        // index (cutover 1 so it engages on this small table), one
+        // pinned to flat scans. Every reply must be bit-identical —
+        // that is what lets a fleet mix indexed and flat replicas.
+        let cfg = IndexConfig::builder()
+            .partitions(3)
+            .probe(2)
+            .min_rcs_for_index(1)
+            .build()
+            .expect("valid index config");
+        let mut indexed = ShardState::new();
+        indexed.set_index_config(Some(cfg));
+        let mut flat = ShardState::new();
+        flat.set_index_config(None);
+        for s in [&mut indexed, &mut flat] {
+            s.handle(&Load(table(0, 40)).into_frame());
+        }
+        let queries: Vec<Query> = (0..12)
+            .map(|i| Query {
+                epoch: 0,
+                version: 40,
+                embedding: vec![i as f32 * 0.5, 1.0 - i as f32 * 0.25],
+                k: 5,
+                exclude: if i % 3 == 0 { i as u64 } else { u64::MAX },
+            })
+            .collect();
+        let compare = |indexed: &mut ShardState, flat: &mut ShardState, q: &Query| {
+            let a = TopK::from_frame(&indexed.handle(&q.clone().into_frame())).expect("topk");
+            let b = TopK::from_frame(&flat.handle(&q.clone().into_frame())).expect("topk");
+            assert_eq!(a.entries.len(), b.entries.len());
+            for ((ia, da), (ib, db)) in a.entries.iter().zip(&b.entries) {
+                assert_eq!(ia, ib, "id order must match the flat scan");
+                assert_eq!(da.to_bits(), db.to_bits(), "distance bits must match");
+            }
+        };
+        for q in &queries {
+            compare(&mut indexed, &mut flat, q);
+        }
+        // A push bumps the version: the slot must rebuild (not serve the
+        // stale build) and stay bit-identical.
+        for s in [&mut indexed, &mut flat] {
+            let ack = s.handle(
+                &Push {
+                    epoch: 0,
+                    version: 40,
+                    id: 40,
+                    embedding: vec![0.4, 0.6],
+                }
+                .into_frame(),
+            );
+            assert_eq!(PushAck::from_frame(&ack).expect("ack").version, 41);
+        }
+        for q in &queries {
+            let q = Query {
+                version: 41,
+                ..q.clone()
+            };
+            compare(&mut indexed, &mut flat, &q);
+        }
+        // The batch path rides the same slot.
+        let batch = QueryBatch {
+            epoch: 0,
+            version: 41,
+            queries: queries
+                .iter()
+                .map(|q| BatchQuery {
+                    embedding: q.embedding.clone(),
+                    k: q.k,
+                    exclude: q.exclude,
+                })
+                .collect(),
+        };
+        let a = TopKBatch::from_frame(&indexed.handle(&batch.clone().into_frame())).expect("batch");
+        let b = TopKBatch::from_frame(&flat.handle(&batch.into_frame())).expect("batch");
+        for (la, lb) in a.lists.iter().zip(&b.lists) {
+            assert_eq!(la.len(), lb.len());
+            for ((ia, da), (ib, db)) in la.iter().zip(lb) {
+                assert_eq!(ia, ib);
+                assert_eq!(da.to_bits(), db.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use autoce::{AdvisorBackend, AutoCe, BatchPredictRequest};
 use ce_cluster::{ClusterConfig, ClusterCoordinator, FaultPlan, ShardedAdvisor, SimNet};
 use ce_features::FeatureGraph;
 use ce_models::ModelKind;
-use ce_serve::{AdvisorService, ServeConfig};
+use ce_serve::{AdvisorService, IndexConfig, Query, ServeConfig};
 use ce_testbed::MetricWeights;
 use std::sync::Arc;
 use std::time::Duration;
@@ -195,6 +195,113 @@ fn burst_submissions_ride_the_batched_wire_path_bit_identically() {
             !coord.health().degraded(),
             "batched traffic must keep a healthy net healthy"
         );
+        service.shutdown();
+    }
+}
+
+/// The unified [`Query`] entrypoint — the single core path every
+/// `recommend*` wrapper lowers into — over every backend shape **with a
+/// two-stage KNN index installed** (via `ServeConfig::index` for the
+/// owned backends, `ClusterConfig::index` for the cluster authority):
+/// 1/2/4/8 client threads, owned and borrowed query forms, all
+/// bit-identical to the flat advisor called directly.
+#[test]
+fn unified_query_entrypoint_is_bit_identical_over_all_backends() {
+    let flat = common::synthetic_flat(11, 3);
+    let w = MetricWeights::new(0.7);
+    let want = expected(&flat, w);
+    let gs = graphs(&flat);
+    let index_cfg = || {
+        IndexConfig::builder()
+            .partitions(3)
+            .probe(2)
+            .min_rcs_for_index(4)
+            .build()
+            .expect("valid index config")
+    };
+    let indexed_serve_config = || {
+        ServeConfig::builder()
+            .max_batch(8)
+            .queue_capacity(64)
+            .cache_capacity(128)
+            .inline_burst_misses(2)
+            .seed(99)
+            .index(index_cfg())
+            .build()
+            .expect("valid serve config")
+    };
+
+    // One helper drives a service through `query` in both forms; the
+    // wrappers are covered by the other parity tests in this file.
+    fn drive<B: AdvisorBackend + 'static>(
+        service: &AdvisorService<B>,
+        gs: &[FeatureGraph],
+        want: &[(ModelKind, Vec<f64>)],
+        w: MetricWeights,
+        clients: usize,
+        label: &str,
+    ) {
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let handle = service.handle();
+                scope.spawn(move || {
+                    // Owned burst through the core path.
+                    let mut burst: Vec<FeatureGraph> = gs.to_vec();
+                    let rot = t % burst.len();
+                    burst.rotate_left(rot);
+                    let recs = handle.query(Query::graphs(burst, w)).expect("owned query");
+                    for (i, rec) in recs.into_iter().enumerate() {
+                        let j = (i + t) % want.len();
+                        assert_eq!(
+                            (rec.model, rec.scores),
+                            (want[j].0, want[j].1.clone()),
+                            "{label}: owned query, {clients} clients, thread {t}, slot {i}"
+                        );
+                    }
+                    // Borrowed burst: zero-clone on the warm path.
+                    let refs: Vec<&FeatureGraph> = gs.iter().collect();
+                    let recs = handle
+                        .query(Query::graph_refs(&refs, w))
+                        .expect("borrowed query");
+                    for (rec, want) in recs.into_iter().zip(want) {
+                        assert_eq!(
+                            (rec.model, rec.scores),
+                            (want.0, want.1.clone()),
+                            "{label}: borrowed query, {clients} clients, thread {t}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    for clients in [1usize, 2, 4, 8] {
+        let service = AdvisorService::start(common::synthetic_flat(11, 3), indexed_serve_config());
+        drive(&service, &gs, &want, w, clients, "flat+index");
+        service.shutdown();
+
+        let service = AdvisorService::start(
+            ShardedAdvisor::from_advisor(&flat, RANGES + 1),
+            indexed_serve_config(),
+        );
+        drive(&service, &gs, &want, w, clients, "sharded+index");
+        service.shutdown();
+
+        let net = SimNet::new(RANGES * REPLICAS_PER_RANGE, FaultPlan::none());
+        let coord = Arc::new(ClusterCoordinator::over_sim(
+            ShardedAdvisor::from_advisor(&flat, RANGES),
+            &net,
+            REPLICAS_PER_RANGE,
+            ClusterConfig::builder()
+                .no_sleep()
+                .index(index_cfg())
+                .build()
+                .expect("valid cluster config"),
+        ));
+        coord.bootstrap().expect("bootstrap");
+        let service = AdvisorService::start_shared(coord.clone(), serve_config());
+        drive(&service, &gs, &want, w, clients, "cluster+index");
+        assert!(!coord.health().degraded());
         service.shutdown();
     }
 }

@@ -14,10 +14,14 @@
 //!   wired together manually;
 //! * [`loss`]: MSE and softmax cross-entropy with gradients;
 //! * [`mod@kmeans`]: plain k-means (the row-clustering step of DeepDB's SPN
-//!   learner).
+//!   learner);
+//! * [`index`]: f16/i8 quantization and SIMD coarse-distance kernels for
+//!   the two-stage KNN index in `autoce::index` (coarse stage only — the
+//!   exact re-rank never touches quantized values).
 //!
 //! Everything is deterministic given a seeded `StdRng`.
 
+pub mod index;
 pub mod kmeans;
 pub mod layers;
 pub mod loss;

@@ -77,10 +77,11 @@ macro_rules! simd_kernel {
         }
     };
 }
+pub(crate) use simd_kernel;
 
 /// Cached SIMD capability: 0 = baseline, 1 = AVX2, 2 = AVX-512F.
 #[cfg(target_arch = "x86_64")]
-fn simd_level() -> u8 {
+pub(crate) fn simd_level() -> u8 {
     use std::sync::OnceLock;
     static LEVEL: OnceLock<u8> = OnceLock::new();
     *LEVEL.get_or_init(|| {

@@ -58,6 +58,13 @@ pub const LATENCY_NS_BUCKETS: &[u64] = &[
 /// two up to 1024.
 pub const DEPTH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
+/// Large-count buckets (KNN index re-rank candidates, scan lengths):
+/// powers of four up to ~1M, for populations that span "a handful" to
+/// "the whole RCS".
+pub const COUNT_BUCKETS: &[u64] = &[
+    4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
+];
+
 /// Key of one registered metric: name plus sorted label pairs. Ordered
 /// (`BTreeMap`) so snapshots come out in stable exposition order without
 /// a separate sort.

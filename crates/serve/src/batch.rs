@@ -60,6 +60,7 @@
 use crate::cache::{graph_fingerprint, CacheStats, EmbeddingCache};
 use crate::reservoir::Reservoir;
 use crate::shard::ShardedAdvisor;
+use autoce::index::IndexConfig;
 use autoce::online::DriftDetector;
 use autoce::{validate_nonzero, AdvisorBackend, AdvisorError, BatchPredictRequest};
 use ce_features::{extract_features, FeatureGraph};
@@ -136,6 +137,12 @@ pub struct ServeConfig {
     /// atomics either way, and never touches a serving lock (see
     /// `docs/observability.md`).
     pub metrics: MetricsRegistry,
+    /// Two-stage KNN index configuration, installed on the backend at
+    /// [`AdvisorService::start`] (owned backends only — a shared backend
+    /// installs its own index before being wrapped). `None` (the
+    /// default) serves every query by flat scan; see `docs/knn-index.md`
+    /// for when an index pays off.
+    pub index: Option<IndexConfig>,
 }
 
 // Manual impl: `MetricsRegistry` is deliberately opaque (handles and
@@ -152,6 +159,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("reservoir_capacity", &self.reservoir_capacity)
             .field("seed", &self.seed)
             .field("metrics_enabled", &self.metrics.is_enabled())
+            .field("index", &self.index)
             .finish()
     }
 }
@@ -168,6 +176,7 @@ impl Default for ServeConfig {
             reservoir_capacity: 64,
             seed: 0xce5e,
             metrics: MetricsRegistry::disabled(),
+            index: None,
         }
     }
 }
@@ -245,6 +254,15 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Two-stage KNN index configuration to install on the backend at
+    /// start (default: none — flat scan). Validated structurally at
+    /// [`Self::build`]; the `k`-dependent cutover check runs at install,
+    /// when the backend's `k` is known.
+    pub fn index(mut self, v: IndexConfig) -> Self {
+        self.cfg.index = Some(v);
+        self
+    }
+
     /// Validates and produces the config. `cache_capacity: 0`
     /// legitimately disables caching, but a zero `max_batch` (worker
     /// spins popping nothing), `queue_capacity` (no request is ever
@@ -254,7 +272,74 @@ impl ServeConfigBuilder {
         validate_nonzero("max_batch", self.cfg.max_batch)?;
         validate_nonzero("queue_capacity", self.cfg.queue_capacity)?;
         validate_nonzero("reservoir_capacity", self.cfg.reservoir_capacity)?;
+        if let Some(index) = &self.cfg.index {
+            index.validate()?;
+        }
         Ok(self.cfg)
+    }
+}
+
+/// One recommendation query — the single input type every public
+/// entrypoint lowers into before hitting the core serving path
+/// ([`ServeHandle::query`]). Graphs ride as `Cow`s: owned constructors
+/// move them in, [`Query::graph_refs`] borrows and clones a graph only
+/// if its request actually travels the worker queue (the one place the
+/// worker must outlive the borrow). Holding the burst in one value is
+/// what guarantees the whole group shares cache lookups, stacked
+/// forwards, and — when the backend carries one — a single index probe
+/// per distinct embedding.
+pub struct Query<'a> {
+    graphs: Vec<Cow<'a, FeatureGraph>>,
+    w: MetricWeights,
+}
+
+impl<'a> Query<'a> {
+    /// A query over one owned graph.
+    pub fn graph(graph: FeatureGraph, w: MetricWeights) -> Query<'static> {
+        Query {
+            graphs: vec![Cow::Owned(graph)],
+            w,
+        }
+    }
+
+    /// A query over a burst of owned graphs.
+    pub fn graphs(graphs: Vec<FeatureGraph>, w: MetricWeights) -> Query<'static> {
+        Query {
+            graphs: graphs.into_iter().map(Cow::Owned).collect(),
+            w,
+        }
+    }
+
+    /// A zero-clone query over borrowed graphs.
+    pub fn graph_refs(graphs: &'a [&'a FeatureGraph], w: MetricWeights) -> Query<'a> {
+        Query {
+            graphs: graphs.iter().map(|&g| Cow::Borrowed(g)).collect(),
+            w,
+        }
+    }
+
+    /// Number of graphs in the query.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the query holds no graphs (served as an empty answer).
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The metric weighting the KNN vote runs under.
+    pub fn weights(&self) -> MetricWeights {
+        self.w
+    }
+}
+
+impl std::fmt::Debug for Query<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("graphs", &self.graphs.len())
+            .field("w", &self.w)
+            .finish()
     }
 }
 
@@ -491,7 +576,7 @@ impl<B> Clone for ServeHandle<B> {
 
 impl<B: AdvisorBackend + 'static> ServeHandle<B> {
     /// Recommends a model for a dataset: features are extracted
-    /// caller-side (CPU-cheap), then the request rides a micro-batch.
+    /// caller-side (CPU-cheap), then the request rides [`Self::query`].
     /// Blocks until the response arrives; applies backpressure (blocks)
     /// while the request queue is full.
     pub fn recommend(
@@ -503,40 +588,31 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
         self.recommend_graph(extract_features(ds, &feature), w)
     }
 
-    /// Recommends from a pre-extracted feature graph.
+    /// Recommends from a pre-extracted feature graph. Thin wrapper over
+    /// [`Self::query`].
     pub fn recommend_graph(
         &self,
         graph: FeatureGraph,
         w: MetricWeights,
     ) -> Result<Recommendation, AdvisorError> {
         Ok(self
-            .recommend_graphs(vec![graph], w)?
+            .query(Query::graph(graph, w))?
             .pop()
             .expect("one recommendation per graph"))
     }
 
-    /// Submits a group of graphs as one burst (a tenant asking about
-    /// several datasets, or one dataset across a weighting grid): cache
-    /// hits are served **on the calling thread** against the current
-    /// snapshot (no queue handoff at all — the KNN vote is microseconds,
-    /// so repeat-heavy traffic never wakes the worker), bursts with at
-    /// least [`ServeConfig::inline_burst_misses`] misses are encoded
-    /// inline (one stacked forward, no handoff), and remaining misses
-    /// ride the micro-batch queue, enqueued together so they share
-    /// stacked forwards. Responses come back in input order; each is
-    /// identical to a separate [`Self::recommend_graph`] call. A backend
-    /// failure (e.g. a dark cluster range) fails the whole burst with
-    /// that typed error.
+    /// Owned-burst wrapper over [`Self::query`] (a tenant asking about
+    /// several datasets, or one dataset across a weighting grid).
     pub fn recommend_graphs(
         &self,
         graphs: Vec<FeatureGraph>,
         w: MetricWeights,
     ) -> Result<Vec<Recommendation>, AdvisorError> {
-        self.recommend_cows(graphs.into_iter().map(Cow::Owned).collect(), w)
+        self.query(Query::graphs(graphs, w))
     }
 
-    /// Borrowed-burst form of [`Self::recommend_graphs`]: callers that
-    /// keep their graphs alive pay **zero clones** on cache hits and
+    /// Borrowed-burst wrapper over [`Self::query`]: callers that keep
+    /// their graphs alive pay **zero clones** on cache hits and
     /// inline-encoded bursts — a graph is copied only if its request
     /// actually rides the queue to the worker (which must outlive the
     /// borrow). Answers are identical to the owned form.
@@ -545,14 +621,24 @@ impl<B: AdvisorBackend + 'static> ServeHandle<B> {
         graphs: &[&FeatureGraph],
         w: MetricWeights,
     ) -> Result<Vec<Recommendation>, AdvisorError> {
-        self.recommend_cows(graphs.iter().map(|&g| Cow::Borrowed(g)).collect(), w)
+        self.query(Query::graph_refs(graphs, w))
     }
 
-    fn recommend_cows(
-        &self,
-        graphs: Vec<Cow<'_, FeatureGraph>>,
-        w: MetricWeights,
-    ) -> Result<Vec<Recommendation>, AdvisorError> {
+    /// **The** serving path — every `recommend*` wrapper lowers into this
+    /// one method, so there is exactly one place where cache lookup,
+    /// inline burst encoding, queue handoff, and the backend's (possibly
+    /// indexed) KNN vote are wired together. Cache hits are served **on
+    /// the calling thread** against the current snapshot (no queue
+    /// handoff at all — the KNN vote is microseconds, so repeat-heavy
+    /// traffic never wakes the worker), bursts with at least
+    /// [`ServeConfig::inline_burst_misses`] misses are encoded inline
+    /// (one stacked forward, no handoff), and remaining misses ride the
+    /// micro-batch queue, enqueued together so they share stacked
+    /// forwards. Responses come back in input order; each is identical
+    /// to a separate single-graph call. A backend failure (e.g. a dark
+    /// cluster range) fails the whole burst with that typed error.
+    pub fn query(&self, q: Query<'_>) -> Result<Vec<Recommendation>, AdvisorError> {
+        let Query { graphs, w } = q;
         let n = graphs.len();
         // Uniform shutdown semantics: once the service is stopping, even
         // cache-servable requests are refused (the fast path never touches
@@ -859,8 +945,18 @@ pub struct AdvisorService<B: AdvisorBackend + 'static = ShardedAdvisor> {
 impl<B: AdvisorBackend + 'static> AdvisorService<B> {
     /// Starts the service over a backend it owns. The drift detector is
     /// fitted from the backend's RCS and the reservoir is seeded with the
-    /// current membership.
-    pub fn start(advisor: B, cfg: ServeConfig) -> Self {
+    /// current membership. When [`ServeConfig::index`] is set, the
+    /// two-stage KNN index is installed on the backend here — the one
+    /// moment the service holds it exclusively. Panics if the backend
+    /// rejects the config (e.g. cutover below its `k`); build configs
+    /// through [`ServeConfig::builder`] and [`IndexConfig::builder`] to
+    /// catch the structural errors earlier, as `Err` values.
+    pub fn start(mut advisor: B, cfg: ServeConfig) -> Self {
+        if let Some(index) = &cfg.index {
+            advisor
+                .install_index(index, &cfg.metrics)
+                .expect("backend rejected ServeConfig::index");
+        }
         Self::start_shared(Arc::new(advisor), cfg)
     }
 

@@ -39,9 +39,11 @@ pub mod reservoir;
 pub mod shard;
 
 pub use batch::{
-    AdvisorService, Recommendation, ServeConfig, ServeConfigBuilder, ServeError, ServeHandle,
-    ServiceStats,
+    AdvisorService, Query, Recommendation, ServeConfig, ServeConfigBuilder, ServeError,
+    ServeHandle, ServiceStats,
 };
+// Index surface: what callers need to configure `ServeConfig::index`.
+pub use autoce::index::{IndexConfig, IndexConfigBuilder, QuantMode};
 pub use cache::{graph_fingerprint, Admission, CacheStats, EmbeddingCache};
 // Observability surface: what callers need to configure
 // `ServeConfig::metrics` and read `ServeHandle::metrics_snapshot`.

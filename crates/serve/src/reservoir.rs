@@ -136,8 +136,11 @@ impl ShardedAdvisor {
                 metrics,
             );
         }
-        self.refresh_embeddings();
+        // Bump BEFORE refreshing: refresh rebuilds per-shard KNN indexes
+        // stamped with the current generation, and a pre-bump stamp would
+        // mismatch every post-adaptation query (permanent index bypass).
         self.bump_generation();
+        self.refresh_embeddings();
         ids.len()
     }
 }

@@ -26,6 +26,7 @@
 //! merged under a strict total order, so any collection order (the serial
 //! per-request scan here, or a parallel fan-out) yields the same bits.
 
+use autoce::index::{IndexConfig, KnnIndex};
 use autoce::{knn_order, knn_vote, AdvisorBackend, AdvisorError, AutoCe, AutoCeConfig, RcsEntry};
 use ce_features::{extract_features, FeatureGraph};
 use ce_gnn::{GinEncoder, StackedCtx};
@@ -49,6 +50,12 @@ pub struct AdvisorShard {
     /// membership changes; encoder updates never invalidate them).
     chunks: Vec<StackedCtx>,
     dirty: bool,
+    /// Per-shard two-stage KNN index over this shard's embeddings,
+    /// rebuilt alongside the packed chunks on refresh and dropped on
+    /// membership changes. Stamped `(generation, shard len)`; a stale
+    /// stamp bypasses to the flat partial scan, so the merge upstream
+    /// never sees index-dependent bits.
+    index: Option<KnnIndex>,
 }
 
 impl AdvisorShard {
@@ -58,6 +65,7 @@ impl AdvisorShard {
             entries,
             chunks: Vec::new(),
             dirty: true,
+            index: None,
         }
     }
 
@@ -86,8 +94,39 @@ impl AdvisorShard {
     }
 
     /// The shard's partial top-k: up to `k` nearest non-excluded entries as
-    /// `(global index, distance)`, sorted by [`knn_order`].
-    fn partial_topk(&self, x: &[f32], k: usize, exclude: usize) -> Vec<(usize, f32)> {
+    /// `(global index, distance)`, sorted by [`knn_order`]. Served from
+    /// the shard's two-stage index when one is installed, fresh
+    /// (`generation` + length tag) and admissible for this query; any
+    /// other condition takes the flat partial scan — the two produce the
+    /// same bits, so the merge upstream cannot tell them apart.
+    fn partial_topk(
+        &self,
+        x: &[f32],
+        k: usize,
+        exclude: usize,
+        generation: u64,
+    ) -> Vec<(usize, f32)> {
+        // Local position of the excluded global id (ids are strictly
+        // increasing within a shard), `usize::MAX` when absent.
+        let local_exclude = self.ids.binary_search(&exclude).unwrap_or(usize::MAX);
+        let selectable = self.entries.len() - usize::from(local_exclude != usize::MAX);
+        let k = k.min(selectable);
+        if k == 0 {
+            return Vec::new();
+        }
+        if let Some(idx) = &self.index {
+            if idx.tag_matches(generation, self.entries.len()) {
+                if let Some(topk) = idx.query_topk(x, k, local_exclude, |m| {
+                    self.entries[m].embedding.as_slice()
+                }) {
+                    // Positions ascend with global ids, so the position-
+                    // ranked list maps 1:1 onto the id-ranked list.
+                    return topk.into_iter().map(|(m, d)| (self.ids[m], d)).collect();
+                }
+            } else {
+                idx.note_bypass();
+            }
+        }
         let mut dists: Vec<(usize, f32)> = self
             .ids
             .iter()
@@ -95,10 +134,6 @@ impl AdvisorShard {
             .filter(|(&id, _)| id != exclude)
             .map(|(&id, e)| (id, euclidean(x, &e.embedding)))
             .collect();
-        let k = k.min(dists.len());
-        if k == 0 {
-            return Vec::new();
-        }
         if k < dists.len() {
             dists.select_nth_unstable_by(k - 1, knn_order);
         }
@@ -121,6 +156,29 @@ impl AdvisorShard {
             self.chunks = StackedCtx::pack_graphs(&graphs);
             self.dirty = false;
         }
+    }
+
+    /// Rebuilds the shard's KNN index over its live embeddings, stamped
+    /// `(generation, len)`. `None` config (or a shard below the cutover)
+    /// clears the slot — the flat partial scan serves.
+    fn rebuild_index(
+        &mut self,
+        cfg: Option<&IndexConfig>,
+        metrics: &MetricsRegistry,
+        generation: u64,
+    ) {
+        debug_assert!(
+            self.ids.windows(2).all(|w| w[0] < w[1]),
+            "shard ids must ascend for position/id tie-break equivalence"
+        );
+        self.index = cfg.and_then(|c| {
+            let embeddings: Vec<&[f32]> = self
+                .entries
+                .iter()
+                .map(|e| e.embedding.as_slice())
+                .collect();
+            KnnIndex::build(&embeddings, c, generation, metrics)
+        });
     }
 }
 
@@ -145,6 +203,11 @@ pub struct ShardedAdvisor {
     /// its own registry in before adapting, so refresh/train phase timings
     /// land in the same snapshot as the serving metrics.
     pub(crate) metrics: MetricsRegistry,
+    /// Two-stage KNN index configuration; `None` serves every partial
+    /// top-k by flat scan. Per-shard indexes are rebuilt on refresh
+    /// (inside the same value a snapshot swap publishes) and dropped on
+    /// pushes.
+    index_cfg: Option<IndexConfig>,
 }
 
 impl ShardedAdvisor {
@@ -179,6 +242,7 @@ impl ShardedAdvisor {
             directory,
             generation: 0,
             metrics: MetricsRegistry::disabled(),
+            index_cfg: None,
         };
         // Pre-warm the serving chunks at construction: packing is pure
         // data movement (no floats change), and doing it here keeps the
@@ -305,7 +369,7 @@ impl ShardedAdvisor {
         let k = self.config.k.clamp(1, candidates);
         let mut merged: Vec<(usize, f32)> = Vec::with_capacity(k * self.shards.len());
         for s in &self.shards {
-            merged.extend(s.partial_topk(embedding, k, exclude));
+            merged.extend(s.partial_topk(embedding, k, exclude, self.generation));
         }
         // `knn_order` is a strict total order, so the sorted prefix is the
         // unique global top-k regardless of shard count or merge order.
@@ -361,6 +425,9 @@ impl ShardedAdvisor {
             .entries
             .push(RcsEntry::from_label(graph, label, embedding));
         shard.dirty = true;
+        // Membership changed: the shard's index tag would bypass anyway;
+        // drop the build eagerly.
+        shard.index = None;
         self.directory.push((target, shard.entries.len() - 1));
         global
     }
@@ -403,6 +470,34 @@ impl ShardedAdvisor {
                 e.embedding.extend_from_slice(row);
             }
             assert!(rows.next().is_none(), "pooled rows must match shard size");
+        }
+        // Rebuild per-shard indexes over the refreshed embeddings, inside
+        // the same advisor value: a snapshot swap publishes entries and
+        // indexes together, so no query can pair one with the other's
+        // generation (the swap-race rule — see docs/knn-index.md).
+        self.rebuild_indexes();
+    }
+
+    /// Installs (or replaces) the two-stage KNN index configuration and
+    /// builds per-shard indexes over the current embeddings. Validation
+    /// matches the flat advisor's ([`AutoCe::set_index_config`]).
+    pub fn set_index_config(&mut self, cfg: IndexConfig) -> Result<(), AdvisorError> {
+        cfg.validate_for_k(self.config.k)?;
+        self.index_cfg = Some(cfg);
+        self.rebuild_indexes();
+        Ok(())
+    }
+
+    /// The installed index configuration, if any.
+    pub fn index_config(&self) -> Option<&IndexConfig> {
+        self.index_cfg.as_ref()
+    }
+
+    fn rebuild_indexes(&mut self) {
+        let cfg = self.index_cfg.clone();
+        let generation = self.generation;
+        for shard in &mut self.shards {
+            shard.rebuild_index(cfg.as_ref(), &self.metrics, generation);
         }
     }
 
@@ -483,6 +578,15 @@ impl AdvisorBackend for ShardedAdvisor {
     fn refresh(&mut self) -> Result<u64, AdvisorError> {
         self.refresh_embeddings();
         Ok(ShardedAdvisor::generation(self))
+    }
+
+    fn install_index(
+        &mut self,
+        cfg: &IndexConfig,
+        metrics: &MetricsRegistry,
+    ) -> Result<(), AdvisorError> {
+        self.set_metrics(metrics.clone());
+        self.set_index_config(cfg.clone())
     }
 }
 

@@ -24,7 +24,10 @@ import sys
 PAIRS = [
     ("BENCH_gnn.json", ["train_speedup", "stacked_train_speedup", "encode_speedup"]),
     ("BENCH_embed.json", ["stacked_speedup"]),
-    ("BENCH_serve.json", ["serve_speedup", "cold_speedup", "cache_hit_speedup"]),
+    (
+        "BENCH_serve.json",
+        ["serve_speedup", "cold_speedup", "cache_hit_speedup", "indexed_knn_speedup"],
+    ),
     (
         "BENCH_cluster.json",
         [
